@@ -1,0 +1,10 @@
+"""Benchmark harness: one module per table / figure of the paper's evaluation.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Every module writes its
+reproduced table (plus the paper's reference behaviour) to
+``benchmarks/results/<name>.txt`` and registers one pytest-benchmark timing
+for the representative operation it measures.
+
+Graph sizes are scaled down from the paper's setup (see DESIGN.md §2);
+``REPRO_BENCH_SCALE`` and ``REPRO_BENCH_QUERIES`` enlarge the runs.
+"""

@@ -1,0 +1,31 @@
+"""Figure 6(a) — query time vs graph scale for BDJ and BSDJ on Power graphs.
+
+Paper: both curves grow roughly linearly with the node count; BSDJ stays at
+about 1/3 of BDJ's time across 20k-100k nodes.
+"""
+
+from repro.bench.experiments import build_power_graph, scaling_sweep
+from repro.bench.harness import format_table, paper_reference, scaled, write_report
+
+
+def run_experiment():
+    sizes = [scaled(300), scaled(600), scaled(900)]
+    return scaling_sweep(sizes, build_power_graph, ["BDJ", "BSDJ"], num_queries=2)
+
+
+def test_fig6a_query_time_vs_scale(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    write_report(
+        "fig6a_scale",
+        paper_reference(
+            "Figure 6(a) (Power graphs, BDJ vs BSDJ query time)",
+            [
+                "BDJ grows from 6.75 s (20k) to 15.1 s (100k)",
+                "BSDJ grows from 2.9 s to 3.6 s — roughly 1/3 of BDJ everywhere",
+            ],
+        ),
+        format_table(rows, title="Reproduced query time vs graph scale"),
+    )
+    for size in {row["nodes"] for row in rows}:
+        series = {row["method"]: row["avg_time_s"] for row in rows if row["nodes"] == size}
+        assert series["BSDJ"] <= series["BDJ"]

@@ -1,0 +1,43 @@
+"""Figure 8(a) — BBFS vs BSEG on the second database platform.
+
+Paper: the comparison on PostgreSQL 9.0 (window function available, no MERGE
+statement) mirrors the one on the commercial DBMS-x — BSEG(20) beats BBFS —
+showing the approach is not tied to one engine.  SQLite plays the
+second-platform role here.
+"""
+
+from repro.bench.experiments import build_power_graph, method_comparison
+from repro.bench.harness import format_table, paper_reference, scaled, write_report
+
+
+def run_experiment():
+    graph = build_power_graph(scaled(600))
+    rows = []
+    for aggregate in method_comparison(graph, ["BBFS", "BSEG"], num_queries=3,
+                                       lthd=20.0, backend="sqlite"):
+        rows.append(
+            {
+                "method": aggregate.method,
+                "backend": "sqlite",
+                "avg_time_s": round(aggregate.avg_time, 4),
+                "avg_exps": round(aggregate.avg_expansions, 1),
+            }
+        )
+    return rows
+
+
+def test_fig8a_second_platform(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    write_report(
+        "fig8a_sqlite",
+        paper_reference(
+            "Figure 8(a) (PostgreSQL, BBFS vs BSEG(20))",
+            [
+                "Results on the second platform mirror those on DBMS-x",
+                "BSEG remains competitive without a native MERGE statement",
+            ],
+        ),
+        format_table(rows, title="Reproduced on SQLite (second platform)"),
+    )
+    stats = {row["method"]: row for row in rows}
+    assert stats["BSEG"]["avg_time_s"] <= stats["BBFS"]["avg_time_s"] * 3

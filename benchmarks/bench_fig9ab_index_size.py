@@ -1,0 +1,36 @@
+"""Figures 9(a) and 9(b) — SegTable size (encoding number) vs lthd.
+
+Paper: the index size grows with lthd on every graph; GoogleWeb is more
+sensitive to lthd than DBLP because of its skewed degree distribution.
+"""
+
+from repro.bench.experiments import build_power_graph, construction_sweep
+from repro.bench.harness import format_table, paper_reference, scaled, write_report
+from repro.graph.datasets import dblp_standin, googleweb_standin
+
+
+def run_experiment():
+    graphs = {
+        "power": build_power_graph(scaled(300)),
+        "googleweb": googleweb_standin(num_nodes=scaled(300)),
+        "dblp": dblp_standin(num_nodes=scaled(300)),
+    }
+    return construction_sweep(graphs, [5.0, 15.0, 30.0])
+
+
+def test_fig9ab_index_size(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    write_report(
+        "fig9ab_index_size",
+        paper_reference(
+            "Figures 9(a)/9(b) (SegTable encoding number vs lthd)",
+            [
+                "Larger lthd => more pre-computed segments on every graph",
+                "GoogleWeb grows faster with lthd than DBLP (degree skew)",
+            ],
+        ),
+        format_table(rows, title="Reproduced SegTable size vs lthd"),
+    )
+    for graph_name in {row["graph"] for row in rows}:
+        series = [row["segments"] for row in rows if row["graph"] == graph_name]
+        assert series == sorted(series)

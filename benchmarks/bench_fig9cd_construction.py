@@ -1,0 +1,35 @@
+"""Figures 9(c) and 9(d) — SegTable construction time vs lthd.
+
+Paper: construction time grows with lthd (longer segments need more
+iterations), on both the synthetic Power graphs and the real graphs.
+"""
+
+from repro.bench.experiments import build_power_graph, construction_sweep
+from repro.bench.harness import format_table, paper_reference, scaled, write_report
+from repro.graph.datasets import dblp_standin
+
+
+def run_experiment():
+    graphs = {
+        "power": build_power_graph(scaled(300)),
+        "dblp": dblp_standin(num_nodes=scaled(300)),
+    }
+    return construction_sweep(graphs, [5.0, 15.0, 30.0])
+
+
+def test_fig9cd_construction_time(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    write_report(
+        "fig9cd_construction",
+        paper_reference(
+            "Figures 9(c)/9(d) (SegTable construction time vs lthd)",
+            [
+                "Construction time increases with lthd",
+                "The number of FEM iterations is bounded by lthd / w_min",
+            ],
+        ),
+        format_table(rows, title="Reproduced construction time vs lthd"),
+    )
+    for graph_name in {row["graph"] for row in rows}:
+        series = [row for row in rows if row["graph"] == graph_name]
+        assert series[-1]["iterations"] >= series[0]["iterations"]

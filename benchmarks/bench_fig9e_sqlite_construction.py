@@ -1,0 +1,30 @@
+"""Figure 9(e) — SegTable construction on the second database platform.
+
+Paper: construction behaviour on PostgreSQL matches DBMS-x (time grows with
+lthd), proving the SegTable method is portable across engines.  SQLite plays
+the PostgreSQL role.
+"""
+
+from repro.bench.experiments import build_power_graph, construction_sweep
+from repro.bench.harness import format_table, paper_reference, scaled, write_report
+
+
+def run_experiment():
+    graphs = {"power": build_power_graph(scaled(300))}
+    return construction_sweep(graphs, [10.0, 20.0, 30.0], backend="sqlite")
+
+
+def test_fig9e_construction_on_sqlite(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    write_report(
+        "fig9e_sqlite_construction",
+        paper_reference(
+            "Figure 9(e) (PostgreSQL, construction time vs lthd in {10,20,30})",
+            [
+                "The second platform shows the same trend as DBMS-x",
+            ],
+        ),
+        format_table(rows, title="Reproduced construction on SQLite"),
+    )
+    sizes = [row["segments"] for row in rows]
+    assert sizes == sorted(sizes)

@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+The pyproject.toml metadata is authoritative; this file exists so the
+package can be installed editable in offline environments where pip cannot
+set up an isolated PEP 517 build environment
+(``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Relational shortest path discovery over large graphs "
+        "(FEM framework, SegTable index) — reproduction of Gao et al., VLDB 2011"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,95 @@
+"""repro — Relational shortest path discovery over large graphs.
+
+A reproduction of *Gao, Jin, Zhou, Yu, Jiang, Wang: "Relational Approach for
+Shortest Path Discovery over Large Graphs", PVLDB 5(4), 2011*.
+
+The library stores graphs in relational tables and answers shortest-path
+queries by issuing iterative FEM (Frontier / Expand / Merge) statements
+against a relational engine — either the built-in page/buffer-pool engine
+(``repro.rdb``) or SQLite.  It implements the paper's methods DJ, BDJ, BSDJ,
+BBFS and BSEG, the SegTable index and its FEM-based construction, and the
+in-memory competitors MDJ and MBDJ.
+
+Quickstart::
+
+    from repro import RelationalPathFinder, power_law_graph
+
+    graph = power_law_graph(2_000, edges_per_node=3, seed=7)
+    finder = RelationalPathFinder(graph)
+    finder.build_segtable(lthd=5)
+    result = finder.shortest_path(0, 1234, method="BSEG")
+    print(result.distance, result.path)
+    finder.close()
+"""
+
+from repro.core.api import (
+    METHODS,
+    RelationalPathFinder,
+    shortest_path,
+    shortest_path_in_memory,
+)
+from repro.core.path import PathResult
+from repro.core.segtable import SegTableConfig, build_segtable
+from repro.core.sqlstyle import NSQL, TSQL
+from repro.core.stats import QueryStats, SegTableBuildStats
+from repro.core.store.base import IndexMode
+from repro.core.store.minidb import MiniDBGraphStore
+from repro.core.store.sqlite import SQLiteGraphStore
+from repro.graph.datasets import (
+    dblp_standin,
+    googleweb_standin,
+    list_datasets,
+    livejournal_standin,
+    load_dataset,
+)
+from repro.graph.generators import (
+    complete_graph,
+    grid_graph,
+    path_graph,
+    power_law_graph,
+    random_graph,
+    star_graph,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.model import Edge, Graph
+from repro.memory.bidirectional import bidirectional_dijkstra
+from repro.memory.dijkstra import dijkstra_shortest_path
+from repro.rdb.engine import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Edge",
+    "Graph",
+    "IndexMode",
+    "METHODS",
+    "MiniDBGraphStore",
+    "NSQL",
+    "PathResult",
+    "QueryStats",
+    "RelationalPathFinder",
+    "SQLiteGraphStore",
+    "SegTableBuildStats",
+    "SegTableConfig",
+    "TSQL",
+    "__version__",
+    "bidirectional_dijkstra",
+    "build_segtable",
+    "complete_graph",
+    "dblp_standin",
+    "dijkstra_shortest_path",
+    "googleweb_standin",
+    "grid_graph",
+    "list_datasets",
+    "livejournal_standin",
+    "load_dataset",
+    "path_graph",
+    "power_law_graph",
+    "random_graph",
+    "read_edge_list",
+    "shortest_path",
+    "shortest_path_in_memory",
+    "star_graph",
+    "write_edge_list",
+]

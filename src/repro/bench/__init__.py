@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness in ``benchmarks/``.
+
+Every table and figure of the paper's evaluation has one module under
+``benchmarks/``; the graph building, sweeping and table rendering they share
+lives here so the experiment logic is importable and unit-testable.
+"""
+
+from repro.bench.harness import (
+    bench_scale,
+    format_table,
+    paper_reference,
+    write_report,
+)
+from repro.bench.experiments import (
+    build_power_graph,
+    build_random_graph,
+    construction_sweep,
+    method_comparison,
+    operator_breakdown,
+    phase_breakdown,
+)
+
+__all__ = [
+    "bench_scale",
+    "build_power_graph",
+    "build_random_graph",
+    "construction_sweep",
+    "format_table",
+    "method_comparison",
+    "operator_breakdown",
+    "paper_reference",
+    "phase_breakdown",
+    "write_report",
+]

@@ -1,0 +1,191 @@
+"""Top-level convenience API.
+
+:class:`RelationalPathFinder` wraps the whole pipeline the paper describes:
+load a graph into relational tables, optionally build the SegTable index,
+and answer shortest-path queries with any of the paper's methods::
+
+    finder = RelationalPathFinder(graph)            # mini relational engine
+    finder.build_segtable(lthd=5)
+    result = finder.shortest_path(s, t, method="BSEG")
+    print(result.distance, result.path)
+    finder.close()
+
+Method names follow the paper: ``DJ``, ``BDJ``, ``BSDJ``, ``BBFS``, ``BSEG``
+for the relational algorithms and ``MDJ``, ``MBDJ`` for the in-memory
+competitors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.bfs import bidirectional_bfs
+from repro.core.bidirectional import bidirectional_dijkstra, bidirectional_set_dijkstra
+from repro.core.bseg import bidirectional_segtable_search
+from repro.core.dijkstra import dijkstra_single_direction
+from repro.core.path import PathResult
+from repro.core.segtable import build_segtable
+from repro.core.sqlstyle import NSQL, validate_sql_style
+from repro.core.stats import QueryStats, SegTableBuildStats
+from repro.core.store.base import GraphStore, IndexMode
+from repro.core.store.minidb import MiniDBGraphStore
+from repro.core.store.sqlite import SQLiteGraphStore
+from repro.errors import InvalidQueryError, NodeNotFoundError
+from repro.graph.model import Graph
+from repro.memory.bidirectional import bidirectional_dijkstra as memory_bidirectional
+from repro.memory.dijkstra import dijkstra_shortest_path as memory_dijkstra
+
+RELATIONAL_METHODS: Dict[str, Callable[..., PathResult]] = {
+    "DJ": dijkstra_single_direction,
+    "BDJ": bidirectional_dijkstra,
+    "BSDJ": bidirectional_set_dijkstra,
+    "BBFS": bidirectional_bfs,
+    "BSEG": bidirectional_segtable_search,
+}
+
+MEMORY_METHODS = ("MDJ", "MBDJ")
+
+METHODS = tuple(RELATIONAL_METHODS) + MEMORY_METHODS
+"""All supported method names."""
+
+BACKENDS = ("minidb", "sqlite")
+
+
+class RelationalPathFinder:
+    """Owns a graph store and answers shortest-path queries against it.
+
+    Args:
+        graph: the graph to load.
+        backend: ``"minidb"`` (the built-in engine / DBMS-x role) or
+            ``"sqlite"`` (the second-platform role).
+        buffer_capacity: buffer-pool size in pages (minidb backend only).
+        index_mode: index strategy for the edge and visited tables
+            (``"clustered"``, ``"nonclustered"`` or ``"none"``).
+        db_path: optional file path backing the database (minidb: page file,
+            sqlite: database file); in-memory by default.
+    """
+
+    def __init__(self, graph: Graph, backend: str = "minidb",
+                 buffer_capacity: int = 256,
+                 index_mode: str = IndexMode.CLUSTERED,
+                 db_path: Optional[str] = None) -> None:
+        if backend not in BACKENDS:
+            raise InvalidQueryError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        self.graph = graph
+        self.backend = backend
+        self.index_mode = IndexMode.validate(index_mode)
+        if backend == "minidb":
+            self.store: GraphStore = MiniDBGraphStore(
+                buffer_capacity=buffer_capacity, path=db_path
+            )
+        else:
+            self.store = SQLiteGraphStore(path=db_path or ":memory:")
+        self.store.load_graph(graph, index_mode=self.index_mode)
+        self.segtable_stats: Optional[SegTableBuildStats] = None
+
+    # -- index management -----------------------------------------------------------
+
+    def build_segtable(self, lthd: float, sql_style: str = NSQL,
+                       index_mode: Optional[str] = None) -> SegTableBuildStats:
+        """Construct the SegTable index with threshold ``lthd``."""
+        self.segtable_stats = build_segtable(
+            self.store, lthd, sql_style=sql_style,
+            index_mode=index_mode or self.index_mode,
+        )
+        return self.segtable_stats
+
+    # -- queries ---------------------------------------------------------------------
+
+    def shortest_path(self, source: int, target: int, method: str = "BSDJ",
+                      sql_style: str = NSQL,
+                      max_iterations: Optional[int] = None) -> PathResult:
+        """Answer one shortest-path query.
+
+        Raises:
+            NodeNotFoundError: when an endpoint is not in the graph.
+            InvalidQueryError: for unknown methods.
+            PathNotFoundError: when the nodes are not connected.
+        """
+        self._check_node(source)
+        self._check_node(target)
+        method = method.upper()
+        validate_sql_style(sql_style)
+        if method in MEMORY_METHODS:
+            return shortest_path_in_memory(self.graph, source, target, method=method)
+        if method not in RELATIONAL_METHODS:
+            raise InvalidQueryError(
+                f"unknown method {method!r}; expected one of {METHODS}"
+            )
+        algorithm = RELATIONAL_METHODS[method]
+        return algorithm(self.store, source, target, sql_style=sql_style,
+                         max_iterations=max_iterations)
+
+    def _check_node(self, nid: int) -> None:
+        if not self.graph.has_node(nid):
+            raise NodeNotFoundError(f"node {nid} is not in the graph")
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the underlying database."""
+        self.store.close()
+
+    def __enter__(self) -> "RelationalPathFinder":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+def shortest_path(graph: Graph, source: int, target: int, method: str = "BSDJ",
+                  backend: str = "minidb", sql_style: str = NSQL,
+                  lthd: Optional[float] = None,
+                  buffer_capacity: int = 256,
+                  index_mode: str = IndexMode.CLUSTERED) -> PathResult:
+    """One-shot convenience wrapper: load, (optionally) index, query, close.
+
+    For repeated queries over the same graph prefer
+    :class:`RelationalPathFinder`, which loads the graph only once.
+    """
+    method = method.upper()
+    if method in MEMORY_METHODS:
+        return shortest_path_in_memory(graph, source, target, method=method)
+    with RelationalPathFinder(graph, backend=backend,
+                              buffer_capacity=buffer_capacity,
+                              index_mode=index_mode) as finder:
+        if method == "BSEG":
+            threshold = lthd if lthd is not None else _default_lthd(graph)
+            finder.build_segtable(threshold, sql_style=sql_style)
+        return finder.shortest_path(source, target, method=method,
+                                    sql_style=sql_style)
+
+
+def shortest_path_in_memory(graph: Graph, source: int, target: int,
+                            method: str = "MDJ") -> PathResult:
+    """Run one of the in-memory competitors (MDJ or MBDJ)."""
+    method = method.upper()
+    if method == "MDJ":
+        result = memory_dijkstra(graph, source, target)
+    elif method == "MBDJ":
+        result = memory_bidirectional(graph, source, target)
+    else:
+        raise InvalidQueryError(
+            f"unknown in-memory method {method!r}; expected MDJ or MBDJ"
+        )
+    stats = QueryStats(method=method)
+    stats.found = True
+    stats.distance = result.distance
+    stats.visited_nodes = result.settled
+    stats.path_edges = result.num_edges
+    return PathResult(source, target, result.distance, result.path, stats)
+
+
+def _default_lthd(graph: Graph) -> float:
+    """A reasonable default SegTable threshold: three times the minimal
+    edge weight (covers short local detours without exploding the index)."""
+    try:
+        return 3.0 * graph.min_edge_weight()
+    except ValueError:
+        return 1.0

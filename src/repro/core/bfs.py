@@ -1,0 +1,28 @@
+"""BBFS — bi-directional relational breadth-first search.
+
+BBFS is the "extreme" set-at-a-time strategy discussed in Section 4.2: every
+candidate node is expanded in every round, which minimizes the number of SQL
+round trips but can blow up the search space (nodes are re-expanded whenever
+their distance improves).  It shares the bi-directional driver with BDJ /
+BSDJ / BSEG; only the frontier policy differs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.bidirectional import FrontierPolicy, bidirectional_search
+from repro.core.directions import INFINITY
+from repro.core.path import PathResult
+from repro.core.sqlstyle import NSQL
+from repro.core.store.base import GraphStore
+
+BBFS_POLICY = FrontierPolicy(name="BBFS", set_mode=True, distance_factor=INFINITY)
+
+
+def bidirectional_bfs(store: GraphStore, source: int, target: int,
+                      sql_style: str = NSQL,
+                      max_iterations: Optional[int] = None) -> PathResult:
+    """BBFS: expand every candidate node in each round, in both directions."""
+    return bidirectional_search(store, source, target, BBFS_POLICY,
+                                sql_style=sql_style, max_iterations=max_iterations)

@@ -1,0 +1,61 @@
+"""BSEG — bi-directional selective path expansion on the SegTable
+(Algorithm 2 of the paper).
+
+BSEG balances the two optimization goals of Section 4: it keeps the search
+space close to set Dijkstra's while issuing far fewer statements, by
+expanding over precomputed shortest segments (``TOutSegs`` / ``TInSegs``)
+and selecting as frontier every candidate within ``k * lthd`` of the origin
+in the ``k``-th expansion.  The Theorem 1 pruning rule
+(``d2s + cost + l_b <= minCost``) is applied inside the expansion statement.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.bidirectional import FrontierPolicy, bidirectional_search
+from repro.core.path import PathResult
+from repro.core.sqlstyle import NSQL
+from repro.core.store.base import GraphStore
+from repro.errors import InvalidQueryError
+
+
+def bseg_policy(lthd: float) -> FrontierPolicy:
+    """Frontier policy of Algorithm 2 for a SegTable built with ``lthd``."""
+    if lthd <= 0:
+        raise InvalidQueryError("the SegTable index threshold must be positive")
+    return FrontierPolicy(
+        name="BSEG",
+        set_mode=True,
+        distance_factor=float(lthd),
+        use_segtable=True,
+        prune=True,
+    )
+
+
+def bidirectional_segtable_search(store: GraphStore, source: int, target: int,
+                                  sql_style: str = NSQL,
+                                  lthd: Optional[float] = None,
+                                  max_iterations: Optional[int] = None) -> PathResult:
+    """BSEG: selective bi-directional expansion over the SegTable.
+
+    Args:
+        store: a store with a loaded/constructed SegTable.
+        source: source node id.
+        target: target node id.
+        sql_style: ``"nsql"`` or ``"tsql"``.
+        lthd: index threshold used for frontier selection; defaults to the
+            threshold the store's SegTable was built with.
+        max_iterations: optional safety cap on the number of expansions.
+
+    Raises:
+        InvalidQueryError: when the store has no SegTable.
+        PathNotFoundError: when no path exists.
+    """
+    if not store.has_segtable:
+        raise InvalidQueryError("BSEG requires a SegTable; build or load one first")
+    threshold = lthd if lthd is not None else store.segtable_lthd
+    if threshold is None:
+        raise InvalidQueryError("the store does not record its SegTable threshold")
+    return bidirectional_search(store, source, target, bseg_policy(float(threshold)),
+                                sql_style=sql_style, max_iterations=max_iterations)

@@ -1,0 +1,98 @@
+"""DJ — single-directional relational Dijkstra (Algorithm 1 of the paper).
+
+The client loop issues, per iteration, the statements of Listings 2 and 3:
+locate the to-be-finalized node ``mid`` (the auxiliary statement before the
+F-operator), run the combined E/M expansion for ``mid``, finalize it, and
+test whether the target has been finalized.  This is the node-at-a-time
+baseline whose poor performance motivates the set-at-a-time optimizations.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.core.directions import FORWARD_DIRECTION
+from repro.core.path import PathResult
+from repro.core.recovery import recover_forward_path
+from repro.core.sqlstyle import NSQL, validate_sql_style
+from repro.core.stats import (
+    PHASE_PATH_EXPANSION,
+    PHASE_PATH_RECOVERY,
+    PHASE_STATISTICS,
+    QueryStats,
+)
+from repro.core.store.base import GraphStore
+from repro.errors import PathNotFoundError
+
+
+def dijkstra_single_direction(store: GraphStore, source: int, target: int,
+                              sql_style: str = NSQL,
+                              max_iterations: Optional[int] = None) -> PathResult:
+    """Find the shortest path from ``source`` to ``target`` with DJ.
+
+    Args:
+        store: a loaded :class:`~repro.core.store.base.GraphStore`.
+        source: source node id.
+        target: target node id.
+        sql_style: ``"nsql"`` (window function + MERGE) or ``"tsql"``.
+        max_iterations: optional safety cap on the number of expansions.
+
+    Returns:
+        A :class:`~repro.core.path.PathResult` with the path and statistics.
+
+    Raises:
+        PathNotFoundError: when the target is unreachable from the source.
+    """
+    stats = QueryStats(method="DJ", sql_style=validate_sql_style(sql_style))
+    store.begin_query(stats, stats.sql_style)
+    start_time = time.perf_counter()
+    forward = FORWARD_DIRECTION
+
+    with stats.phase(PHASE_PATH_EXPANSION):
+        store.reset_visited()
+        store.insert_visited([{"nid": source, "d2s": 0.0, "p2s": source, "f": 0}])
+
+    if source == target:
+        stats.found = True
+        stats.distance = 0.0
+        stats.visited_nodes = store.visited_count()
+        stats.total_time = time.perf_counter() - start_time
+        return PathResult(source, target, 0.0, [source], stats)
+
+    target_finalized = False
+    while True:
+        if max_iterations is not None and stats.expansions >= max_iterations:
+            break
+        # Auxiliary statement: locate the to-be-finalized node (Listing 2(2)).
+        with stats.phase(PHASE_STATISTICS):
+            mid = store.top1_min_unfinalized(forward)
+        if mid is None:
+            break
+        # F + E + M operators for this node (Listing 2(3) and 2(4)).
+        with stats.phase(PHASE_PATH_EXPANSION):
+            store.expand(forward, mid=mid)
+            stats.record_expansion(forward=True)
+            store.finalize_node(mid, forward)
+        # Termination detection (Listing 3(1)).
+        with stats.phase(PHASE_STATISTICS):
+            if store.is_finalized(target, forward):
+                target_finalized = True
+                break
+
+    if not target_finalized:
+        stats.visited_nodes = store.visited_count()
+        stats.total_time = time.perf_counter() - start_time
+        raise PathNotFoundError(f"no path from {source} to {target}")
+
+    with stats.phase(PHASE_STATISTICS):
+        distance = store.get_distance(target, forward)
+    with stats.phase(PHASE_PATH_RECOVERY):
+        path = recover_forward_path(store, source, target)
+
+    stats.found = True
+    stats.distance = distance
+    stats.path_edges = len(path) - 1
+    stats.visited_nodes = store.visited_count()
+    stats.total_time = time.perf_counter() - start_time
+    return PathResult(source, target, float(distance), path, stats)

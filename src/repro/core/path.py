@@ -1,0 +1,55 @@
+"""Shortest-path results and path validation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.stats import QueryStats
+from repro.graph.model import Graph
+
+
+@dataclass
+class PathResult:
+    """A discovered shortest path plus its query statistics.
+
+    Attributes:
+        source: source node id.
+        target: target node id.
+        distance: length of the discovered path.
+        path: node ids from source to target (inclusive); a single-element
+            list when ``source == target``.
+        stats: the :class:`~repro.core.stats.QueryStats` collected while
+            answering the query (``None`` for in-memory baselines wrapped
+            into this type).
+    """
+
+    source: int
+    target: int
+    distance: float
+    path: List[int] = field(default_factory=list)
+    stats: Optional[QueryStats] = None
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges on the path."""
+        return max(0, len(self.path) - 1)
+
+    def validate_against(self, graph: Graph) -> None:
+        """Assert the path is a real path in ``graph`` whose edge weights sum
+        to ``distance`` (within floating-point tolerance).
+
+        Raises:
+            AssertionError: when an edge is missing or the length mismatches.
+        """
+        assert self.path, "path must not be empty"
+        assert self.path[0] == self.source, "path must start at the source"
+        assert self.path[-1] == self.target, "path must end at the target"
+        total = 0.0
+        for fid, tid in zip(self.path, self.path[1:]):
+            cost = graph.edge_cost(fid, tid)
+            assert cost is not None, f"edge ({fid}, {tid}) is not in the graph"
+            total += cost
+        assert abs(total - self.distance) < 1e-6, (
+            f"path length {total} does not match reported distance {self.distance}"
+        )

@@ -1,0 +1,80 @@
+"""Reachability queries via the FEM framework.
+
+Reachability ("is there any path from ``s`` to ``t``?") is the simplest
+graph-search query the paper lists in Section 3.1.  Under FEM it is a BFS:
+the frontier is every newly visited node, the expansion follows outgoing
+edges, and the merge ignores nodes that were already visited.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.fem import FEMSearch, FEMSpec
+from repro.graph.model import Graph
+from repro.rdb.engine import Database
+from repro.rdb.merge import MergeResult, merge_into
+from repro.rdb.schema import Column
+from repro.rdb.table import Table
+from repro.rdb.types import INTEGER
+
+
+def reachable_set_fem(graph: Graph, source: int,
+                      database: Optional[Database] = None) -> Set[int]:
+    """Return the set of nodes reachable from ``source`` using FEM over RDB."""
+    database = database or Database(buffer_capacity=128)
+    edges = database.create_table(
+        "ReachEdges", [Column("fid", INTEGER), Column("tid", INTEGER)]
+    )
+    edges.bulk_load(
+        [{"fid": edge.fid, "tid": edge.tid} for edge in graph.edges()],
+        order_by="fid",
+    )
+    edges.create_index("fid", clustered=True)
+    visited = database.create_table(
+        "ReachVisited", [Column("nid", INTEGER), Column("f", INTEGER)]
+    )
+    visited.create_index("nid", unique=True)
+
+    def initialize() -> List[Dict[str, object]]:
+        return [{"nid": source, "f": 0}]
+
+    def select_frontier(table: Table, _iteration: int) -> List[Dict[str, object]]:
+        frontier = [row for row in table.scan() if row["f"] == 0]
+        table.update_where(lambda row: row["f"] == 0, lambda row: {"f": 1})
+        return frontier
+
+    def expand(frontier: List[Dict[str, object]],
+               _iteration: int) -> List[Dict[str, object]]:
+        expanded: List[Dict[str, object]] = []
+        for row in frontier:
+            for edge_row in edges.lookup("fid", row["nid"]):
+                expanded.append({"nid": edge_row["tid"], "f": 0})
+        return expanded
+
+    def merge(table: Table, expanded: List[Dict[str, object]],
+              _iteration: int) -> MergeResult:
+        unique = {row["nid"]: row for row in expanded}
+        return merge_into(
+            table, list(unique.values()), key_column="nid", source_key="nid",
+            matched_update=None,
+            not_matched_insert=lambda source: dict(source),
+        )
+
+    spec = FEMSpec(
+        name="reachability",
+        initialize=initialize,
+        select_frontier=select_frontier,
+        expand=expand,
+        merge=merge,
+        max_iterations=graph.num_nodes + 1,
+    )
+    search = FEMSearch(visited, spec)
+    search.run()
+    return {int(row["nid"]) for row in search.visited_rows()}
+
+
+def is_reachable_fem(graph: Graph, source: int, target: int,
+                     database: Optional[Database] = None) -> bool:
+    """Whether ``target`` is reachable from ``source`` (FEM over RDB)."""
+    return target in reachable_set_fem(graph, source, database=database)

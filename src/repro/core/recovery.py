@@ -1,0 +1,60 @@
+"""Full path recovery (the FPR phase of Figure 6(b)).
+
+After the iterations stop, the client recovers the actual shortest path by
+following the ``p2s`` links backwards from the meeting node (or the target)
+and the ``p2t`` links forwards, one ``SELECT`` per hop (Listing 3(3)).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.directions import BACKWARD_DIRECTION, Direction, FORWARD_DIRECTION
+from repro.core.store.base import GraphStore
+from repro.errors import PathNotFoundError
+
+
+def _follow_links(store: GraphStore, start: int, origin: int,
+                  direction: Direction, limit: int) -> List[int]:
+    """Follow predecessor/successor links from ``start`` until ``origin``."""
+    chain = [start]
+    node = start
+    steps = 0
+    while node != origin:
+        link = store.get_link(node, direction)
+        if link is None:
+            raise PathNotFoundError(
+                f"broken {direction.pred_col} chain at node {node} during recovery"
+            )
+        node = link
+        chain.append(node)
+        steps += 1
+        if steps > limit:
+            raise PathNotFoundError(
+                f"{direction.pred_col} chain did not reach node {origin} "
+                f"within {limit} steps"
+            )
+    return chain
+
+
+def recover_forward_path(store: GraphStore, source: int, target: int) -> List[int]:
+    """Recover ``source -> target`` along the ``p2s`` links (unidirectional)."""
+    limit = max(store.visited_count(), 1) + 1
+    chain = _follow_links(store, target, source, FORWARD_DIRECTION, limit)
+    chain.reverse()
+    return chain
+
+
+def recover_bidirectional_path(store: GraphStore, source: int, target: int,
+                               meeting_node: int) -> List[int]:
+    """Recover the full path through ``meeting_node`` (Algorithm 2, lines 17-20).
+
+    The prefix follows ``p2s`` links from the meeting node back to the
+    source; the suffix follows ``p2t`` links from the meeting node to the
+    target.
+    """
+    limit = max(store.visited_count(), 1) + 1
+    prefix = _follow_links(store, meeting_node, source, FORWARD_DIRECTION, limit)
+    prefix.reverse()
+    suffix = _follow_links(store, meeting_node, target, BACKWARD_DIRECTION, limit)
+    return prefix + suffix[1:]

@@ -1,0 +1,29 @@
+"""SQL evaluation styles: new-feature SQL vs traditional SQL.
+
+The paper's Figure 6(d) and Figure 9(f) compare two ways of writing the
+E- and M-operators:
+
+* **NSQL** ("new SQL") — the E-operator deduplicates expanded nodes with a
+  window function (``row_number() over (partition by tid order by cost)``)
+  and the M-operator is a single MERGE statement.
+* **TSQL** ("traditional SQL") — the E-operator uses a GROUP BY aggregate
+  plus an extra join to recover the predecessor column, and the M-operator
+  is an UPDATE statement followed by an INSERT ... NOT EXISTS statement.
+
+Both styles compute the same result; NSQL issues fewer/cheaper statements.
+"""
+
+from __future__ import annotations
+
+NSQL = "nsql"
+TSQL = "tsql"
+
+SQL_STYLES = (NSQL, TSQL)
+
+
+def validate_sql_style(style: str) -> str:
+    """Return ``style`` lower-cased, raising ``ValueError`` when unknown."""
+    normalized = style.lower()
+    if normalized not in SQL_STYLES:
+        raise ValueError(f"unknown SQL style {style!r}; expected one of {SQL_STYLES}")
+    return normalized

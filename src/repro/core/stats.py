@@ -1,0 +1,137 @@
+"""Per-query and per-construction statistics.
+
+The paper's evaluation reports, for every method: wall-clock time, the
+number of expansions ("Exps" in Tables 2 and 3), the number of visited nodes
+("Vst" in Table 3), time broken down by phase (path expansion, statistics
+collection, full path recovery — Figure 6(b)), time broken down by operator
+(F / E / M — Figure 6(c)), and index size / construction time for the
+SegTable (Figure 9).  :class:`QueryStats` and :class:`SegTableBuildStats`
+collect exactly those quantities.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+# Phase labels (Figure 6(b)).
+PHASE_PATH_EXPANSION = "PE"
+PHASE_STATISTICS = "SC"
+PHASE_PATH_RECOVERY = "FPR"
+
+# Operator labels (Figure 6(c)).
+OPERATOR_F = "F"
+OPERATOR_E = "E"
+OPERATOR_M = "M"
+
+
+@dataclass
+class QueryStats:
+    """Counters collected while answering one shortest-path query."""
+
+    method: str = ""
+    sql_style: str = "nsql"
+    expansions: int = 0
+    expansions_forward: int = 0
+    expansions_backward: int = 0
+    statements: int = 0
+    affected_rows: int = 0
+    visited_nodes: int = 0
+    found: bool = False
+    distance: Optional[float] = None
+    path_edges: int = 0
+    total_time: float = 0.0
+    time_by_phase: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    time_by_operator: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    io_reads: int = 0
+    io_writes: int = 0
+
+    def record_statement(self) -> None:
+        """Count one SQL statement issued against the store."""
+        self.statements += 1
+
+    def record_expansion(self, forward: bool) -> None:
+        """Count one expansion (one execution of the combined F/E/M step)."""
+        self.expansions += 1
+        if forward:
+            self.expansions_forward += 1
+        else:
+            self.expansions_backward += 1
+
+    @contextmanager
+    def phase(self, label: str) -> Iterator[None]:
+        """Attribute the wall-clock time of the block to phase ``label``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.time_by_phase[label] += time.perf_counter() - start
+
+    @contextmanager
+    def operator(self, label: str) -> Iterator[None]:
+        """Attribute the wall-clock time of the block to operator ``label``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.time_by_operator[label] += time.perf_counter() - start
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return a plain-dict summary (used by the benchmark reports)."""
+        return {
+            "method": self.method,
+            "sql_style": self.sql_style,
+            "expansions": self.expansions,
+            "expansions_forward": self.expansions_forward,
+            "expansions_backward": self.expansions_backward,
+            "statements": self.statements,
+            "affected_rows": self.affected_rows,
+            "visited_nodes": self.visited_nodes,
+            "found": self.found,
+            "distance": self.distance,
+            "path_edges": self.path_edges,
+            "total_time": self.total_time,
+            "time_by_phase": dict(self.time_by_phase),
+            "time_by_operator": dict(self.time_by_operator),
+            "buffer_hits": self.buffer_hits,
+            "buffer_misses": self.buffer_misses,
+            "io_reads": self.io_reads,
+            "io_writes": self.io_writes,
+        }
+
+
+@dataclass
+class SegTableBuildStats:
+    """Counters collected while constructing the SegTable index."""
+
+    lthd: float = 0.0
+    iterations: int = 0
+    statements: int = 0
+    out_segments: int = 0
+    in_segments: int = 0
+    total_time: float = 0.0
+    sql_style: str = "nsql"
+
+    @property
+    def encoding_number(self) -> int:
+        """Total number of stored segments — the "encoding number" (index
+        size) axis of Figures 9(a) and 9(b)."""
+        return self.out_segments + self.in_segments
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return a plain-dict summary."""
+        return {
+            "lthd": self.lthd,
+            "iterations": self.iterations,
+            "statements": self.statements,
+            "out_segments": self.out_segments,
+            "in_segments": self.in_segments,
+            "encoding_number": self.encoding_number,
+            "total_time": self.total_time,
+            "sql_style": self.sql_style,
+        }

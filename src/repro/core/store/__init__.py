@@ -1,0 +1,23 @@
+"""Graph stores: the "RDB side" of the FEM framework.
+
+A store owns the relational tables (``TNodes``, ``TEdges``, ``TVisited``,
+``TOutSegs``, ``TInSegs``) and exposes one method per SQL statement in the
+paper's Listings 2–4.  The search algorithms in ``repro.core`` are thin
+clients issuing those statements, exactly as the paper's Java client drives
+the RDB through JDBC.
+
+Two implementations are provided:
+
+* :class:`~repro.core.store.minidb.MiniDBGraphStore` — backed by the
+  built-in relational engine (``repro.rdb``), giving full control over the
+  buffer pool and index clustering (the paper's DBMS-x role).
+* :class:`~repro.core.store.sqlite.SQLiteGraphStore` — backed by SQLite with
+  literal SQL text, playing the role of the paper's "second platform"
+  (PostgreSQL), including its lack of a MERGE statement.
+"""
+
+from repro.core.store.base import GraphStore, IndexMode
+from repro.core.store.minidb import MiniDBGraphStore
+from repro.core.store.sqlite import SQLiteGraphStore
+
+__all__ = ["GraphStore", "IndexMode", "MiniDBGraphStore", "SQLiteGraphStore"]

@@ -1,0 +1,208 @@
+"""Abstract interface every graph store implements.
+
+Each method corresponds to one SQL statement of the paper's Listings 2–4 (or
+to a DDL/bulk-load step performed once per graph).  Implementations must
+charge issued statements, per-operator timing and affected-row counts to the
+:class:`~repro.core.stats.QueryStats` object supplied via
+:meth:`GraphStore.begin_query`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.directions import Direction
+from repro.core.stats import QueryStats, SegTableBuildStats
+from repro.graph.model import Graph
+
+
+class IndexMode:
+    """Index strategies of Figure 8(c)."""
+
+    CLUSTERED = "clustered"
+    NONCLUSTERED = "nonclustered"
+    NONE = "none"
+
+    ALL = (CLUSTERED, NONCLUSTERED, NONE)
+
+    @classmethod
+    def validate(cls, mode: str) -> str:
+        """Return ``mode`` lower-cased, raising ``ValueError`` when unknown."""
+        normalized = mode.lower()
+        if normalized not in cls.ALL:
+            raise ValueError(f"unknown index mode {mode!r}; expected one of {cls.ALL}")
+        return normalized
+
+
+class GraphStore(ABC):
+    """The relational backend the FEM algorithms issue statements against."""
+
+    def __init__(self) -> None:
+        self.stats: QueryStats = QueryStats()
+        self.sql_style: str = "nsql"
+        self.has_segtable: bool = False
+        self.segtable_lthd: Optional[float] = None
+
+    # -- graph and index lifecycle ------------------------------------------------
+
+    @abstractmethod
+    def load_graph(self, graph: Graph, index_mode: str = IndexMode.CLUSTERED) -> None:
+        """Create ``TNodes`` / ``TEdges`` and bulk-load ``graph`` into them."""
+
+    @abstractmethod
+    def load_segtable(self, out_segments: Sequence[Dict[str, object]],
+                      in_segments: Sequence[Dict[str, object]],
+                      lthd: float,
+                      index_mode: str = IndexMode.CLUSTERED) -> None:
+        """Create and populate ``TOutSegs`` / ``TInSegs`` from segment rows."""
+
+    @abstractmethod
+    def segment_counts(self) -> Dict[str, int]:
+        """Return ``{"out": ..., "in": ...}`` segment counts (index size)."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release the underlying database resources."""
+
+    # -- per-query setup --------------------------------------------------------------
+
+    def begin_query(self, stats: QueryStats, sql_style: str = "nsql") -> None:
+        """Attach the statistics sink and SQL style for the next query."""
+        self.stats = stats
+        self.sql_style = sql_style
+
+    @abstractmethod
+    def reset_visited(self) -> None:
+        """Create (or truncate) the ``TVisited`` table."""
+
+    @abstractmethod
+    def insert_visited(self, rows: Sequence[Dict[str, object]]) -> None:
+        """Insert initial rows into ``TVisited`` (Listing 2(1))."""
+
+    # -- statistics-collection statements (SC phase) -------------------------------------
+
+    @abstractmethod
+    def top1_min_unfinalized(self, direction: Direction) -> Optional[int]:
+        """``SELECT TOP 1 nid`` with the minimal distance among non-finalized
+        nodes (Listing 2(2)); ``None`` when no candidate remains."""
+
+    @abstractmethod
+    def min_unfinalized_distance(self, direction: Direction) -> Optional[float]:
+        """``SELECT min(dist) FROM TVisited WHERE flag = 0`` (Listing 4(4))."""
+
+    @abstractmethod
+    def count_unfinalized(self, direction: Direction) -> int:
+        """Number of candidate frontier nodes (flag = 0) for ``direction``."""
+
+    @abstractmethod
+    def min_total_cost(self) -> float:
+        """``SELECT min(d2s + d2t) FROM TVisited`` (Listing 4(5)); +inf when
+        the searches have not met."""
+
+    @abstractmethod
+    def meeting_node(self, min_cost: float) -> Optional[int]:
+        """``SELECT nid FROM TVisited WHERE d2s + d2t = minCost`` (Listing 4(6))."""
+
+    @abstractmethod
+    def is_finalized(self, nid: int, direction: Direction) -> bool:
+        """Termination detection (Listing 3(1))."""
+
+    @abstractmethod
+    def visited_count(self) -> int:
+        """Number of rows in ``TVisited`` (the "Vst" column of Table 3)."""
+
+    @abstractmethod
+    def visited_rows(self) -> List[Dict[str, object]]:
+        """Materialize ``TVisited`` (used by tests and debugging)."""
+
+    # -- F-operator statements ---------------------------------------------------------------
+
+    @abstractmethod
+    def finalize_node(self, nid: int, direction: Direction) -> None:
+        """``UPDATE TVisited SET flag = 1 WHERE nid = mid`` (Listing 3(2))."""
+
+    @abstractmethod
+    def select_frontier_set(self, direction: Direction,
+                            max_distance: float) -> int:
+        """Mark frontier candidates with flag = 2 (Listing 4(1)).
+
+        A node is selected when its flag is 0 and its distance is at most
+        ``max_distance`` **or** equal to the minimal distance among flag-0
+        nodes.  Returns the number of selected nodes.
+        """
+
+    @abstractmethod
+    def finalize_frontier(self, direction: Direction) -> int:
+        """``UPDATE TVisited SET flag = 1 WHERE flag = 2`` (Listing 4(3))."""
+
+    # -- E + M operators -------------------------------------------------------------------------
+
+    @abstractmethod
+    def expand(self, direction: Direction, mid: Optional[int] = None,
+               use_segtable: bool = False,
+               prune_lb: Optional[float] = None,
+               prune_min_cost: Optional[float] = None) -> int:
+        """Run the combined E- and M-operator for one expansion.
+
+        Args:
+            direction: search direction.
+            mid: when given, expand only the node ``mid`` (node-at-a-time,
+                Listing 2(3)); otherwise expand every node with flag = 2
+                (set-at-a-time, Listing 4(2)).
+            use_segtable: expand over ``TOutSegs`` / ``TInSegs`` instead of
+                ``TEdges``.
+            prune_lb: the opposite direction's latest finalized distance
+                (``l_b`` in Theorem 1); ``None`` disables pruning.
+            prune_min_cost: the best path length discovered so far
+                (``minCost``); ``None`` disables pruning.
+
+        Returns:
+            The number of affected TVisited rows (the SQLCA count).
+        """
+
+    # -- path recovery (FPR phase) ------------------------------------------------------------------
+
+    @abstractmethod
+    def get_link(self, nid: int, direction: Direction) -> Optional[int]:
+        """``SELECT p2s/p2t FROM TVisited WHERE nid = ?`` (Listing 3(3))."""
+
+    @abstractmethod
+    def get_distance(self, nid: int, direction: Direction) -> Optional[float]:
+        """Distance of ``nid`` from the direction's origin, if visited."""
+
+    # -- SegTable construction statements (Section 4.2) -------------------------------------------------
+
+    @abstractmethod
+    def seg_init(self, direction: Direction) -> int:
+        """Initialize the working segment table from ``TEdges`` (deduplicated
+        parallel edges); returns the number of seed segments."""
+
+    @abstractmethod
+    def seg_min_unexpanded(self, direction: Direction) -> Optional[float]:
+        """Minimal cost among unexpanded working segments."""
+
+    @abstractmethod
+    def seg_select_frontier(self, direction: Direction, max_cost: float) -> int:
+        """Mark unexpanded working segments with cost <= ``max_cost`` (or the
+        minimal cost) as the construction frontier; returns how many."""
+
+    @abstractmethod
+    def seg_expand(self, direction: Direction, lthd: float) -> int:
+        """One construction expansion: join frontier segments with ``TEdges``,
+        keep results within ``lthd``, and merge them into the working table.
+        Returns the number of affected working rows."""
+
+    @abstractmethod
+    def seg_finalize_frontier(self, direction: Direction) -> int:
+        """Mark the last construction frontier as expanded."""
+
+    @abstractmethod
+    def seg_finish(self, direction: Direction, lthd: float,
+                   index_mode: str = IndexMode.CLUSTERED) -> int:
+        """Materialize the final SegTable relation for ``direction`` from the
+        working table; returns the number of stored segments."""
+
+    @abstractmethod
+    def seg_rows(self, direction: Direction) -> List[Dict[str, object]]:
+        """Return the stored segments for ``direction`` (tests / persistence)."""

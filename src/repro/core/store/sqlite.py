@@ -1,0 +1,553 @@
+"""Graph store over SQLite — the paper's "second database platform".
+
+The paper validates its approach on PostgreSQL in addition to the commercial
+DBMS-x.  Here SQLite plays that role: every statement is literal SQL text,
+the window function is available (SQLite >= 3.25), and — like PostgreSQL 9.0
+in the paper — there is no MERGE statement, so the M-operator uses the
+closest native equivalent (``INSERT ... ON CONFLICT DO UPDATE``) in NSQL
+mode and a separate UPDATE + INSERT pair in TSQL mode.
+
+The SQL strings below mirror Listings 2–4 of the paper.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.directions import Direction, INFINITY
+from repro.core.sqlstyle import NSQL, validate_sql_style
+from repro.core.stats import OPERATOR_E, OPERATOR_F, OPERATOR_M
+from repro.core.store.base import GraphStore, IndexMode
+from repro.errors import InvalidQueryError
+from repro.graph.model import Graph
+
+# SQLite cannot index an expression with parameters, and +inf round-trips
+# fine as a REAL, so infinity is stored directly.
+_INF = INFINITY
+
+
+class SQLiteGraphStore(GraphStore):
+    """Graph store backed by a SQLite database (in-memory by default)."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        super().__init__()
+        self.connection = sqlite3.connect(path)
+        self.connection.execute("PRAGMA journal_mode = MEMORY")
+        self.connection.execute("PRAGMA synchronous = OFF")
+        self.index_mode = IndexMode.CLUSTERED
+
+    # ------------------------------------------------------------------ helpers
+
+    def _execute(self, sql: str, parameters: Sequence[object] = ()) -> sqlite3.Cursor:
+        self.stats.record_statement()
+        return self.connection.execute(sql, tuple(parameters))
+
+    def _execute_unlogged(self, sql: str,
+                          parameters: Sequence[object] = ()) -> sqlite3.Cursor:
+        return self.connection.execute(sql, tuple(parameters))
+
+    def _changes(self) -> int:
+        return self.connection.execute("SELECT changes()").fetchone()[0]
+
+    # ------------------------------------------------------------- graph loading
+
+    def load_graph(self, graph: Graph, index_mode: str = IndexMode.CLUSTERED) -> None:
+        """Create and populate ``TNodes`` and ``TEdges``."""
+        self.index_mode = IndexMode.validate(index_mode)
+        cursor = self.connection
+        cursor.execute("DROP TABLE IF EXISTS TNodes")
+        cursor.execute("DROP TABLE IF EXISTS TEdges")
+        cursor.execute("CREATE TABLE TNodes (nid INTEGER PRIMARY KEY)")
+        cursor.execute(
+            "CREATE TABLE TEdges (fid INTEGER, tid INTEGER, cost REAL)"
+        )
+        cursor.executemany(
+            "INSERT INTO TNodes (nid) VALUES (?)",
+            [(nid,) for nid in sorted(graph.nodes())],
+        )
+        cursor.executemany(
+            "INSERT INTO TEdges (fid, tid, cost) VALUES (?, ?, ?)",
+            [(edge.fid, edge.tid, edge.cost) for edge in graph.edges()],
+        )
+        if self.index_mode != IndexMode.NONE:
+            cursor.execute("CREATE INDEX ix_tedges_fid ON TEdges (fid)")
+            cursor.execute("CREATE INDEX ix_tedges_tid ON TEdges (tid)")
+        self._create_visited_table()
+        self.connection.commit()
+
+    def _create_visited_table(self) -> None:
+        self.connection.execute(
+            """
+            CREATE TABLE IF NOT EXISTS TVisited (
+                nid INTEGER PRIMARY KEY,
+                d2s REAL, p2s INTEGER, f INTEGER,
+                d2t REAL, p2t INTEGER, b INTEGER
+            )
+            """
+        )
+
+    def load_segtable(self, out_segments: Sequence[Dict[str, object]],
+                      in_segments: Sequence[Dict[str, object]],
+                      lthd: float,
+                      index_mode: str = IndexMode.CLUSTERED) -> None:
+        """Create ``TOutSegs`` / ``TInSegs`` from precomputed segment rows."""
+        index_mode = IndexMode.validate(index_mode)
+        for name, rows in (("TOutSegs", out_segments), ("TInSegs", in_segments)):
+            self.connection.execute(f"DROP TABLE IF EXISTS {name}")
+            self.connection.execute(
+                f"CREATE TABLE {name} (fid INTEGER, tid INTEGER, pid INTEGER, cost REAL)"
+            )
+            self.connection.executemany(
+                f"INSERT INTO {name} (fid, tid, pid, cost) VALUES (?, ?, ?, ?)",
+                [(row["fid"], row["tid"], row["pid"], row["cost"]) for row in rows],
+            )
+            if index_mode != IndexMode.NONE:
+                self.connection.execute(
+                    f"CREATE INDEX ix_{name.lower()}_fid ON {name} (fid)"
+                )
+        self.connection.commit()
+        self.has_segtable = True
+        self.segtable_lthd = lthd
+
+    def segment_counts(self) -> Dict[str, int]:
+        """Segment counts of the loaded SegTable."""
+        counts = {"out": 0, "in": 0}
+        for key, name in (("out", "TOutSegs"), ("in", "TInSegs")):
+            row = self.connection.execute(
+                "SELECT count(*) FROM sqlite_master WHERE type='table' AND name=?",
+                (name,),
+            ).fetchone()
+            if row[0]:
+                counts[key] = self.connection.execute(
+                    f"SELECT count(*) FROM {name}"
+                ).fetchone()[0]
+        return counts
+
+    def close(self) -> None:
+        """Close the SQLite connection."""
+        self.connection.close()
+
+    # ---------------------------------------------------------------- TVisited setup
+
+    def reset_visited(self) -> None:
+        """Empty ``TVisited`` for a fresh query."""
+        self._create_visited_table()
+        self._execute_unlogged("DELETE FROM TVisited")
+
+    def insert_visited(self, rows: Sequence[Dict[str, object]]) -> None:
+        """Insert the initial visited rows (Listing 2(1))."""
+        self.stats.record_statement()
+        self.connection.executemany(
+            "INSERT INTO TVisited (nid, d2s, p2s, f, d2t, p2t, b) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            [
+                (
+                    row["nid"],
+                    row.get("d2s", _INF),
+                    row.get("p2s"),
+                    row.get("f", 0),
+                    row.get("d2t", _INF),
+                    row.get("p2t"),
+                    row.get("b", 0),
+                )
+                for row in rows
+            ],
+        )
+
+    # ------------------------------------------------------------ statistics statements
+
+    def top1_min_unfinalized(self, direction: Direction) -> Optional[int]:
+        """Listing 2(2)."""
+        dist, flag = direction.dist_col, direction.flag_col
+        row = self._execute(
+            f"SELECT nid FROM TVisited WHERE {flag} = 0 AND {dist} < ? "
+            f"ORDER BY {dist} LIMIT 1",
+            (_INF,),
+        ).fetchone()
+        return None if row is None else int(row[0])
+
+    def min_unfinalized_distance(self, direction: Direction) -> Optional[float]:
+        """Listing 4(4)."""
+        dist, flag = direction.dist_col, direction.flag_col
+        row = self._execute(
+            f"SELECT min({dist}) FROM TVisited WHERE {flag} = 0",
+        ).fetchone()
+        value = row[0]
+        if value is None or value >= _INF:
+            return None
+        return float(value)
+
+    def count_unfinalized(self, direction: Direction) -> int:
+        """Candidate frontier size."""
+        dist, flag = direction.dist_col, direction.flag_col
+        row = self._execute(
+            f"SELECT count(*) FROM TVisited WHERE {flag} = 0 AND {dist} < ?",
+            (_INF,),
+        ).fetchone()
+        return int(row[0])
+
+    def min_total_cost(self) -> float:
+        """Listing 4(5)."""
+        row = self._execute("SELECT min(d2s + d2t) FROM TVisited").fetchone()
+        value = row[0]
+        return INFINITY if value is None else float(value)
+
+    def meeting_node(self, min_cost: float) -> Optional[int]:
+        """Listing 4(6)."""
+        row = self._execute(
+            "SELECT nid FROM TVisited WHERE abs(d2s + d2t - ?) < 1e-9 LIMIT 1",
+            (min_cost,),
+        ).fetchone()
+        return None if row is None else int(row[0])
+
+    def is_finalized(self, nid: int, direction: Direction) -> bool:
+        """Listing 3(1)."""
+        flag = direction.flag_col
+        row = self._execute(
+            f"SELECT 1 FROM TVisited WHERE nid = ? AND {flag} = 1",
+            (nid,),
+        ).fetchone()
+        return row is not None
+
+    def visited_count(self) -> int:
+        """Number of visited nodes."""
+        return int(
+            self._execute_unlogged("SELECT count(*) FROM TVisited").fetchone()[0]
+        )
+
+    def visited_rows(self) -> List[Dict[str, object]]:
+        """Materialize ``TVisited``."""
+        columns = ["nid", "d2s", "p2s", "f", "d2t", "p2t", "b"]
+        rows = self._execute_unlogged(
+            "SELECT nid, d2s, p2s, f, d2t, p2t, b FROM TVisited"
+        ).fetchall()
+        return [dict(zip(columns, row)) for row in rows]
+
+    # ---------------------------------------------------------------- F-operator statements
+
+    def finalize_node(self, nid: int, direction: Direction) -> None:
+        """Listing 3(2)."""
+        with self.stats.operator(OPERATOR_F):
+            self._execute(
+                f"UPDATE TVisited SET {direction.flag_col} = 1 WHERE nid = ?",
+                (nid,),
+            )
+
+    def select_frontier_set(self, direction: Direction, max_distance: float) -> int:
+        """Listing 4(1)."""
+        dist, flag = direction.dist_col, direction.flag_col
+        with self.stats.operator(OPERATOR_F):
+            self._execute(
+                f"""
+                UPDATE TVisited SET {flag} = 2
+                WHERE {flag} = 0 AND {dist} < ?
+                  AND ({dist} <= ? OR {dist} = (
+                        SELECT min({dist}) FROM TVisited WHERE {flag} = 0))
+                """,
+                (_INF, max_distance),
+            )
+            return self._changes()
+
+    def finalize_frontier(self, direction: Direction) -> int:
+        """Listing 4(3)."""
+        flag = direction.flag_col
+        with self.stats.operator(OPERATOR_F):
+            self._execute(f"UPDATE TVisited SET {flag} = 1 WHERE {flag} = 2")
+            return self._changes()
+
+    # ------------------------------------------------------------------- E + M operators
+
+    def expand(self, direction: Direction, mid: Optional[int] = None,
+               use_segtable: bool = False,
+               prune_lb: Optional[float] = None,
+               prune_min_cost: Optional[float] = None) -> int:
+        """The combined E- and M-operator (Listing 2(3)+(4) / Listing 4(2))."""
+        if use_segtable and not self.has_segtable:
+            raise InvalidQueryError("SegTable expansion requested but no SegTable loaded")
+        candidate_sql, parameters = self._candidate_sql(
+            direction, mid, use_segtable, prune_lb, prune_min_cost
+        )
+        if validate_sql_style(self.sql_style) == NSQL:
+            affected = self._expand_nsql(direction, candidate_sql, parameters)
+        else:
+            affected = self._expand_tsql(direction, candidate_sql, parameters)
+        self.stats.affected_rows += affected
+        return affected
+
+    def _candidate_sql(self, direction: Direction, mid: Optional[int],
+                       use_segtable: bool, prune_lb: Optional[float],
+                       prune_min_cost: Optional[float]) -> tuple:
+        """Build the inner SELECT producing (nid, cost, pred) candidates."""
+        dist, flag = direction.dist_col, direction.flag_col
+        parameters: List[object] = []
+        if use_segtable:
+            relation, key_col, other_col = direction.seg_table, "fid", "tid"
+            pred_expr = "e.pid"
+        else:
+            relation = "TEdges"
+            key_col, other_col = direction.edge_key, direction.edge_other
+            pred_expr = "q.nid"
+        if mid is not None:
+            frontier_clause = "q.nid = ?"
+            parameters.append(mid)
+        else:
+            frontier_clause = f"q.{flag} = 2"
+        parameters.append(_INF)
+        prune_clause = ""
+        if prune_lb is not None and prune_min_cost is not None:
+            prune_clause = f"AND q.{dist} + e.cost + ? <= ?"
+            parameters.extend([prune_lb, prune_min_cost])
+        sql = f"""
+            SELECT e.{other_col} AS nid, q.{dist} + e.cost AS cost, {pred_expr} AS pred
+            FROM TVisited q JOIN {relation} e ON q.nid = e.{key_col}
+            WHERE {frontier_clause} AND q.{dist} < ? {prune_clause}
+        """
+        return sql, parameters
+
+    def _expand_nsql(self, direction: Direction, candidate_sql: str,
+                     parameters: List[object]) -> int:
+        """Window-function dedup + UPSERT (the MERGE equivalent)."""
+        dist, pred, flag = direction.dist_col, direction.pred_col, direction.flag_col
+        other_dist = "d2t" if direction.is_forward else "d2s"
+        other_pred = "p2t" if direction.is_forward else "p2s"
+        other_flag = "b" if direction.is_forward else "f"
+        sql = f"""
+            INSERT INTO TVisited (nid, {dist}, {pred}, {flag},
+                                  {other_dist}, {other_pred}, {other_flag})
+            SELECT nid, cost, pred, 0, ?, NULL, 0 FROM (
+                SELECT nid, cost, pred,
+                       row_number() OVER (PARTITION BY nid ORDER BY cost) AS rownum
+                FROM ({candidate_sql})
+            ) WHERE rownum = 1
+            ON CONFLICT(nid) DO UPDATE SET
+                {dist} = excluded.{dist},
+                {pred} = excluded.{pred},
+                {flag} = 0
+            WHERE TVisited.{dist} > excluded.{dist}
+        """
+        # The window-function join (E) and the upsert (M) run as one combined
+        # statement; its time is attributed to the E-operator, which dominates.
+        with self.stats.operator(OPERATOR_E):
+            self._execute(sql, [_INF] + parameters)
+            return self._changes()
+
+    def _expand_tsql(self, direction: Direction, candidate_sql: str,
+                     parameters: List[object]) -> int:
+        """GROUP BY + join dedup, then UPDATE followed by INSERT ... NOT EXISTS."""
+        dist, pred, flag = direction.dist_col, direction.pred_col, direction.flag_col
+        other_dist = "d2t" if direction.is_forward else "d2s"
+        other_pred = "p2t" if direction.is_forward else "p2s"
+        other_flag = "b" if direction.is_forward else "f"
+        with self.stats.operator(OPERATOR_E):
+            self._execute_unlogged("DROP TABLE IF EXISTS tmp_expanded")
+            self._execute(
+                f"""
+                CREATE TEMP TABLE tmp_expanded AS
+                SELECT cand.nid AS nid, cand.cost AS cost, min(cand.pred) AS pred
+                FROM ({candidate_sql}) cand
+                JOIN (
+                    SELECT nid, min(cost) AS mincost
+                    FROM ({candidate_sql})
+                    GROUP BY nid
+                ) agg ON cand.nid = agg.nid AND cand.cost = agg.mincost
+                GROUP BY cand.nid, cand.cost
+                """,
+                parameters + parameters,
+            )
+        with self.stats.operator(OPERATOR_M):
+            self._execute(
+                f"""
+                UPDATE TVisited SET
+                    {dist} = (SELECT cost FROM tmp_expanded t WHERE t.nid = TVisited.nid),
+                    {pred} = (SELECT pred FROM tmp_expanded t WHERE t.nid = TVisited.nid),
+                    {flag} = 0
+                WHERE EXISTS (SELECT 1 FROM tmp_expanded t
+                              WHERE t.nid = TVisited.nid AND t.cost < TVisited.{dist})
+                """
+            )
+            updated = self._changes()
+            self._execute(
+                f"""
+                INSERT INTO TVisited (nid, {dist}, {pred}, {flag},
+                                      {other_dist}, {other_pred}, {other_flag})
+                SELECT nid, cost, pred, 0, ?, NULL, 0 FROM tmp_expanded t
+                WHERE NOT EXISTS (SELECT 1 FROM TVisited v WHERE v.nid = t.nid)
+                """,
+                (_INF,),
+            )
+            inserted = self._changes()
+            self._execute_unlogged("DROP TABLE IF EXISTS tmp_expanded")
+        return updated + inserted
+
+    # ----------------------------------------------------------------------- path recovery
+
+    def get_link(self, nid: int, direction: Direction) -> Optional[int]:
+        """Listing 3(3)."""
+        row = self._execute(
+            f"SELECT {direction.pred_col} FROM TVisited WHERE nid = ?", (nid,)
+        ).fetchone()
+        if row is None or row[0] is None:
+            return None
+        return int(row[0])
+
+    def get_distance(self, nid: int, direction: Direction) -> Optional[float]:
+        """Distance of ``nid`` in ``direction`` or ``None``."""
+        row = self._execute(
+            f"SELECT {direction.dist_col} FROM TVisited WHERE nid = ?", (nid,)
+        ).fetchone()
+        if row is None or row[0] is None or row[0] >= _INF:
+            return None
+        return float(row[0])
+
+    # -------------------------------------------------------------- SegTable construction
+
+    def _work_table_name(self, direction: Direction) -> str:
+        return "TOutSegsWork" if direction.is_forward else "TInSegsWork"
+
+    def seg_init(self, direction: Direction) -> int:
+        """Seed the working table with deduplicated (possibly reversed) edges."""
+        name = self._work_table_name(direction)
+        fid_col, tid_col = (
+            ("fid", "tid") if direction.is_forward else ("tid", "fid")
+        )
+        self._execute_unlogged(f"DROP TABLE IF EXISTS {name}")
+        self._execute(
+            f"""
+            CREATE TABLE {name} AS
+            SELECT {fid_col} AS fid, {tid_col} AS tid, {fid_col} AS pid,
+                   min(cost) AS cost, 0 AS f
+            FROM TEdges
+            WHERE {fid_col} != {tid_col}
+            GROUP BY {fid_col}, {tid_col}
+            """
+        )
+        self._execute_unlogged(
+            f"CREATE UNIQUE INDEX ix_{name.lower()}_pair ON {name} (fid, tid)"
+        )
+        return int(
+            self._execute_unlogged(f"SELECT count(*) FROM {name}").fetchone()[0]
+        )
+
+    def seg_min_unexpanded(self, direction: Direction) -> Optional[float]:
+        """Minimal cost among unexpanded working segments."""
+        name = self._work_table_name(direction)
+        row = self._execute(f"SELECT min(cost) FROM {name} WHERE f = 0").fetchone()
+        return None if row[0] is None else float(row[0])
+
+    def seg_select_frontier(self, direction: Direction, max_cost: float) -> int:
+        """Mark unexpanded working segments up to ``max_cost`` as frontier."""
+        name = self._work_table_name(direction)
+        self._execute(
+            f"""
+            UPDATE {name} SET f = 2
+            WHERE f = 0 AND (cost <= ? OR cost = (SELECT min(cost) FROM {name} WHERE f = 0))
+            """,
+            (max_cost,),
+        )
+        return self._changes()
+
+    def seg_expand(self, direction: Direction, lthd: float) -> int:
+        """One construction expansion over the frontier segments."""
+        name = self._work_table_name(direction)
+        key_col, other_col = direction.edge_key, direction.edge_other
+        candidate_sql = f"""
+            SELECT s.fid AS fid, e.{other_col} AS tid, s.tid AS pid,
+                   s.cost + e.cost AS cost
+            FROM {name} s JOIN TEdges e ON s.tid = e.{key_col}
+            WHERE s.f = 2 AND s.cost + e.cost <= ? AND e.{other_col} != s.fid
+        """
+        if validate_sql_style(self.sql_style) == NSQL:
+            self._execute(
+                f"""
+                INSERT INTO {name} (fid, tid, pid, cost, f)
+                SELECT fid, tid, pid, cost, 0 FROM (
+                    SELECT fid, tid, pid, cost,
+                           row_number() OVER (PARTITION BY fid, tid ORDER BY cost) AS rownum
+                    FROM ({candidate_sql})
+                ) WHERE rownum = 1
+                ON CONFLICT(fid, tid) DO UPDATE SET
+                    cost = excluded.cost, pid = excluded.pid, f = 0
+                WHERE {name}.cost > excluded.cost
+                """,
+                (lthd,),
+            )
+            return self._changes()
+        self._execute_unlogged("DROP TABLE IF EXISTS tmp_segcand")
+        self._execute(
+            f"""
+            CREATE TEMP TABLE tmp_segcand AS
+            SELECT cand.fid, cand.tid, min(cand.pid) AS pid, cand.cost
+            FROM ({candidate_sql}) cand
+            JOIN (SELECT fid, tid, min(cost) AS mincost FROM ({candidate_sql})
+                  GROUP BY fid, tid) agg
+              ON cand.fid = agg.fid AND cand.tid = agg.tid AND cand.cost = agg.mincost
+            GROUP BY cand.fid, cand.tid, cand.cost
+            """,
+            (lthd, lthd),
+        )
+        self._execute(
+            f"""
+            UPDATE {name} SET
+                cost = (SELECT cost FROM tmp_segcand t
+                        WHERE t.fid = {name}.fid AND t.tid = {name}.tid),
+                pid = (SELECT pid FROM tmp_segcand t
+                       WHERE t.fid = {name}.fid AND t.tid = {name}.tid),
+                f = 0
+            WHERE EXISTS (SELECT 1 FROM tmp_segcand t
+                          WHERE t.fid = {name}.fid AND t.tid = {name}.tid
+                            AND t.cost < {name}.cost)
+            """
+        )
+        updated = self._changes()
+        self._execute(
+            f"""
+            INSERT INTO {name} (fid, tid, pid, cost, f)
+            SELECT fid, tid, pid, cost, 0 FROM tmp_segcand t
+            WHERE NOT EXISTS (SELECT 1 FROM {name} w
+                              WHERE w.fid = t.fid AND w.tid = t.tid)
+            """
+        )
+        inserted = self._changes()
+        self._execute_unlogged("DROP TABLE IF EXISTS tmp_segcand")
+        return updated + inserted
+
+    def seg_finalize_frontier(self, direction: Direction) -> int:
+        """Mark the last construction frontier as expanded."""
+        name = self._work_table_name(direction)
+        self._execute(f"UPDATE {name} SET f = 1 WHERE f = 2")
+        return self._changes()
+
+    def seg_finish(self, direction: Direction, lthd: float,
+                   index_mode: str = IndexMode.CLUSTERED) -> int:
+        """Materialize ``TOutSegs`` / ``TInSegs`` from the working table."""
+        index_mode = IndexMode.validate(index_mode)
+        work = self._work_table_name(direction)
+        name = direction.seg_table
+        self._execute_unlogged(f"DROP TABLE IF EXISTS {name}")
+        self._execute(
+            f"CREATE TABLE {name} AS SELECT fid, tid, pid, cost FROM {work}"
+        )
+        if index_mode != IndexMode.NONE:
+            self._execute_unlogged(
+                f"CREATE INDEX ix_{name.lower()}_fid ON {name} (fid)"
+            )
+        self._execute_unlogged(f"DROP TABLE IF EXISTS {work}")
+        self.has_segtable = True
+        self.segtable_lthd = lthd
+        return int(
+            self._execute_unlogged(f"SELECT count(*) FROM {name}").fetchone()[0]
+        )
+
+    def seg_rows(self, direction: Direction) -> List[Dict[str, object]]:
+        """Return the stored segments for ``direction``."""
+        exists = self.connection.execute(
+            "SELECT count(*) FROM sqlite_master WHERE type='table' AND name=?",
+            (direction.seg_table,),
+        ).fetchone()[0]
+        if not exists:
+            return []
+        rows = self._execute_unlogged(
+            f"SELECT fid, tid, pid, cost FROM {direction.seg_table}"
+        ).fetchall()
+        return [dict(zip(["fid", "tid", "pid", "cost"], row)) for row in rows]

@@ -1,0 +1,119 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the package
+layout: storage-engine errors, relational-engine errors, and graph/search
+errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Graph substrate
+# ---------------------------------------------------------------------------
+
+class GraphError(ReproError):
+    """Base class for graph construction and access errors."""
+
+
+class NodeNotFoundError(GraphError):
+    """A referenced node identifier does not exist in the graph."""
+
+
+class NegativeWeightError(GraphError):
+    """An edge weight is negative; Dijkstra-family algorithms require
+    non-negative weights."""
+
+
+class GraphFormatError(GraphError):
+    """An edge-list or CSV file could not be parsed."""
+
+
+# ---------------------------------------------------------------------------
+# Storage engine
+# ---------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """Base class for storage-engine errors."""
+
+
+class PageError(StorageError):
+    """A page-level invariant was violated (overflow, bad slot, bad id)."""
+
+
+class PageFullError(PageError):
+    """A record does not fit into the target page."""
+
+
+class BufferPoolError(StorageError):
+    """Buffer-pool misuse: unpinning an unpinned page, no evictable frame."""
+
+
+class DiskError(StorageError):
+    """The disk manager could not read or write a page."""
+
+
+class SerializationError(StorageError):
+    """A row could not be encoded or decoded against its schema."""
+
+
+# ---------------------------------------------------------------------------
+# Index substrate
+# ---------------------------------------------------------------------------
+
+class IndexError_(StorageError):
+    """Base class for index errors (named with a trailing underscore to avoid
+    shadowing the built-in :class:`IndexError`)."""
+
+
+class DuplicateKeyError(IndexError_):
+    """A unique index rejected a duplicate key."""
+
+
+# ---------------------------------------------------------------------------
+# Relational engine
+# ---------------------------------------------------------------------------
+
+class RelationalError(ReproError):
+    """Base class for relational-engine errors."""
+
+
+class SchemaError(RelationalError):
+    """A schema definition or row/schema mismatch error."""
+
+
+class CatalogError(RelationalError):
+    """Unknown table/index, or an attempt to redefine an existing one."""
+
+
+class QueryError(RelationalError):
+    """A logical or physical plan is malformed."""
+
+
+class TypeMismatchError(RelationalError):
+    """A value does not match the declared column type."""
+
+
+class ConstraintViolationError(RelationalError):
+    """A primary-key or unique constraint was violated."""
+
+
+# ---------------------------------------------------------------------------
+# Search / FEM core
+# ---------------------------------------------------------------------------
+
+class SearchError(ReproError):
+    """Base class for path-search errors."""
+
+
+class PathNotFoundError(SearchError):
+    """No path exists between the requested source and target nodes."""
+
+
+class InvalidQueryError(SearchError):
+    """The shortest-path query itself is invalid (unknown node, bad method)."""

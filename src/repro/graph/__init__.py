@@ -1,0 +1,50 @@
+"""Graph substrate: in-memory graph model, generators, datasets and I/O.
+
+This package provides the weighted-graph model used throughout the library.
+Graphs are loaded into the relational engine (``repro.rdb``) by the stores in
+``repro.core.store``; the in-memory representation here is also used directly
+by the in-memory competitor algorithms (``repro.memory``).
+"""
+
+from repro.graph.model import Edge, Graph
+from repro.graph.generators import (
+    complete_graph,
+    grid_graph,
+    path_graph,
+    power_law_graph,
+    random_graph,
+    star_graph,
+)
+from repro.graph.datasets import (
+    DatasetSpec,
+    dataset_statistics,
+    dblp_standin,
+    googleweb_standin,
+    livejournal_standin,
+    load_dataset,
+    list_datasets,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.stats import GraphStatistics, compute_statistics
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "GraphStatistics",
+    "DatasetSpec",
+    "complete_graph",
+    "compute_statistics",
+    "dataset_statistics",
+    "dblp_standin",
+    "googleweb_standin",
+    "grid_graph",
+    "list_datasets",
+    "livejournal_standin",
+    "load_dataset",
+    "path_graph",
+    "power_law_graph",
+    "random_graph",
+    "read_edge_list",
+    "star_graph",
+    "write_edge_list",
+]

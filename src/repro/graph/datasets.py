@@ -1,0 +1,185 @@
+"""Scaled-down stand-ins for the paper's real-life datasets.
+
+The paper evaluates on three real graphs (Table 1):
+
+========== ========== ===========
+Dataset    # Nodes    # Edges
+========== ========== ===========
+DBLP          312,967   1,149,663
+GoogleWeb     855,802   5,066,842
+LiveJournal 4,847,571  43,110,428
+========== ========== ===========
+
+The original snapshots are not redistributable here and are far larger than a
+laptop-scale pure-Python reproduction can exercise, so we substitute
+synthetic graphs whose *structural characteristics* — average degree, degree
+skew, and small-world distances — match the originals.  The experiments only
+depend on those characteristics (e.g., GoogleWeb's sensitivity to the
+SegTable threshold in Figure 9(b) follows from its skewed degree
+distribution), so the substitution preserves the reported behaviour.  See
+DESIGN.md §2 for the substitution table.
+
+Each stand-in keeps the original's average degree and downscales the node
+count by a configurable ``scale`` factor (default 1/1000 of the original).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.graph.generators import power_law_graph, random_graph
+from repro.graph.model import Graph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Description of one dataset stand-in.
+
+    Attributes:
+        name: dataset key (lowercase, e.g. ``"dblp"``).
+        paper_nodes: node count reported in the paper's Table 1.
+        paper_edges: edge count reported in the paper's Table 1.
+        kind: ``"power"`` for skewed-degree graphs, ``"random"`` for
+            Erdős–Rényi-style graphs.
+        description: one-line provenance note.
+    """
+
+    name: str
+    paper_nodes: int
+    paper_edges: int
+    kind: str
+    description: str
+
+    @property
+    def avg_degree(self) -> float:
+        """Average out-degree implied by the paper's node/edge counts."""
+        return self.paper_edges / self.paper_nodes
+
+
+_SPECS: Dict[str, DatasetSpec] = {
+    "dblp": DatasetSpec(
+        name="dblp",
+        paper_nodes=312_967,
+        paper_edges=1_149_663,
+        kind="power",
+        description="Co-authorship graph stand-in (moderately skewed degrees)",
+    ),
+    "googleweb": DatasetSpec(
+        name="googleweb",
+        paper_nodes=855_802,
+        paper_edges=5_066_842,
+        kind="power",
+        description="Web graph stand-in (heavily skewed degree distribution)",
+    ),
+    "livejournal": DatasetSpec(
+        name="livejournal",
+        paper_nodes=4_847_571,
+        paper_edges=43_110_428,
+        kind="power",
+        description="Social network stand-in (large, dense, skewed)",
+    ),
+}
+
+DEFAULT_SCALE = 1.0 / 1000.0
+_MIN_NODES = 200
+
+
+def list_datasets() -> List[str]:
+    """Return the known dataset names."""
+    return sorted(_SPECS)
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Return the :class:`DatasetSpec` for ``name``.
+
+    Raises:
+        KeyError: for unknown dataset names.
+    """
+    key = name.lower()
+    if key not in _SPECS:
+        raise KeyError(f"unknown dataset {name!r}; known: {list_datasets()}")
+    return _SPECS[key]
+
+
+def _scaled_nodes(spec: DatasetSpec, scale: float, num_nodes: Optional[int]) -> int:
+    if num_nodes is not None:
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        return num_nodes
+    return max(_MIN_NODES, int(spec.paper_nodes * scale))
+
+
+def load_dataset(
+    name: str,
+    scale: float = DEFAULT_SCALE,
+    num_nodes: Optional[int] = None,
+    seed: int = 7,
+) -> Graph:
+    """Build the stand-in graph for dataset ``name``.
+
+    Args:
+        name: one of :func:`list_datasets`.
+        scale: node-count downscaling factor relative to the paper's graph.
+        num_nodes: explicit node count, overriding ``scale`` when given.
+        seed: PRNG seed for the generator.
+
+    Returns:
+        The generated :class:`Graph` with the original's average degree.
+    """
+    spec = dataset_spec(name)
+    nodes = _scaled_nodes(spec, scale, num_nodes)
+    degree = spec.avg_degree
+    if spec.kind == "power":
+        edges_per_node = max(1, int(round(degree / 2.0)))
+        return power_law_graph(nodes, edges_per_node=edges_per_node, seed=seed)
+    return random_graph(nodes, avg_degree=degree, seed=seed)
+
+
+def dblp_standin(scale: float = DEFAULT_SCALE, num_nodes: Optional[int] = None,
+                 seed: int = 7) -> Graph:
+    """Stand-in for the DBLP co-authorship graph."""
+    return load_dataset("dblp", scale=scale, num_nodes=num_nodes, seed=seed)
+
+
+def googleweb_standin(scale: float = DEFAULT_SCALE, num_nodes: Optional[int] = None,
+                      seed: int = 11) -> Graph:
+    """Stand-in for the GoogleWeb graph (strongly skewed degrees)."""
+    return load_dataset("googleweb", scale=scale, num_nodes=num_nodes, seed=seed)
+
+
+def livejournal_standin(scale: float = DEFAULT_SCALE, num_nodes: Optional[int] = None,
+                        seed: int = 13) -> Graph:
+    """Stand-in for the LiveJournal social graph."""
+    return load_dataset("livejournal", scale=scale, num_nodes=num_nodes, seed=seed)
+
+
+def dataset_statistics(scale: float = DEFAULT_SCALE,
+                       seed: int = 7) -> List[Dict[str, object]]:
+    """Build every stand-in and return Table-1-style statistics.
+
+    Each row reports both the paper's original counts and the stand-in's
+    actual counts, which is what ``benchmarks/bench_table1_datasets.py``
+    prints.
+    """
+    rows: List[Dict[str, object]] = []
+    loaders: Dict[str, Callable[..., Graph]] = {
+        "dblp": dblp_standin,
+        "googleweb": googleweb_standin,
+        "livejournal": livejournal_standin,
+    }
+    for name in list_datasets():
+        spec = dataset_spec(name)
+        graph = loaders[name](scale=scale)
+        rows.append(
+            {
+                "dataset": name,
+                "paper_nodes": spec.paper_nodes,
+                "paper_edges": spec.paper_edges,
+                "standin_nodes": graph.num_nodes,
+                "standin_edges": graph.num_edges,
+                "avg_degree_paper": round(spec.avg_degree, 2),
+                "avg_degree_standin": round(graph.num_edges / graph.num_nodes, 2),
+            }
+        )
+    return rows

@@ -1,0 +1,224 @@
+"""Synthetic graph generators used by the paper's evaluation.
+
+Section 5.1 of the paper uses two synthetic families:
+
+* **Random graphs** — ``n`` nodes and ``m`` edges obtained by drawing the two
+  endpoints of each edge uniformly at random (``RandomxmNyd`` graphs, where
+  ``y`` is the average degree).
+* **Power graphs** — scale-free graphs produced by the Barabási preferential
+  attachment generator (``PowerxkNyd`` graphs).
+
+Edge weights are drawn uniformly from ``[1, 100]`` in all experiments, which
+is the default ``weight_range`` here.  All generators take an explicit
+``seed`` so experiments are repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from repro.graph.model import Graph
+
+DEFAULT_WEIGHT_RANGE: Tuple[int, int] = (1, 100)
+
+
+def _weight(rng: random.Random, weight_range: Tuple[int, int]) -> int:
+    low, high = weight_range
+    if low > high:
+        raise ValueError(f"invalid weight range {weight_range}")
+    return rng.randint(low, high)
+
+
+def random_graph(
+    num_nodes: int,
+    avg_degree: float = 3.0,
+    weight_range: Tuple[int, int] = DEFAULT_WEIGHT_RANGE,
+    seed: Optional[int] = 0,
+    directed: bool = True,
+) -> Graph:
+    """Generate a ``Random`` graph per the paper's construction.
+
+    ``m = round(num_nodes * avg_degree)`` edges are added; the endpoints of
+    each edge are drawn uniformly at random among the ``num_nodes`` nodes.
+    Self loops are rejected and re-drawn so every edge connects two distinct
+    nodes.
+
+    Args:
+        num_nodes: number of nodes (identifiers ``0 .. num_nodes - 1``).
+        avg_degree: average out-degree; the paper uses 3 for most runs.
+        weight_range: inclusive integer range for edge weights.
+        seed: PRNG seed; ``None`` uses a nondeterministic seed.
+        directed: whether edges are directed (the paper's relational layout
+            stores directed edges either way).
+
+    Returns:
+        The generated :class:`Graph`.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    rng = random.Random(seed)
+    graph = Graph(directed=directed)
+    for nid in range(num_nodes):
+        graph.add_node(nid)
+    num_edges = int(round(num_nodes * avg_degree))
+    for _ in range(num_edges):
+        fid = rng.randrange(num_nodes)
+        tid = rng.randrange(num_nodes)
+        while tid == fid and num_nodes > 1:
+            tid = rng.randrange(num_nodes)
+        graph.add_edge(fid, tid, _weight(rng, weight_range))
+    return graph
+
+
+def power_law_graph(
+    num_nodes: int,
+    edges_per_node: int = 3,
+    weight_range: Tuple[int, int] = DEFAULT_WEIGHT_RANGE,
+    seed: Optional[int] = 0,
+    directed: bool = True,
+) -> Graph:
+    """Generate a ``Power`` graph with a Barabási–Albert preferential
+    attachment process.
+
+    Each new node attaches to ``edges_per_node`` existing nodes chosen with
+    probability proportional to their current degree, yielding the skewed
+    degree distribution of the paper's Power graphs.
+
+    Args:
+        num_nodes: number of nodes.
+        edges_per_node: attachment edges per arriving node (the paper's
+            ``yd`` suffix, typically 3).
+        weight_range: inclusive integer range for edge weights.
+        seed: PRNG seed.
+        directed: whether the produced edges are directed.
+
+    Returns:
+        The generated :class:`Graph`.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if edges_per_node < 1:
+        raise ValueError("edges_per_node must be at least 1")
+    rng = random.Random(seed)
+    graph = Graph(directed=directed)
+    for nid in range(num_nodes):
+        graph.add_node(nid)
+
+    # Seed clique of edges_per_node + 1 nodes so attachment targets exist.
+    seed_size = min(num_nodes, edges_per_node + 1)
+    repeated_targets: list[int] = []
+    for fid in range(seed_size):
+        for tid in range(fid + 1, seed_size):
+            graph.add_edge(fid, tid, _weight(rng, weight_range))
+            graph.add_edge(tid, fid, _weight(rng, weight_range))
+            repeated_targets.extend((fid, tid))
+
+    for new_node in range(seed_size, num_nodes):
+        chosen: set[int] = set()
+        attempts = 0
+        while len(chosen) < min(edges_per_node, new_node) and attempts < 50 * edges_per_node:
+            attempts += 1
+            if repeated_targets:
+                target = rng.choice(repeated_targets)
+            else:
+                target = rng.randrange(new_node)
+            if target != new_node:
+                chosen.add(target)
+        for target in chosen:
+            graph.add_edge(new_node, target, _weight(rng, weight_range))
+            graph.add_edge(target, new_node, _weight(rng, weight_range))
+            repeated_targets.extend((new_node, target))
+    return graph
+
+
+def grid_graph(
+    rows: int,
+    cols: int,
+    weight_range: Tuple[int, int] = DEFAULT_WEIGHT_RANGE,
+    seed: Optional[int] = 0,
+) -> Graph:
+    """Generate a 2-D grid (road-network-like) graph.
+
+    Nodes are numbered row-major; each node is connected to its right and
+    down neighbours in both directions.  Grids are useful as a stand-in for
+    transportation networks, one of the motivating applications in the
+    paper's introduction.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    rng = random.Random(seed)
+    graph = Graph(directed=True)
+    for nid in range(rows * cols):
+        graph.add_node(nid)
+    for row in range(rows):
+        for col in range(cols):
+            nid = row * cols + col
+            if col + 1 < cols:
+                weight = _weight(rng, weight_range)
+                graph.add_edge(nid, nid + 1, weight)
+                graph.add_edge(nid + 1, nid, weight)
+            if row + 1 < rows:
+                weight = _weight(rng, weight_range)
+                graph.add_edge(nid, nid + cols, weight)
+                graph.add_edge(nid + cols, nid, weight)
+    return graph
+
+
+def path_graph(
+    num_nodes: int,
+    weight_range: Tuple[int, int] = (1, 1),
+    seed: Optional[int] = 0,
+) -> Graph:
+    """Generate a simple path ``0 -> 1 -> ... -> n-1`` (bidirectional edges).
+
+    Handy in tests where the shortest path and its length are known by
+    construction.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    rng = random.Random(seed)
+    graph = Graph(directed=True)
+    graph.add_node(0)
+    for nid in range(num_nodes - 1):
+        weight = _weight(rng, weight_range)
+        graph.add_edge(nid, nid + 1, weight)
+        graph.add_edge(nid + 1, nid, weight)
+    return graph
+
+
+def star_graph(
+    num_leaves: int,
+    weight_range: Tuple[int, int] = DEFAULT_WEIGHT_RANGE,
+    seed: Optional[int] = 0,
+) -> Graph:
+    """Generate a star: node 0 is the hub, nodes ``1..num_leaves`` are leaves."""
+    if num_leaves < 1:
+        raise ValueError("num_leaves must be at least 1")
+    rng = random.Random(seed)
+    graph = Graph(directed=True)
+    graph.add_node(0)
+    for leaf in range(1, num_leaves + 1):
+        weight = _weight(rng, weight_range)
+        graph.add_edge(0, leaf, weight)
+        graph.add_edge(leaf, 0, weight)
+    return graph
+
+
+def complete_graph(
+    num_nodes: int,
+    weight_range: Tuple[int, int] = DEFAULT_WEIGHT_RANGE,
+    seed: Optional[int] = 0,
+) -> Graph:
+    """Generate a complete directed graph on ``num_nodes`` nodes."""
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    rng = random.Random(seed)
+    graph = Graph(directed=True)
+    for nid in range(num_nodes):
+        graph.add_node(nid)
+    for fid in range(num_nodes):
+        for tid in range(num_nodes):
+            if fid != tid:
+                graph.add_edge(fid, tid, _weight(rng, weight_range))
+    return graph

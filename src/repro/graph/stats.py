@@ -1,0 +1,72 @@
+"""Graph statistics helpers (degree distributions, connectivity, Table 1)."""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.graph.model import Graph
+
+
+@dataclass
+class GraphStatistics:
+    """Summary statistics of a graph.
+
+    Attributes:
+        num_nodes: node count.
+        num_edges: directed edge count.
+        avg_out_degree: mean outgoing degree.
+        max_out_degree: maximal outgoing degree.
+        min_edge_weight: smallest edge weight (``w_min`` in the paper).
+        max_edge_weight: largest edge weight.
+        degree_histogram: out-degree -> number of nodes with that degree.
+        num_reachable_from_sample: size of the forward-reachable set from the
+            smallest node id (a cheap connectivity indicator).
+    """
+
+    num_nodes: int
+    num_edges: int
+    avg_out_degree: float
+    max_out_degree: int
+    min_edge_weight: float
+    max_edge_weight: float
+    degree_histogram: Dict[int, int] = field(default_factory=dict)
+    num_reachable_from_sample: int = 0
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """Return a mapping from out-degree to the number of nodes having it."""
+    counts = Counter(graph.out_degree(nid) for nid in graph.nodes())
+    return dict(counts)
+
+
+def reachable_set_size(graph: Graph, source: int) -> int:
+    """Size of the set of nodes reachable from ``source`` along out-edges."""
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor, _cost in graph.out_edges(node):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+    return len(seen)
+
+
+def compute_statistics(graph: Graph) -> GraphStatistics:
+    """Compute :class:`GraphStatistics` for ``graph``."""
+    weights: List[float] = [edge.cost for edge in graph.edges()]
+    histogram = degree_histogram(graph)
+    sample_node = min(graph.nodes()) if graph.num_nodes else 0
+    reachable = reachable_set_size(graph, sample_node) if graph.num_nodes else 0
+    return GraphStatistics(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        avg_out_degree=(graph.num_edges / graph.num_nodes) if graph.num_nodes else 0.0,
+        max_out_degree=max(histogram) if histogram else 0,
+        min_edge_weight=min(weights) if weights else 0.0,
+        max_edge_weight=max(weights) if weights else 0.0,
+        degree_histogram=histogram,
+        num_reachable_from_sample=reachable,
+    )

@@ -1,0 +1,13 @@
+"""Index substrate: B+ tree and hash indexes over table rows.
+
+Indexes map column keys to :class:`~repro.storage.page.RecordId` values (or,
+for clustered tables, are paired with a key-ordered heap layout).  The paper
+builds a clustered index on ``TEdges(fid)`` / ``TOutSegs(fid)`` and a unique
+index on ``TVisited(nid)``; Figure 8(c) compares clustered, non-clustered and
+no-index configurations, all of which are expressible with these classes.
+"""
+
+from repro.index.btree import BPlusTree
+from repro.index.hash_index import HashIndex
+
+__all__ = ["BPlusTree", "HashIndex"]

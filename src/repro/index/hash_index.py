@@ -1,0 +1,86 @@
+"""Hash index: an equality-only index over table rows.
+
+Point lookups on node identifiers (the ``TVisited(nid)`` unique index) do
+not need range scans, so a hash index is a natural alternative to the B+
+tree.  The relational engine lets callers pick either structure when
+creating an index.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.errors import DuplicateKeyError
+
+
+class HashIndex:
+    """A key -> list-of-values map with the same surface as the B+ tree
+    (minus ordered scans)."""
+
+    def __init__(self, unique: bool = False) -> None:
+        self.unique = unique
+        self._buckets: Dict[Any, List[Any]] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert ``value`` under ``key``.
+
+        Raises:
+            DuplicateKeyError: when the index is unique and ``key`` exists.
+        """
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [value]
+        else:
+            if self.unique:
+                raise DuplicateKeyError(f"duplicate key {key!r} in unique index")
+            bucket.append(value)
+        self._size += 1
+
+    def search(self, key: Any) -> List[Any]:
+        """Return the values stored for ``key`` (empty list if absent)."""
+        return list(self._buckets.get(key, ()))
+
+    def contains(self, key: Any) -> bool:
+        """Whether any entry exists for ``key``."""
+        return key in self._buckets
+
+    def delete(self, key: Any, value: Any = None) -> int:
+        """Remove entries for ``key`` (all of them, or one given ``value``).
+
+        Returns the number of removed entries.
+        """
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return 0
+        if value is None:
+            removed = len(bucket)
+            del self._buckets[key]
+        else:
+            try:
+                bucket.remove(value)
+            except ValueError:
+                return 0
+            removed = 1
+            if not bucket:
+                del self._buckets[key]
+        self._size -= removed
+        return removed
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Yield ``(key, value)`` pairs in arbitrary order."""
+        for key, bucket in self._buckets.items():
+            for value in bucket:
+                yield key, value
+
+    def keys(self) -> Iterator[Any]:
+        """Yield distinct keys in arbitrary order."""
+        return iter(self._buckets)
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._buckets.clear()
+        self._size = 0

@@ -1,0 +1,19 @@
+"""In-memory competitor algorithms (the paper's MDJ and MBDJ).
+
+These are the baselines of Figure 8(d) and double as correctness oracles for
+the relational algorithms: every relational method must return a path of the
+same length as :func:`dijkstra_shortest_path` on the same graph.
+"""
+
+from repro.memory.dijkstra import DijkstraResult, dijkstra_shortest_path, single_source_distances
+from repro.memory.bidirectional import bidirectional_dijkstra
+from repro.memory.bfs import bfs_distances, bfs_shortest_path
+
+__all__ = [
+    "DijkstraResult",
+    "bfs_distances",
+    "bfs_shortest_path",
+    "bidirectional_dijkstra",
+    "dijkstra_shortest_path",
+    "single_source_distances",
+]

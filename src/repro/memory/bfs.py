@@ -1,0 +1,58 @@
+"""In-memory breadth-first search helpers.
+
+Hop-count BFS is used by tests (reachability oracle) and by the examples; it
+is also the in-memory analogue of the relational BBFS method in terms of how
+the search space grows per round.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.errors import NodeNotFoundError, PathNotFoundError
+from repro.graph.model import Graph
+
+
+def bfs_distances(graph: Graph, source: int) -> Dict[int, int]:
+    """Return hop counts from ``source`` to every reachable node."""
+    if not graph.has_node(source):
+        raise NodeNotFoundError(f"node {source} is not in the graph")
+    hops = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor, _cost in graph.out_edges(node):
+            if neighbor not in hops:
+                hops[neighbor] = hops[node] + 1
+                queue.append(neighbor)
+    return hops
+
+
+def bfs_shortest_path(graph: Graph, source: int, target: int) -> List[int]:
+    """Return a minimum-hop path from ``source`` to ``target``.
+
+    Raises:
+        PathNotFoundError: when the target is unreachable.
+    """
+    if not graph.has_node(source) or not graph.has_node(target):
+        raise NodeNotFoundError("source or target is not in the graph")
+    predecessor: Dict[int, Optional[int]] = {source: None}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        if node == target:
+            break
+        for neighbor, _cost in graph.out_edges(node):
+            if neighbor not in predecessor:
+                predecessor[neighbor] = node
+                queue.append(neighbor)
+    if target not in predecessor:
+        raise PathNotFoundError(f"no path from {source} to {target}")
+    path = [target]
+    node = target
+    while predecessor[node] is not None:
+        node = predecessor[node]  # type: ignore[assignment]
+        path.append(node)
+    path.reverse()
+    return path

@@ -1,0 +1,98 @@
+"""In-memory bi-directional Dijkstra (the paper's MBDJ competitor).
+
+Forward search from the source over outgoing edges, backward search from the
+target over incoming edges, alternating by frontier size; terminates when
+``l_f + l_b >= minCost`` — the same rule the relational bi-directional
+algorithms use (Section 4.1 of the paper).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from repro.errors import NodeNotFoundError, PathNotFoundError
+from repro.graph.model import Graph
+from repro.memory.dijkstra import DijkstraResult
+
+
+def bidirectional_dijkstra(graph: Graph, source: int, target: int) -> DijkstraResult:
+    """Compute the shortest path from ``source`` to ``target`` (MBDJ).
+
+    Raises:
+        NodeNotFoundError: if either endpoint is missing.
+        PathNotFoundError: if the target is unreachable.
+    """
+    for node in (source, target):
+        if not graph.has_node(node):
+            raise NodeNotFoundError(f"node {node} is not in the graph")
+    if source == target:
+        return DijkstraResult(source, target, 0.0, [source], settled=1)
+
+    forward_dist: Dict[int, float] = {source: 0.0}
+    backward_dist: Dict[int, float] = {target: 0.0}
+    forward_pred: Dict[int, int] = {source: source}
+    backward_succ: Dict[int, int] = {target: target}
+    forward_done: set[int] = set()
+    backward_done: set[int] = set()
+    forward_heap: List[Tuple[float, int]] = [(0.0, source)]
+    backward_heap: List[Tuple[float, int]] = [(0.0, target)]
+
+    best_cost = float("inf")
+    meeting_node = -1
+    settled = 0
+
+    def try_improve(node: int) -> None:
+        nonlocal best_cost, meeting_node
+        if node in forward_dist and node in backward_dist:
+            total = forward_dist[node] + backward_dist[node]
+            if total < best_cost:
+                best_cost = total
+                meeting_node = node
+
+    while forward_heap and backward_heap:
+        forward_min = forward_heap[0][0]
+        backward_min = backward_heap[0][0]
+        if forward_min + backward_min >= best_cost:
+            break
+        if forward_min <= backward_min:
+            distance, node = heapq.heappop(forward_heap)
+            if node in forward_done:
+                continue
+            forward_done.add(node)
+            settled += 1
+            for neighbor, cost in graph.out_edges(node):
+                candidate = distance + cost
+                if candidate < forward_dist.get(neighbor, float("inf")):
+                    forward_dist[neighbor] = candidate
+                    forward_pred[neighbor] = node
+                    heapq.heappush(forward_heap, (candidate, neighbor))
+                    try_improve(neighbor)
+        else:
+            distance, node = heapq.heappop(backward_heap)
+            if node in backward_done:
+                continue
+            backward_done.add(node)
+            settled += 1
+            for neighbor, cost in graph.in_edges(node):
+                candidate = distance + cost
+                if candidate < backward_dist.get(neighbor, float("inf")):
+                    backward_dist[neighbor] = candidate
+                    backward_succ[neighbor] = node
+                    heapq.heappush(backward_heap, (candidate, neighbor))
+                    try_improve(neighbor)
+
+    if meeting_node < 0 or best_cost == float("inf"):
+        raise PathNotFoundError(f"no path from {source} to {target}")
+
+    forward_path: List[int] = [meeting_node]
+    node = meeting_node
+    while node != source:
+        node = forward_pred[node]
+        forward_path.append(node)
+    forward_path.reverse()
+    node = meeting_node
+    while node != target:
+        node = backward_succ[node]
+        forward_path.append(node)
+    return DijkstraResult(source, target, best_cost, forward_path, settled=settled)

@@ -1,0 +1,124 @@
+"""In-memory Dijkstra (the paper's MDJ competitor).
+
+A binary-heap Dijkstra over the in-memory :class:`~repro.graph.model.Graph`.
+Besides being the Figure 8(d) baseline, it is the correctness oracle for the
+relational algorithms in the test suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import NodeNotFoundError, PathNotFoundError
+from repro.graph.model import Graph
+
+
+@dataclass
+class DijkstraResult:
+    """Result of an in-memory shortest-path computation.
+
+    Attributes:
+        source: source node id.
+        target: target node id.
+        distance: length of the shortest path.
+        path: node ids from source to target (inclusive).
+        settled: number of nodes finalized during the search.
+    """
+
+    source: int
+    target: int
+    distance: float
+    path: List[int] = field(default_factory=list)
+    settled: int = 0
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges on the returned path."""
+        return max(0, len(self.path) - 1)
+
+
+def _check_nodes(graph: Graph, *nodes: int) -> None:
+    for node in nodes:
+        if not graph.has_node(node):
+            raise NodeNotFoundError(f"node {node} is not in the graph")
+
+
+def dijkstra_shortest_path(graph: Graph, source: int, target: int) -> DijkstraResult:
+    """Compute the shortest path from ``source`` to ``target`` (MDJ).
+
+    Raises:
+        NodeNotFoundError: if either endpoint is missing.
+        PathNotFoundError: if the target is unreachable.
+    """
+    _check_nodes(graph, source, target)
+    distances: Dict[int, float] = {source: 0.0}
+    predecessors: Dict[int, int] = {source: source}
+    finalized: set[int] = set()
+    heap: List[tuple[float, int]] = [(0.0, source)]
+    settled = 0
+    while heap:
+        distance, node = heapq.heappop(heap)
+        if node in finalized:
+            continue
+        finalized.add(node)
+        settled += 1
+        if node == target:
+            break
+        for neighbor, cost in graph.out_edges(node):
+            candidate = distance + cost
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                predecessors[neighbor] = node
+                heapq.heappush(heap, (candidate, neighbor))
+    if target not in finalized:
+        raise PathNotFoundError(f"no path from {source} to {target}")
+    return DijkstraResult(
+        source=source,
+        target=target,
+        distance=distances[target],
+        path=_recover_path(predecessors, source, target),
+        settled=settled,
+    )
+
+
+def single_source_distances(graph: Graph, source: int,
+                            max_distance: Optional[float] = None) -> Dict[int, float]:
+    """Return shortest distances from ``source`` to every reachable node.
+
+    ``max_distance`` bounds the search (used by the SegTable oracle in tests:
+    segments are exactly the pairs within the index threshold).
+    """
+    _check_nodes(graph, source)
+    distances: Dict[int, float] = {source: 0.0}
+    finalized: set[int] = set()
+    heap: List[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        distance, node = heapq.heappop(heap)
+        if node in finalized:
+            continue
+        if max_distance is not None and distance > max_distance:
+            break
+        finalized.add(node)
+        for neighbor, cost in graph.out_edges(node):
+            candidate = distance + cost
+            if max_distance is not None and candidate > max_distance:
+                continue
+            if candidate < distances.get(neighbor, float("inf")):
+                distances[neighbor] = candidate
+                heapq.heappush(heap, (candidate, neighbor))
+    if max_distance is not None:
+        return {node: dist for node, dist in distances.items()
+                if node in finalized and dist <= max_distance}
+    return {node: dist for node, dist in distances.items() if node in finalized}
+
+
+def _recover_path(predecessors: Dict[int, int], source: int, target: int) -> List[int]:
+    path = [target]
+    node = target
+    while node != source:
+        node = predecessors[node]
+        path.append(node)
+    path.reverse()
+    return path

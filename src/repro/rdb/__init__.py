@@ -1,0 +1,39 @@
+"""Relational engine: schemas, tables, physical operators and SQL features.
+
+This package is the "RDB" of the paper: graphs and intermediate search state
+are stored in tables backed by the storage engine (``repro.storage``), and
+the FEM operators are evaluated with the physical operators defined here —
+scans, index lookups, joins, aggregation, the SQL:2003 *window function* and
+the SQL:2008 *MERGE statement* the paper leans on.
+
+The main entry point is :class:`~repro.rdb.engine.Database`.
+"""
+
+from repro.rdb.types import FLOAT, INTEGER, TEXT
+from repro.rdb.schema import Column, TableSchema
+from repro.rdb.expressions import BinaryOp, ColumnRef, Literal, col, lit
+from repro.rdb.table import IndexInfo, Table
+from repro.rdb.engine import Database
+from repro.rdb.stats import DatabaseStats
+from repro.rdb.merge import MergeResult, merge_into
+from repro.rdb.window import window_row_number
+
+__all__ = [
+    "BinaryOp",
+    "Column",
+    "ColumnRef",
+    "Database",
+    "DatabaseStats",
+    "FLOAT",
+    "INTEGER",
+    "IndexInfo",
+    "Literal",
+    "MergeResult",
+    "TEXT",
+    "Table",
+    "TableSchema",
+    "col",
+    "lit",
+    "merge_into",
+    "window_row_number",
+]

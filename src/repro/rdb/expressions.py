@@ -1,0 +1,172 @@
+"""Scalar expressions over row dictionaries.
+
+Physical operators accept either a plain callable ``row -> value`` or one of
+these expression objects.  The expression classes exist so predicates and
+projections can be built declaratively (and inspected in tests), in the
+spirit of a SQL engine's expression tree::
+
+    predicate = (col("d2s") + col("cost")) < lit(10.0)
+    rows = Filter(scan, predicate)
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Dict, Mapping, Union
+
+from repro.errors import QueryError
+
+Row = Mapping[str, object]
+RowFunction = Callable[[Row], object]
+ExpressionLike = Union["Expression", RowFunction]
+
+
+class Expression:
+    """Base class for scalar expressions; subclasses implement ``evaluate``."""
+
+    def evaluate(self, row: Row) -> object:
+        """Evaluate the expression against ``row``."""
+        raise NotImplementedError
+
+    def __call__(self, row: Row) -> object:
+        return self.evaluate(row)
+
+    # Arithmetic -------------------------------------------------------------------
+
+    def __add__(self, other: object) -> "BinaryOp":
+        return BinaryOp("+", self, _wrap(other))
+
+    def __sub__(self, other: object) -> "BinaryOp":
+        return BinaryOp("-", self, _wrap(other))
+
+    def __mul__(self, other: object) -> "BinaryOp":
+        return BinaryOp("*", self, _wrap(other))
+
+    # Comparisons ------------------------------------------------------------------
+
+    def __lt__(self, other: object) -> "BinaryOp":
+        return BinaryOp("<", self, _wrap(other))
+
+    def __le__(self, other: object) -> "BinaryOp":
+        return BinaryOp("<=", self, _wrap(other))
+
+    def __gt__(self, other: object) -> "BinaryOp":
+        return BinaryOp(">", self, _wrap(other))
+
+    def __ge__(self, other: object) -> "BinaryOp":
+        return BinaryOp(">=", self, _wrap(other))
+
+    def eq(self, other: object) -> "BinaryOp":
+        """Equality comparison (named method because ``__eq__`` must stay
+        usable for hashing/identity in collections)."""
+        return BinaryOp("=", self, _wrap(other))
+
+    def ne(self, other: object) -> "BinaryOp":
+        """Inequality comparison."""
+        return BinaryOp("!=", self, _wrap(other))
+
+    # Boolean connectives -----------------------------------------------------------
+
+    def and_(self, other: object) -> "BinaryOp":
+        """Logical AND."""
+        return BinaryOp("and", self, _wrap(other))
+
+    def or_(self, other: object) -> "BinaryOp":
+        """Logical OR."""
+        return BinaryOp("or", self, _wrap(other))
+
+
+class ColumnRef(Expression):
+    """Reference to a column of the current row."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, row: Row) -> object:
+        try:
+            return row[self.name]
+        except KeyError as exc:
+            raise QueryError(f"row has no column {self.name!r}") from exc
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+class Literal(Expression):
+    """A constant value."""
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def evaluate(self, row: Row) -> object:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+_OPERATORS: Dict[str, Callable[[object, object], object]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "=": operator.eq,
+    "!=": operator.ne,
+    "and": lambda left, right: bool(left) and bool(right),
+    "or": lambda left, right: bool(left) or bool(right),
+}
+
+
+class BinaryOp(Expression):
+    """A binary operation between two expressions.
+
+    NULL semantics follow SQL loosely: if either operand of an arithmetic or
+    comparison operator is NULL (``None``), the result is ``None`` (treated
+    as false in predicates).
+    """
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in _OPERATORS:
+            raise QueryError(f"unknown operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: Row) -> object:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if self.op not in ("and", "or") and (left is None or right is None):
+            return None
+        return _OPERATORS[self.op](left, right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+def col(name: str) -> ColumnRef:
+    """Shorthand constructor for :class:`ColumnRef`."""
+    return ColumnRef(name)
+
+
+def lit(value: object) -> Literal:
+    """Shorthand constructor for :class:`Literal`."""
+    return Literal(value)
+
+
+def _wrap(value: object) -> Expression:
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+def as_callable(expression: ExpressionLike) -> RowFunction:
+    """Normalize an expression or callable into a ``row -> value`` callable."""
+    if isinstance(expression, Expression):
+        return expression.evaluate
+    if callable(expression):
+        return expression
+    raise QueryError(f"{expression!r} is neither an Expression nor callable")

@@ -1,0 +1,273 @@
+"""Physical query operators over row dictionaries.
+
+Each operator is an iterable of rows (dicts).  Plans are built by composing
+operators, e.g. the paper's E-operator join between the frontier and the
+edge table becomes::
+
+    frontier = Filter(SeqScan(tvisited), col("f").eq(2))
+    expanded = IndexNestedLoopJoin(frontier, tedges, outer_key=col("nid"),
+                                   inner_column="fid")
+
+The operators deliberately mirror textbook physical operators (sequential
+scan, index scan, filter, project, nested-loop / index-nested-loop / hash
+join, sort, aggregation, limit) rather than a SQL parser: the paper's client
+issues a fixed set of statements, so the stores in ``repro.core.store``
+compose these plans directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.rdb.expressions import ExpressionLike, as_callable
+from repro.rdb.table import Table
+
+Row = Dict[str, object]
+
+
+def _prefixed(row: Mapping[str, object], prefix: Optional[str]) -> Row:
+    if prefix is None:
+        return dict(row)
+    return {f"{prefix}.{key}": value for key, value in row.items()}
+
+
+class Operator:
+    """Base class: an operator is an iterable of row dictionaries."""
+
+    def __iter__(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def rows(self) -> List[Row]:
+        """Materialize the operator's output."""
+        return list(self)
+
+
+class SeqScan(Operator):
+    """Full scan of a table, optionally prefixing columns with an alias."""
+
+    def __init__(self, table: Table, alias: Optional[str] = None) -> None:
+        self.table = table
+        self.alias = alias
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.table.scan():
+            yield _prefixed(row, self.alias)
+
+
+class IndexScan(Operator):
+    """Equality or range scan through an index on ``column``."""
+
+    def __init__(self, table: Table, column: str, key: object = None,
+                 low: object = None, high: object = None,
+                 alias: Optional[str] = None) -> None:
+        if key is None and low is None and high is None:
+            raise QueryError("IndexScan needs an equality key or a range")
+        self.table = table
+        self.column = column
+        self.key = key
+        self.low = low
+        self.high = high
+        self.alias = alias
+
+    def __iter__(self) -> Iterator[Row]:
+        if self.key is not None:
+            rows: Iterable[Row] = self.table.lookup(self.column, self.key)
+        else:
+            rows = self.table.range_lookup(self.column, self.low, self.high)
+        for row in rows:
+            yield _prefixed(row, self.alias)
+
+
+class Rows(Operator):
+    """Wrap an in-memory list of rows as an operator (a VALUES clause)."""
+
+    def __init__(self, rows: Sequence[Row], alias: Optional[str] = None) -> None:
+        self._rows = list(rows)
+        self.alias = alias
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self._rows:
+            yield _prefixed(row, self.alias)
+
+
+class Filter(Operator):
+    """Keep rows for which ``predicate`` evaluates truthy (SQL WHERE)."""
+
+    def __init__(self, child: Iterable[Row], predicate: ExpressionLike) -> None:
+        self.child = child
+        self.predicate = as_callable(predicate)
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.child:
+            if self.predicate(row):
+                yield row
+
+
+class Project(Operator):
+    """Compute output columns from input rows (SQL SELECT list)."""
+
+    def __init__(self, child: Iterable[Row],
+                 outputs: Mapping[str, ExpressionLike]) -> None:
+        self.child = child
+        self.outputs = {name: as_callable(expr) for name, expr in outputs.items()}
+
+    def __iter__(self) -> Iterator[Row]:
+        for row in self.child:
+            yield {name: expr(row) for name, expr in self.outputs.items()}
+
+
+class NestedLoopJoin(Operator):
+    """Join two inputs with an arbitrary predicate (inner join)."""
+
+    def __init__(self, left: Iterable[Row], right: Iterable[Row],
+                 predicate: ExpressionLike) -> None:
+        self.left = left
+        self.right = right
+        self.predicate = as_callable(predicate)
+
+    def __iter__(self) -> Iterator[Row]:
+        right_rows = list(self.right)
+        for left_row in self.left:
+            for right_row in right_rows:
+                combined = {**left_row, **right_row}
+                if self.predicate(combined):
+                    yield combined
+
+
+class IndexNestedLoopJoin(Operator):
+    """For each outer row, probe an index on the inner table.
+
+    This is the engine's realization of the paper's E-operator join
+    ``TVisited q JOIN TEdges out ON q.nid = out.fid``: the outer side is the
+    (small) frontier, the inner side is the (large) edge table accessed
+    through its ``fid`` index.
+    """
+
+    def __init__(self, outer: Iterable[Row], inner_table: Table,
+                 outer_key: ExpressionLike, inner_column: str,
+                 inner_alias: Optional[str] = None,
+                 residual: Optional[ExpressionLike] = None) -> None:
+        self.outer = outer
+        self.inner_table = inner_table
+        self.outer_key = as_callable(outer_key)
+        self.inner_column = inner_column
+        self.inner_alias = inner_alias
+        self.residual = as_callable(residual) if residual is not None else None
+
+    def __iter__(self) -> Iterator[Row]:
+        for outer_row in self.outer:
+            key = self.outer_key(outer_row)
+            for inner_row in self.inner_table.lookup(self.inner_column, key):
+                combined = {**outer_row, **_prefixed(inner_row, self.inner_alias)}
+                if self.residual is None or self.residual(combined):
+                    yield combined
+
+
+class HashJoin(Operator):
+    """Equi-join by building a hash table on the right input."""
+
+    def __init__(self, left: Iterable[Row], right: Iterable[Row],
+                 left_key: ExpressionLike, right_key: ExpressionLike) -> None:
+        self.left = left
+        self.right = right
+        self.left_key = as_callable(left_key)
+        self.right_key = as_callable(right_key)
+
+    def __iter__(self) -> Iterator[Row]:
+        buckets: Dict[object, List[Row]] = {}
+        for right_row in self.right:
+            buckets.setdefault(self.right_key(right_row), []).append(right_row)
+        for left_row in self.left:
+            for right_row in buckets.get(self.left_key(left_row), ()):
+                yield {**left_row, **right_row}
+
+
+class Sort(Operator):
+    """Sort rows by one or more ``(expression, ascending)`` keys."""
+
+    def __init__(self, child: Iterable[Row],
+                 keys: Sequence[Tuple[ExpressionLike, bool]]) -> None:
+        self.child = child
+        self.keys = [(as_callable(expr), ascending) for expr, ascending in keys]
+
+    def __iter__(self) -> Iterator[Row]:
+        rows = list(self.child)
+        # Stable sort applied from the least-significant key backwards.
+        for expr, ascending in reversed(self.keys):
+            rows.sort(key=lambda row: expr(row), reverse=not ascending)
+        return iter(rows)
+
+
+class Limit(Operator):
+    """Return at most ``count`` rows (SQL TOP / LIMIT)."""
+
+    def __init__(self, child: Iterable[Row], count: int) -> None:
+        if count < 0:
+            raise QueryError("LIMIT count must be non-negative")
+        self.child = child
+        self.count = count
+
+    def __iter__(self) -> Iterator[Row]:
+        produced = 0
+        for row in self.child:
+            if produced >= self.count:
+                return
+            produced += 1
+            yield row
+
+
+_AGGREGATES: Dict[str, Callable[[List[object]], object]] = {
+    "min": lambda values: min(values) if values else None,
+    "max": lambda values: max(values) if values else None,
+    "sum": lambda values: sum(values) if values else None,
+    "count": len,
+    "avg": lambda values: (sum(values) / len(values)) if values else None,
+}
+
+
+class Aggregate(Operator):
+    """Grouped aggregation (SQL GROUP BY).
+
+    Args:
+        child: input rows.
+        group_by: grouping column names (empty for a single global group).
+        aggregates: output name -> ``(function, expression)`` where function
+            is one of ``min``, ``max``, ``sum``, ``count``, ``avg``.
+    """
+
+    def __init__(self, child: Iterable[Row], group_by: Sequence[str],
+                 aggregates: Mapping[str, Tuple[str, ExpressionLike]]) -> None:
+        self.child = child
+        self.group_by = list(group_by)
+        self.aggregates = {}
+        for name, (function, expr) in aggregates.items():
+            if function not in _AGGREGATES:
+                raise QueryError(f"unknown aggregate function {function!r}")
+            self.aggregates[name] = (function, as_callable(expr))
+
+    def __iter__(self) -> Iterator[Row]:
+        groups: Dict[Tuple[object, ...], List[Row]] = {}
+        for row in self.child:
+            key = tuple(row.get(column) for column in self.group_by)
+            groups.setdefault(key, []).append(row)
+        if not groups and not self.group_by:
+            groups[()] = []
+        for key, rows in groups.items():
+            output: Row = dict(zip(self.group_by, key))
+            for name, (function, expr) in self.aggregates.items():
+                values = [expr(row) for row in rows]
+                values = [value for value in values if value is not None]
+                output[name] = _AGGREGATES[function](values)
+            yield output
+
+
+def scalar(child: Iterable[Row], column: str) -> object:
+    """Return ``column`` of the first row of ``child`` (or ``None`` if empty).
+
+    Convenience for single-value statements such as
+    ``SELECT min(d2s) FROM TVisited WHERE f = 0``.
+    """
+    for row in child:
+        return row.get(column)
+    return None

@@ -1,0 +1,75 @@
+"""Execution statistics for the relational engine.
+
+The paper's evaluation reports, besides wall-clock time, the number of
+expansions (statements issued) and the size of intermediate results.  These
+counters are the engine-side half of that accounting: statements executed,
+rows read and written, and timing broken down by a caller-supplied label
+(used by the FEM core to attribute time to the F, E and M operators and to
+the PE / SC / FPR phases of Figure 6).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class DatabaseStats:
+    """Counters describing work done by a :class:`~repro.rdb.engine.Database`."""
+
+    statements: int = 0
+    statements_by_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    rows_read: int = 0
+    rows_written: int = 0
+    rows_deleted: int = 0
+    time_by_label: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+
+    def record_statement(self, kind: str = "statement") -> None:
+        """Count one logical SQL statement of the given kind."""
+        self.statements += 1
+        self.statements_by_kind[kind] += 1
+
+    def add_rows_read(self, count: int = 1) -> None:
+        """Count rows produced by scans and index lookups."""
+        self.rows_read += count
+
+    def add_rows_written(self, count: int = 1) -> None:
+        """Count rows inserted or updated."""
+        self.rows_written += count
+
+    def add_rows_deleted(self, count: int = 1) -> None:
+        """Count rows deleted."""
+        self.rows_deleted += count
+
+    @contextmanager
+    def timed(self, label: str) -> Iterator[None]:
+        """Accumulate the elapsed wall-clock time of the block under ``label``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.time_by_label[label] += time.perf_counter() - start
+
+    def reset(self) -> None:
+        """Zero every counter (used between experiment phases)."""
+        self.statements = 0
+        self.statements_by_kind = defaultdict(int)
+        self.rows_read = 0
+        self.rows_written = 0
+        self.rows_deleted = 0
+        self.time_by_label = defaultdict(float)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Return a plain-dict copy of the counters (for reports)."""
+        return {
+            "statements": self.statements,
+            "statements_by_kind": dict(self.statements_by_kind),
+            "rows_read": self.rows_read,
+            "rows_written": self.rows_written,
+            "rows_deleted": self.rows_deleted,
+            "time_by_label": dict(self.time_by_label),
+        }

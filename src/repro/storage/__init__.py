@@ -1,0 +1,34 @@
+"""Storage engine substrate: pages, disk manager, buffer pool and heap files.
+
+The paper's experiments hinge on disk-resident graphs being accessed through
+a database buffer (Figures 8(b) and 9(g) sweep the buffer size).  This
+package provides that substrate:
+
+* :class:`~repro.storage.disk.DiskManager` / ``InMemoryDiskManager`` — page
+  allocation plus raw page read/write, with I/O counters.
+* :class:`~repro.storage.page.SlottedPage` — the classic slotted page layout
+  holding variable-length records.
+* :class:`~repro.storage.buffer_pool.BufferPool` — a pin-count LRU buffer
+  pool with hit/miss/eviction statistics.
+* :class:`~repro.storage.heap_file.HeapFile` — an unordered record file built
+  from slotted pages; tables in ``repro.rdb`` sit on top of it.
+"""
+
+from repro.storage.disk import DiskManager, FileDiskManager, InMemoryDiskManager, PAGE_SIZE
+from repro.storage.page import RecordId, SlottedPage
+from repro.storage.buffer_pool import BufferPool, BufferPoolStats
+from repro.storage.heap_file import HeapFile
+from repro.storage.serialization import RowSerializer
+
+__all__ = [
+    "PAGE_SIZE",
+    "BufferPool",
+    "BufferPoolStats",
+    "DiskManager",
+    "FileDiskManager",
+    "HeapFile",
+    "InMemoryDiskManager",
+    "RecordId",
+    "RowSerializer",
+    "SlottedPage",
+]

@@ -1,0 +1,154 @@
+"""Disk managers: page allocation and raw page I/O.
+
+Two implementations share the :class:`DiskManager` interface:
+
+* :class:`FileDiskManager` stores pages in a single file on disk, one page
+  per ``PAGE_SIZE``-byte slot.  It is the realistic backend used by the
+  benchmarks, where buffer-pool misses translate into real file I/O.
+* :class:`InMemoryDiskManager` keeps pages in a dictionary.  It is used by
+  unit tests and by callers that only care about the *counted* I/O rather
+  than its wall-clock cost.
+
+Both count ``reads`` and ``writes`` so experiments can report logical I/O
+independently of timing noise.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+from repro.errors import DiskError
+
+PAGE_SIZE = 4096
+"""Default page size in bytes (a common RDBMS default)."""
+
+
+class DiskManager(ABC):
+    """Interface for page-granularity storage."""
+
+    def __init__(self, page_size: int = PAGE_SIZE) -> None:
+        if page_size < 64:
+            raise ValueError("page_size must be at least 64 bytes")
+        self.page_size = page_size
+        self.reads = 0
+        self.writes = 0
+        self._next_page_id = 0
+
+    def allocate_page(self) -> int:
+        """Allocate a new page and return its page id."""
+        page_id = self._next_page_id
+        self._next_page_id += 1
+        self._initialize_page(page_id)
+        return page_id
+
+    @property
+    def num_pages(self) -> int:
+        """Number of pages allocated so far."""
+        return self._next_page_id
+
+    def reset_counters(self) -> None:
+        """Reset the read/write counters (used between experiment phases)."""
+        self.reads = 0
+        self.writes = 0
+
+    @abstractmethod
+    def _initialize_page(self, page_id: int) -> None:
+        """Make the page readable (zero-filled) after allocation."""
+
+    @abstractmethod
+    def read_page(self, page_id: int) -> bytearray:
+        """Return the current contents of ``page_id`` as a mutable buffer."""
+
+    @abstractmethod
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Persist ``data`` (exactly ``page_size`` bytes) to ``page_id``."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release any underlying resources."""
+
+    def _check_page_id(self, page_id: int) -> None:
+        if page_id < 0 or page_id >= self._next_page_id:
+            raise DiskError(f"page {page_id} was never allocated")
+
+    def _check_data(self, data: bytes) -> None:
+        if len(data) != self.page_size:
+            raise DiskError(
+                f"page write must be exactly {self.page_size} bytes, got {len(data)}"
+            )
+
+
+class InMemoryDiskManager(DiskManager):
+    """Disk manager backed by a dictionary of byte buffers."""
+
+    def __init__(self, page_size: int = PAGE_SIZE) -> None:
+        super().__init__(page_size)
+        self._pages: Dict[int, bytearray] = {}
+
+    def _initialize_page(self, page_id: int) -> None:
+        self._pages[page_id] = bytearray(self.page_size)
+
+    def read_page(self, page_id: int) -> bytearray:
+        self._check_page_id(page_id)
+        self.reads += 1
+        return bytearray(self._pages[page_id])
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        self._check_page_id(page_id)
+        self._check_data(data)
+        self.writes += 1
+        self._pages[page_id] = bytearray(data)
+
+    def close(self) -> None:
+        self._pages.clear()
+
+
+class FileDiskManager(DiskManager):
+    """Disk manager backed by a single file, one page per fixed-size slot."""
+
+    def __init__(self, path: str, page_size: int = PAGE_SIZE) -> None:
+        super().__init__(page_size)
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._file = open(path, "w+b")
+
+    def _initialize_page(self, page_id: int) -> None:
+        self._file.seek(page_id * self.page_size)
+        self._file.write(b"\x00" * self.page_size)
+
+    def read_page(self, page_id: int) -> bytearray:
+        self._check_page_id(page_id)
+        self.reads += 1
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) != self.page_size:
+            raise DiskError(f"short read for page {page_id}")
+        return bytearray(data)
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        self._check_page_id(page_id)
+        self._check_data(data)
+        self.writes += 1
+        self._file.seek(page_id * self.page_size)
+        self._file.write(data)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def remove_file(self) -> None:
+        """Close and delete the backing file (used by temporary databases)."""
+        self.close()
+        if os.path.exists(self.path):
+            os.remove(self.path)
+
+
+def open_disk(path: Optional[str] = None, page_size: int = PAGE_SIZE) -> DiskManager:
+    """Open a disk manager: file-backed when ``path`` is given, else in-memory."""
+    if path is None:
+        return InMemoryDiskManager(page_size)
+    return FileDiskManager(path, page_size)

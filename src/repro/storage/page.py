@@ -1,0 +1,221 @@
+"""Slotted-page layout for variable-length records.
+
+Layout of a page (``page_size`` bytes)::
+
+    +--------------------------+----------------------+ .... +-------------+
+    | header (8 bytes)         | slot directory ->    | free | <- records  |
+    +--------------------------+----------------------+ .... +-------------+
+
+* Header: ``num_slots`` (uint16), ``free_end`` (uint16, offset one past the
+  start of the record area), 4 reserved bytes.
+* Slot directory: 4 bytes per slot — record ``offset`` (uint16) and
+  ``length`` (uint16).  A slot with ``length == 0`` is a tombstone left by a
+  deleted record; tombstones are reused by later inserts.
+* Records grow from the end of the page toward the slot directory.
+
+The page knows nothing about row schemas — it stores opaque byte strings.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import PageError, PageFullError
+
+_HEADER = struct.Struct("<HHI")
+_SLOT = struct.Struct("<HH")
+HEADER_SIZE = _HEADER.size
+SLOT_SIZE = _SLOT.size
+
+
+@dataclass(frozen=True, order=True)
+class RecordId:
+    """Physical address of a record: page id + slot number."""
+
+    page_id: int
+    slot: int
+
+
+class SlottedPage:
+    """A slotted page over a mutable byte buffer."""
+
+    def __init__(self, page_id: int, data: Optional[bytearray] = None,
+                 page_size: int = 4096) -> None:
+        self.page_id = page_id
+        if data is None:
+            data = bytearray(page_size)
+            _HEADER.pack_into(data, 0, 0, page_size, 0)
+        if len(data) < HEADER_SIZE:
+            raise PageError("page buffer smaller than the header")
+        self.data = data
+        self.page_size = len(data)
+        num_slots, free_end, _ = _HEADER.unpack_from(data, 0)
+        if free_end == 0:
+            # Freshly zeroed buffer from the disk manager: initialize header.
+            num_slots, free_end = 0, self.page_size
+            self._write_header(num_slots, free_end)
+        self._num_slots = num_slots
+        self._free_end = free_end
+
+    # -- header helpers ------------------------------------------------------
+
+    def _write_header(self, num_slots: int, free_end: int) -> None:
+        _HEADER.pack_into(self.data, 0, num_slots, free_end, 0)
+
+    def _slot_offset(self, slot: int) -> int:
+        return HEADER_SIZE + slot * SLOT_SIZE
+
+    def _read_slot(self, slot: int) -> Tuple[int, int]:
+        if slot < 0 or slot >= self._num_slots:
+            raise PageError(f"slot {slot} out of range on page {self.page_id}")
+        return _SLOT.unpack_from(self.data, self._slot_offset(slot))
+
+    def _write_slot(self, slot: int, offset: int, length: int) -> None:
+        _SLOT.pack_into(self.data, self._slot_offset(slot), offset, length)
+
+    # -- capacity ------------------------------------------------------------
+
+    @property
+    def num_slots(self) -> int:
+        """Number of slots in the directory (including tombstones)."""
+        return self._num_slots
+
+    @property
+    def num_records(self) -> int:
+        """Number of live records."""
+        return sum(1 for slot in range(self._num_slots) if self._read_slot(slot)[1] > 0)
+
+    def free_space(self) -> int:
+        """Bytes available for a new record, assuming a new slot is needed."""
+        directory_end = HEADER_SIZE + self._num_slots * SLOT_SIZE
+        return max(0, self._free_end - directory_end)
+
+    def can_insert(self, record_length: int) -> bool:
+        """Whether a record of ``record_length`` bytes fits in this page."""
+        if record_length <= 0:
+            return False
+        needs_new_slot = self._find_tombstone() is None
+        needed = record_length + (SLOT_SIZE if needs_new_slot else 0)
+        return self.free_space() >= needed
+
+    def _find_tombstone(self) -> Optional[int]:
+        for slot in range(self._num_slots):
+            _, length = self._read_slot(slot)
+            if length == 0:
+                return slot
+        return None
+
+    # -- record operations ----------------------------------------------------
+
+    def insert(self, record: bytes) -> int:
+        """Insert ``record`` and return its slot number.
+
+        Raises:
+            PageFullError: when the record does not fit.
+            PageError: for empty records or records larger than a page.
+        """
+        length = len(record)
+        if length == 0:
+            raise PageError("cannot store an empty record")
+        if length > self.page_size - HEADER_SIZE - SLOT_SIZE:
+            raise PageError(f"record of {length} bytes can never fit in a page")
+        if not self.can_insert(length):
+            raise PageFullError(
+                f"page {self.page_id} cannot fit a record of {length} bytes"
+            )
+        slot = self._find_tombstone()
+        new_slot_needed = slot is None
+        offset = self._free_end - length
+        self.data[offset:offset + length] = record
+        if new_slot_needed:
+            slot = self._num_slots
+            self._num_slots += 1
+        self._free_end = offset
+        self._write_slot(slot, offset, length)
+        self._write_header(self._num_slots, self._free_end)
+        return slot
+
+    def read(self, slot: int) -> bytes:
+        """Return the record stored in ``slot``.
+
+        Raises:
+            PageError: for tombstoned or out-of-range slots.
+        """
+        offset, length = self._read_slot(slot)
+        if length == 0:
+            raise PageError(f"slot {slot} on page {self.page_id} is empty")
+        return bytes(self.data[offset:offset + length])
+
+    def delete(self, slot: int) -> None:
+        """Tombstone ``slot``; its space is reclaimed by :meth:`compact`."""
+        offset, length = self._read_slot(slot)
+        if length == 0:
+            raise PageError(f"slot {slot} on page {self.page_id} already deleted")
+        self._write_slot(slot, 0, 0)
+
+    def update(self, slot: int, record: bytes) -> bool:
+        """Overwrite the record in ``slot``.
+
+        Returns ``True`` on success.  Returns ``False`` when the new record
+        is larger than the old one and does not fit even after compaction; in
+        that case the page is left unchanged and the caller should relocate
+        the record.
+        """
+        offset, length = self._read_slot(slot)
+        if length == 0:
+            raise PageError(f"slot {slot} on page {self.page_id} is empty")
+        new_length = len(record)
+        if new_length == 0:
+            raise PageError("cannot store an empty record")
+        if new_length <= length:
+            self.data[offset:offset + new_length] = record
+            self._write_slot(slot, offset, new_length)
+            return True
+        # Try to place the longer record in free space, keeping the same slot.
+        if self.free_space() >= new_length:
+            new_offset = self._free_end - new_length
+            self.data[new_offset:new_offset + new_length] = record
+            self._free_end = new_offset
+            self._write_slot(slot, new_offset, new_length)
+            self._write_header(self._num_slots, self._free_end)
+            return True
+        self.compact()
+        if self.free_space() + length >= new_length:
+            # After compaction, temporarily drop the old copy then re-place.
+            self._write_slot(slot, 0, 0)
+            self.compact()
+            new_offset = self._free_end - new_length
+            self.data[new_offset:new_offset + new_length] = record
+            self._free_end = new_offset
+            self._write_slot(slot, new_offset, new_length)
+            self._write_header(self._num_slots, self._free_end)
+            return True
+        return False
+
+    def compact(self) -> None:
+        """Slide live records to the end of the page, squeezing out holes."""
+        live: List[Tuple[int, bytes]] = []
+        for slot in range(self._num_slots):
+            offset, length = self._read_slot(slot)
+            if length > 0:
+                live.append((slot, bytes(self.data[offset:offset + length])))
+        free_end = self.page_size
+        for slot, record in live:
+            free_end -= len(record)
+            self.data[free_end:free_end + len(record)] = record
+            self._write_slot(slot, free_end, len(record))
+        self._free_end = free_end
+        self._write_header(self._num_slots, self._free_end)
+
+    def records(self) -> Iterator[Tuple[int, bytes]]:
+        """Iterate over live ``(slot, record)`` pairs in slot order."""
+        for slot in range(self._num_slots):
+            offset, length = self._read_slot(slot)
+            if length > 0:
+                yield slot, bytes(self.data[offset:offset + length])
+
+    def to_bytes(self) -> bytes:
+        """Return the raw page image (exactly ``page_size`` bytes)."""
+        return bytes(self.data)

@@ -1,0 +1,117 @@
+"""Row serialization: encode/decode Python tuples against a column layout.
+
+Rows are stored in pages as opaque byte strings.  :class:`RowSerializer`
+translates between a tuple of Python values and that byte string given the
+column types declared in the table schema.
+
+Encoding layout::
+
+    +-------------+---------------------------------------------+
+    | null bitmap |  column values, in schema order             |
+    +-------------+---------------------------------------------+
+
+* The null bitmap has one bit per column (rounded up to whole bytes).
+* ``INTEGER`` columns are signed 64-bit little-endian.
+* ``FLOAT`` columns are IEEE-754 doubles.
+* ``TEXT`` columns are a uint16 length followed by UTF-8 bytes.
+* ``NULL`` values occupy no payload bytes; only their bitmap bit is set.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SerializationError
+
+_INT = struct.Struct("<q")
+_FLOAT = struct.Struct("<d")
+_LEN = struct.Struct("<H")
+
+INTEGER = "INTEGER"
+FLOAT = "FLOAT"
+TEXT = "TEXT"
+
+SUPPORTED_TYPES = (INTEGER, FLOAT, TEXT)
+
+
+class RowSerializer:
+    """Serialize and deserialize rows for a fixed sequence of column types."""
+
+    def __init__(self, column_types: Sequence[str]) -> None:
+        for column_type in column_types:
+            if column_type not in SUPPORTED_TYPES:
+                raise SerializationError(f"unsupported column type {column_type!r}")
+        self.column_types: Tuple[str, ...] = tuple(column_types)
+        self._bitmap_bytes = (len(self.column_types) + 7) // 8
+
+    # -- encoding ---------------------------------------------------------------
+
+    def encode(self, row: Sequence[object]) -> bytes:
+        """Encode ``row`` (one value per column, ``None`` for NULL)."""
+        if len(row) != len(self.column_types):
+            raise SerializationError(
+                f"row has {len(row)} values but the schema has "
+                f"{len(self.column_types)} columns"
+            )
+        bitmap = bytearray(self._bitmap_bytes)
+        payload = bytearray()
+        for index, (value, column_type) in enumerate(zip(row, self.column_types)):
+            if value is None:
+                bitmap[index // 8] |= 1 << (index % 8)
+                continue
+            payload.extend(self._encode_value(value, column_type, index))
+        return bytes(bitmap) + bytes(payload)
+
+    def _encode_value(self, value: object, column_type: str, index: int) -> bytes:
+        try:
+            if column_type == INTEGER:
+                return _INT.pack(int(value))
+            if column_type == FLOAT:
+                return _FLOAT.pack(float(value))
+            text = str(value).encode("utf-8")
+            if len(text) > 0xFFFF:
+                raise SerializationError(
+                    f"TEXT value in column {index} exceeds 65535 bytes"
+                )
+            return _LEN.pack(len(text)) + text
+        except (struct.error, ValueError, TypeError) as exc:
+            raise SerializationError(
+                f"cannot encode {value!r} as {column_type} (column {index})"
+            ) from exc
+
+    # -- decoding ---------------------------------------------------------------
+
+    def decode(self, data: bytes) -> Tuple[object, ...]:
+        """Decode a byte string produced by :meth:`encode`."""
+        if len(data) < self._bitmap_bytes:
+            raise SerializationError("record shorter than its null bitmap")
+        bitmap = data[: self._bitmap_bytes]
+        offset = self._bitmap_bytes
+        values: List[Optional[object]] = []
+        for index, column_type in enumerate(self.column_types):
+            is_null = bitmap[index // 8] & (1 << (index % 8))
+            if is_null:
+                values.append(None)
+                continue
+            value, offset = self._decode_value(data, offset, column_type, index)
+            values.append(value)
+        return tuple(values)
+
+    def _decode_value(self, data: bytes, offset: int, column_type: str,
+                      index: int) -> Tuple[object, int]:
+        try:
+            if column_type == INTEGER:
+                return _INT.unpack_from(data, offset)[0], offset + _INT.size
+            if column_type == FLOAT:
+                return _FLOAT.unpack_from(data, offset)[0], offset + _FLOAT.size
+            (length,) = _LEN.unpack_from(data, offset)
+            start = offset + _LEN.size
+            end = start + length
+            if end > len(data):
+                raise SerializationError("TEXT value runs past the record end")
+            return data[start:end].decode("utf-8"), end
+        except struct.error as exc:
+            raise SerializationError(
+                f"record truncated while decoding column {index} ({column_type})"
+            ) from exc

@@ -1,0 +1,13 @@
+"""Query workloads and experiment running helpers.
+
+The paper's evaluation answers 100 random shortest-path queries per
+configuration and reports averages.  This package generates such workloads
+(pairs of connected nodes) and runs them against a
+:class:`~repro.core.api.RelationalPathFinder`, aggregating the statistics the
+paper's tables and figures report.
+"""
+
+from repro.workloads.queries import QueryWorkload, generate_queries
+from repro.workloads.runner import MethodAggregate, run_workload
+
+__all__ = ["MethodAggregate", "QueryWorkload", "generate_queries", "run_workload"]

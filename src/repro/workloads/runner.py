@@ -1,0 +1,105 @@
+"""Run query workloads and aggregate per-method statistics.
+
+The aggregates mirror the columns of the paper's Tables 2 and 3: average
+query time, average number of expansions ("Exps") and average number of
+visited nodes ("Vst"), plus the phase/operator time breakdowns used by
+Figure 6.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.api import RelationalPathFinder
+from repro.core.path import PathResult
+from repro.core.sqlstyle import NSQL
+from repro.errors import PathNotFoundError
+
+
+@dataclass
+class MethodAggregate:
+    """Aggregated statistics of one method over a workload.
+
+    All averages are over the queries that found a path; unreachable pairs
+    are counted in ``not_found`` and excluded from the averages (matching
+    the paper's use of random queries over connected regions).
+    """
+
+    method: str
+    sql_style: str = NSQL
+    queries: int = 0
+    not_found: int = 0
+    avg_time: float = 0.0
+    avg_expansions: float = 0.0
+    avg_statements: float = 0.0
+    avg_visited: float = 0.0
+    avg_distance: float = 0.0
+    avg_path_edges: float = 0.0
+    time_by_phase: Dict[str, float] = field(default_factory=dict)
+    time_by_operator: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten into a dict suitable for table rendering."""
+        return {
+            "method": self.method,
+            "sql_style": self.sql_style,
+            "queries": self.queries,
+            "avg_time_s": round(self.avg_time, 5),
+            "avg_exps": round(self.avg_expansions, 1),
+            "avg_stmts": round(self.avg_statements, 1),
+            "avg_visited": round(self.avg_visited, 1),
+            "avg_dist": round(self.avg_distance, 1),
+        }
+
+
+def run_workload(finder: RelationalPathFinder,
+                 queries: Iterable[Tuple[int, int]],
+                 method: str,
+                 sql_style: str = NSQL,
+                 max_iterations: Optional[int] = None) -> MethodAggregate:
+    """Run every query with ``method`` and aggregate the statistics."""
+    results: List[PathResult] = []
+    not_found = 0
+    for source, target in queries:
+        try:
+            result = finder.shortest_path(source, target, method=method,
+                                          sql_style=sql_style,
+                                          max_iterations=max_iterations)
+        except PathNotFoundError:
+            not_found += 1
+            continue
+        results.append(result)
+    aggregate = MethodAggregate(method=method.upper(), sql_style=sql_style,
+                                queries=len(results), not_found=not_found)
+    if not results:
+        return aggregate
+    count = float(len(results))
+    phase_totals: Dict[str, float] = defaultdict(float)
+    operator_totals: Dict[str, float] = defaultdict(float)
+    for result in results:
+        stats = result.stats
+        if stats is None:
+            continue
+        aggregate.avg_time += stats.total_time
+        aggregate.avg_expansions += stats.expansions
+        aggregate.avg_statements += stats.statements
+        aggregate.avg_visited += stats.visited_nodes
+        aggregate.avg_distance += result.distance
+        aggregate.avg_path_edges += result.num_edges
+        for phase, seconds in stats.time_by_phase.items():
+            phase_totals[phase] += seconds
+        for operator, seconds in stats.time_by_operator.items():
+            operator_totals[operator] += seconds
+    aggregate.avg_time /= count
+    aggregate.avg_expansions /= count
+    aggregate.avg_statements /= count
+    aggregate.avg_visited /= count
+    aggregate.avg_distance /= count
+    aggregate.avg_path_edges /= count
+    aggregate.time_by_phase = {key: value / count for key, value in phase_totals.items()}
+    aggregate.time_by_operator = {
+        key: value / count for key, value in operator_totals.items()
+    }
+    return aggregate

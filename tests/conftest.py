@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.generators import grid_graph, path_graph, power_law_graph, random_graph
+from repro.graph.model import Graph
+
+
+@pytest.fixture
+def tiny_graph() -> Graph:
+    """The 12-node weighted graph of the paper's Figure 1."""
+    graph = Graph(directed=False)
+    edges = [
+        ("s", "b", 2), ("s", "c", 1), ("s", "d", 6),
+        ("b", "e", 2), ("c", "d", 1), ("c", "e", 3),
+        ("d", "i", 7), ("e", "f", 7), ("e", "g", 3),
+        ("f", "h", 4), ("g", "h", 9), ("g", "j", 4),
+        ("h", "t", 3), ("i", "j", 8), ("j", "t", 5),
+        ("i", "t", 8), ("b", "c", 2), ("f", "t", 1),
+    ]
+    names = sorted({name for fid, tid, _ in edges for name in (fid, tid)})
+    ids = {name: index for index, name in enumerate(names)}
+    for fid, tid, cost in edges:
+        graph.add_edge(ids[fid], ids[tid], cost)
+    graph.node_names = ids  # type: ignore[attr-defined]
+    return graph
+
+
+@pytest.fixture
+def small_path_graph() -> Graph:
+    """A 10-node path with unit weights (known distances)."""
+    return path_graph(10, weight_range=(1, 1), seed=1)
+
+
+@pytest.fixture
+def small_grid_graph() -> Graph:
+    """A 5x5 grid with random weights."""
+    return grid_graph(5, 5, seed=2)
+
+
+@pytest.fixture
+def small_power_graph() -> Graph:
+    """A 120-node scale-free graph."""
+    return power_law_graph(120, edges_per_node=2, seed=3)
+
+
+@pytest.fixture
+def small_random_graph() -> Graph:
+    """A 150-node random graph with average degree 3."""
+    return random_graph(150, avg_degree=3.0, seed=4)
+
+
+@pytest.fixture
+def query_rng() -> random.Random:
+    """Deterministic RNG for sampling query endpoints in tests."""
+    return random.Random(42)

@@ -1,0 +1,104 @@
+"""Tests for the top-level API (RelationalPathFinder, shortest_path)."""
+
+import pytest
+
+from repro.core.api import (
+    METHODS,
+    RelationalPathFinder,
+    shortest_path,
+    shortest_path_in_memory,
+)
+from repro.errors import InvalidQueryError, NodeNotFoundError, PathNotFoundError
+from repro.graph.generators import grid_graph, path_graph
+from repro.memory.dijkstra import dijkstra_shortest_path
+
+
+class TestRelationalPathFinder:
+    def test_methods_constant(self):
+        assert set(METHODS) == {"DJ", "BDJ", "BSDJ", "BBFS", "BSEG", "MDJ", "MBDJ"}
+
+    def test_context_manager(self):
+        graph = path_graph(6, weight_range=(2, 2))
+        with RelationalPathFinder(graph) as finder:
+            result = finder.shortest_path(0, 5)
+            assert result.distance == 10
+
+    def test_unknown_backend(self):
+        with pytest.raises(InvalidQueryError):
+            RelationalPathFinder(path_graph(3), backend="oracle")
+
+    def test_unknown_method(self):
+        with RelationalPathFinder(path_graph(3)) as finder:
+            with pytest.raises(InvalidQueryError):
+                finder.shortest_path(0, 2, method="ASTAR")
+
+    def test_unknown_node(self):
+        with RelationalPathFinder(path_graph(3)) as finder:
+            with pytest.raises(NodeNotFoundError):
+                finder.shortest_path(0, 99)
+
+    def test_bseg_without_segtable(self):
+        with RelationalPathFinder(path_graph(4)) as finder:
+            with pytest.raises(InvalidQueryError):
+                finder.shortest_path(0, 3, method="BSEG")
+
+    def test_memory_methods_through_finder(self):
+        graph = grid_graph(3, 3, seed=1)
+        expected = dijkstra_shortest_path(graph, 0, 8).distance
+        with RelationalPathFinder(graph) as finder:
+            for method in ("MDJ", "MBDJ"):
+                result = finder.shortest_path(0, 8, method=method)
+                assert result.distance == expected
+                assert result.stats.method == method
+
+    def test_method_names_case_insensitive(self):
+        with RelationalPathFinder(path_graph(4, weight_range=(1, 1))) as finder:
+            assert finder.shortest_path(0, 3, method="bsdj").distance == 3
+
+    def test_segtable_stats_exposed(self):
+        with RelationalPathFinder(grid_graph(3, 3, seed=2)) as finder:
+            stats = finder.build_segtable(lthd=5)
+            assert finder.segtable_stats is stats
+            assert stats.encoding_number > 0
+
+
+class TestOneShotHelpers:
+    def test_shortest_path_default_method(self):
+        graph = path_graph(5, weight_range=(1, 1))
+        result = shortest_path(graph, 0, 4)
+        assert result.distance == 4
+        assert result.path == [0, 1, 2, 3, 4]
+
+    def test_shortest_path_bseg_builds_index(self):
+        graph = grid_graph(3, 3, seed=3)
+        expected = dijkstra_shortest_path(graph, 0, 8).distance
+        result = shortest_path(graph, 0, 8, method="BSEG", lthd=10)
+        assert abs(result.distance - expected) < 1e-6
+
+    def test_shortest_path_sqlite_backend(self):
+        graph = path_graph(4, weight_range=(2, 2))
+        result = shortest_path(graph, 0, 3, backend="sqlite")
+        assert result.distance == 6
+
+    def test_shortest_path_memory_method(self):
+        graph = path_graph(4, weight_range=(2, 2))
+        result = shortest_path(graph, 0, 3, method="MBDJ")
+        assert result.distance == 6
+
+    def test_in_memory_helper_validates_method(self):
+        with pytest.raises(InvalidQueryError):
+            shortest_path_in_memory(path_graph(3), 0, 2, method="DJ")
+
+    def test_unreachable_propagates(self):
+        graph = path_graph(3)
+        graph.add_node(9)
+        with pytest.raises(PathNotFoundError):
+            shortest_path(graph, 0, 9)
+
+    def test_stats_attached_to_result(self):
+        graph = grid_graph(3, 3, seed=4)
+        result = shortest_path(graph, 0, 8, method="BSDJ")
+        assert result.stats is not None
+        assert result.stats.method == "BSDJ"
+        assert result.stats.found
+        assert result.num_edges == len(result.path) - 1

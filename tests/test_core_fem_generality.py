@@ -1,0 +1,143 @@
+"""Tests for the generic FEM framework and its non-shortest-path uses."""
+
+import heapq
+
+import pytest
+
+from repro.core.fem import FEMRunStats, FEMSearch, FEMSpec
+from repro.core.prim import prim_mst_fem
+from repro.core.reachability import is_reachable_fem, reachable_set_fem
+from repro.errors import InvalidQueryError
+from repro.graph.generators import grid_graph, power_law_graph, random_graph
+from repro.graph.model import Graph
+from repro.graph.stats import reachable_set_size
+from repro.rdb.engine import Database
+from repro.rdb.merge import merge_into
+from repro.rdb.schema import Column
+from repro.rdb.types import INTEGER
+
+
+def reference_prim_weight(graph: Graph, root: int) -> float:
+    """Classic in-memory Prim over the undirected view of the graph."""
+    adjacency = {}
+    for edge in graph.edges():
+        adjacency.setdefault(edge.fid, []).append((edge.tid, edge.cost))
+    visited = {root}
+    heap = [(cost, neighbor) for neighbor, cost in adjacency.get(root, [])]
+    heapq.heapify(heap)
+    total = 0.0
+    while heap:
+        cost, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        total += cost
+        for neighbor, weight in adjacency.get(node, []):
+            if neighbor not in visited:
+                heapq.heappush(heap, (weight, neighbor))
+    return total
+
+
+class TestFEMFramework:
+    def test_requires_initial_rows(self):
+        db = Database()
+        table = db.create_table("V", [Column("nid", INTEGER), Column("f", INTEGER)])
+        spec = FEMSpec(
+            name="empty",
+            initialize=lambda: [],
+            select_frontier=lambda table, k: [],
+            expand=lambda frontier, k: [],
+            merge=lambda table, rows, k: merge_into(table, rows, "nid", "nid"),
+        )
+        with pytest.raises(InvalidQueryError):
+            FEMSearch(table, spec).run()
+        db.close()
+
+    def test_simple_counting_search(self):
+        """A FEM loop that visits the integers 0..4 one hop at a time."""
+        db = Database()
+        table = db.create_table("V", [Column("nid", INTEGER), Column("f", INTEGER)])
+        table.create_index("nid", unique=True)
+
+        def select(table, _k):
+            frontier = [row for row in table.scan() if row["f"] == 0]
+            table.update_where(lambda row: row["f"] == 0, lambda row: {"f": 1})
+            return frontier
+
+        def expand(frontier, _k):
+            return [{"nid": row["nid"] + 1, "f": 0}
+                    for row in frontier if row["nid"] < 4]
+
+        spec = FEMSpec(
+            name="count",
+            initialize=lambda: [{"nid": 0, "f": 0}],
+            select_frontier=select,
+            expand=expand,
+            merge=lambda table, rows, _k: merge_into(
+                table, rows, "nid", "nid",
+                not_matched_insert=lambda source: dict(source),
+            ),
+            max_iterations=10,
+        )
+        search = FEMSearch(table, spec)
+        stats = search.run()
+        assert isinstance(stats, FEMRunStats)
+        assert {row["nid"] for row in search.visited_rows()} == {0, 1, 2, 3, 4}
+        assert stats.iterations >= 5
+        db.close()
+
+
+class TestPrimViaFEM:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_reference_prim_on_grids(self, seed):
+        graph = grid_graph(4, 4, seed=seed)
+        result = prim_mst_fem(graph, root=0)
+        assert result.total_weight == pytest.approx(reference_prim_weight(graph, 0))
+        assert len(result.edges) == graph.num_nodes - 1
+
+    def test_matches_reference_on_power_graph(self):
+        graph = power_law_graph(60, edges_per_node=2, seed=5)
+        result = prim_mst_fem(graph, root=0)
+        assert result.total_weight == pytest.approx(reference_prim_weight(graph, 0))
+
+    def test_tree_edges_exist_in_graph(self):
+        graph = grid_graph(3, 3, seed=7)
+        result = prim_mst_fem(graph, root=0)
+        for parent, child, weight in result.edges:
+            assert graph.edge_cost(parent, child) is not None
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            prim_mst_fem(Graph())
+
+    def test_disconnected_graph_rejected(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(1, 0, 1.0)
+        graph.add_edge(5, 6, 1.0)
+        graph.add_edge(6, 5, 1.0)
+        with pytest.raises(InvalidQueryError):
+            prim_mst_fem(graph, root=0)
+
+
+class TestReachabilityViaFEM:
+    def test_matches_bfs_reachability(self):
+        graph = random_graph(80, avg_degree=1.5, seed=4)
+        source = 0
+        expected_size = reachable_set_size(graph, source)
+        reached = reachable_set_fem(graph, source)
+        assert len(reached) == expected_size
+
+    def test_is_reachable(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(1, 2, 1.0)
+        graph.add_node(9)
+        assert is_reachable_fem(graph, 0, 2)
+        assert not is_reachable_fem(graph, 0, 9)
+
+    def test_directed_reachability(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 1.0)
+        assert is_reachable_fem(graph, 0, 1)
+        assert not is_reachable_fem(graph, 1, 0)

@@ -1,0 +1,94 @@
+"""Tests for dataset stand-ins, edge-list I/O and graph statistics."""
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.datasets import (
+    dataset_spec,
+    dataset_statistics,
+    dblp_standin,
+    googleweb_standin,
+    list_datasets,
+    livejournal_standin,
+    load_dataset,
+)
+from repro.graph.generators import random_graph
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+class TestDatasets:
+    def test_known_datasets(self):
+        assert list_datasets() == ["dblp", "googleweb", "livejournal"]
+
+    def test_spec_matches_paper_table1(self):
+        spec = dataset_spec("livejournal")
+        assert spec.paper_nodes == 4_847_571
+        assert spec.paper_edges == 43_110_428
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            dataset_spec("twitter")
+
+    def test_standins_scale_down(self):
+        graph = dblp_standin(scale=1 / 1000)
+        spec = dataset_spec("dblp")
+        assert graph.num_nodes < spec.paper_nodes
+        assert graph.num_nodes >= 200
+
+    def test_explicit_node_count(self):
+        graph = googleweb_standin(num_nodes=300)
+        assert graph.num_nodes == 300
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            load_dataset("dblp", num_nodes=0)
+
+    def test_avg_degree_close_to_paper(self):
+        """The stand-in keeps the original's average degree within a factor
+        of two (the generator rounds edges-per-node)."""
+        spec = dataset_spec("livejournal")
+        graph = livejournal_standin(num_nodes=500)
+        standin_degree = graph.num_edges / graph.num_nodes
+        assert standin_degree > spec.avg_degree / 2
+        assert standin_degree < spec.avg_degree * 2
+
+    def test_dataset_statistics_rows(self):
+        rows = dataset_statistics(scale=1 / 2000)
+        assert {row["dataset"] for row in rows} == set(list_datasets())
+        for row in rows:
+            assert row["standin_nodes"] > 0
+            assert row["standin_edges"] > 0
+
+
+class TestEdgeListIO:
+    def test_round_trip(self, tmp_path):
+        graph = random_graph(30, seed=5)
+        path = tmp_path / "graph.txt"
+        written = write_edge_list(graph, path)
+        assert written == graph.num_edges
+        loaded = read_edge_list(path)
+        assert sorted(loaded.edge_triples()) == sorted(graph.edge_triples())
+
+    def test_read_two_column_file(self, tmp_path):
+        path = tmp_path / "pairs.txt"
+        path.write_text("# comment\n1 2\n2 3\n", encoding="utf-8")
+        graph = read_edge_list(path, default_cost=7.0)
+        assert graph.edge_cost(1, 2) == 7.0
+
+    def test_read_comma_separated(self, tmp_path):
+        path = tmp_path / "pairs.csv"
+        path.write_text("1,2,3.5\n", encoding="utf-8")
+        graph = read_edge_list(path)
+        assert graph.edge_cost(1, 2) == 3.5
+
+    def test_bad_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 3 4 5\n", encoding="utf-8")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_non_numeric_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b c\n", encoding="utf-8")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)

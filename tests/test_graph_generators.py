@@ -1,0 +1,111 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graph.generators import (
+    complete_graph,
+    grid_graph,
+    path_graph,
+    power_law_graph,
+    random_graph,
+    star_graph,
+)
+from repro.graph.stats import compute_statistics, degree_histogram
+
+
+class TestRandomGraph:
+    def test_node_and_edge_counts(self):
+        graph = random_graph(100, avg_degree=3.0, seed=1)
+        assert graph.num_nodes == 100
+        assert graph.num_edges == 300
+
+    def test_weights_in_default_range(self):
+        graph = random_graph(50, seed=2)
+        for edge in graph.edges():
+            assert 1 <= edge.cost <= 100
+
+    def test_custom_weight_range(self):
+        graph = random_graph(50, weight_range=(5, 5), seed=2)
+        assert all(edge.cost == 5 for edge in graph.edges())
+
+    def test_deterministic_for_seed(self):
+        first = random_graph(60, seed=9)
+        second = random_graph(60, seed=9)
+        assert sorted(first.edge_triples()) == sorted(second.edge_triples())
+
+    def test_different_seeds_differ(self):
+        first = random_graph(60, seed=1)
+        second = random_graph(60, seed=2)
+        assert sorted(first.edge_triples()) != sorted(second.edge_triples())
+
+    def test_no_self_loops(self):
+        graph = random_graph(40, seed=3)
+        assert all(edge.fid != edge.tid for edge in graph.edges())
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            random_graph(0)
+
+
+class TestPowerLawGraph:
+    def test_counts(self):
+        graph = power_law_graph(200, edges_per_node=2, seed=1)
+        assert graph.num_nodes == 200
+        assert graph.num_edges > 200
+
+    def test_degree_skew(self):
+        """Preferential attachment must produce a hub much larger than the
+        median degree."""
+        graph = power_law_graph(400, edges_per_node=2, seed=5)
+        histogram = degree_histogram(graph)
+        max_degree = max(histogram)
+        degrees = sorted(
+            degree for degree, count in histogram.items() for _ in range(count)
+        )
+        median_degree = degrees[len(degrees) // 2]
+        assert max_degree >= 4 * median_degree
+
+    def test_deterministic(self):
+        first = power_law_graph(100, seed=4)
+        second = power_law_graph(100, seed=4)
+        assert sorted(first.edge_triples()) == sorted(second.edge_triples())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            power_law_graph(0)
+        with pytest.raises(ValueError):
+            power_law_graph(10, edges_per_node=0)
+
+
+class TestStructuredGraphs:
+    def test_grid_counts(self):
+        graph = grid_graph(3, 4)
+        assert graph.num_nodes == 12
+        # 3*3 horizontal + 2*4 vertical undirected edges, stored twice.
+        assert graph.num_edges == 2 * (3 * 3 + 2 * 4)
+
+    def test_grid_invalid(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 5)
+
+    def test_path_graph_distances(self):
+        graph = path_graph(5, weight_range=(1, 1))
+        assert graph.num_nodes == 5
+        assert graph.edge_cost(0, 1) == 1
+        assert graph.edge_cost(4, 3) == 1
+
+    def test_star_graph(self):
+        graph = star_graph(6)
+        assert graph.num_nodes == 7
+        assert graph.out_degree(0) == 6
+
+    def test_complete_graph(self):
+        graph = complete_graph(5)
+        assert graph.num_edges == 5 * 4
+
+    def test_statistics(self):
+        graph = grid_graph(4, 4, seed=0)
+        stats = compute_statistics(graph)
+        assert stats.num_nodes == 16
+        assert stats.min_edge_weight >= 1
+        assert stats.num_reachable_from_sample == 16

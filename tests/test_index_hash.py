@@ -1,0 +1,77 @@
+"""Tests for the hash index."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DuplicateKeyError
+from repro.index.hash_index import HashIndex
+
+
+class TestHashIndex:
+    def test_insert_and_search(self):
+        index = HashIndex()
+        index.insert("k", 1)
+        assert index.search("k") == [1]
+        assert index.contains("k")
+        assert not index.contains("missing")
+
+    def test_duplicates_accumulate(self):
+        index = HashIndex()
+        index.insert(1, "a")
+        index.insert(1, "b")
+        assert sorted(index.search(1)) == ["a", "b"]
+        assert len(index) == 2
+
+    def test_unique_mode(self):
+        index = HashIndex(unique=True)
+        index.insert(1, "a")
+        with pytest.raises(DuplicateKeyError):
+            index.insert(1, "b")
+
+    def test_delete_all_for_key(self):
+        index = HashIndex()
+        index.insert(1, "a")
+        index.insert(1, "b")
+        assert index.delete(1) == 2
+        assert index.search(1) == []
+
+    def test_delete_single_value(self):
+        index = HashIndex()
+        index.insert(1, "a")
+        index.insert(1, "b")
+        assert index.delete(1, "a") == 1
+        assert index.search(1) == ["b"]
+
+    def test_delete_missing(self):
+        index = HashIndex()
+        assert index.delete(9) == 0
+        index.insert(9, "x")
+        assert index.delete(9, "y") == 0
+
+    def test_items_and_keys(self):
+        index = HashIndex()
+        index.insert(1, "a")
+        index.insert(2, "b")
+        assert sorted(index.items()) == [(1, "a"), (2, "b")]
+        assert sorted(index.keys()) == [1, 2]
+
+    def test_clear(self):
+        index = HashIndex()
+        index.insert(1, "a")
+        index.clear()
+        assert len(index) == 0
+        assert not index.contains(1)
+
+
+@settings(max_examples=75, deadline=None)
+@given(entries=st.lists(st.tuples(st.integers(-50, 50), st.integers()), max_size=150))
+def test_property_hash_index_matches_dict(entries):
+    """The hash index behaves like a plain dict of lists."""
+    index = HashIndex()
+    reference: dict = {}
+    for key, value in entries:
+        index.insert(key, value)
+        reference.setdefault(key, []).append(value)
+    assert len(index) == sum(len(values) for values in reference.values())
+    for key, values in reference.items():
+        assert index.search(key) == values

@@ -1,0 +1,164 @@
+"""Tests for the in-memory competitors (MDJ, MBDJ, BFS)."""
+
+import random
+
+import pytest
+
+from repro.errors import NodeNotFoundError, PathNotFoundError
+from repro.graph.generators import grid_graph, path_graph, power_law_graph, random_graph
+from repro.graph.model import Graph
+from repro.memory.bfs import bfs_distances, bfs_shortest_path
+from repro.memory.bidirectional import bidirectional_dijkstra
+from repro.memory.dijkstra import (
+    dijkstra_shortest_path,
+    single_source_distances,
+)
+
+
+class TestDijkstra:
+    def test_path_graph_distance(self):
+        graph = path_graph(6, weight_range=(1, 1))
+        result = dijkstra_shortest_path(graph, 0, 5)
+        assert result.distance == 5
+        assert result.path == [0, 1, 2, 3, 4, 5]
+
+    def test_source_equals_target(self):
+        graph = path_graph(3)
+        result = dijkstra_shortest_path(graph, 1, 1)
+        assert result.distance == 0
+        assert result.path == [1]
+
+    def test_prefers_cheaper_detour(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 10.0)
+        graph.add_edge(0, 2, 1.0)
+        graph.add_edge(2, 1, 1.0)
+        result = dijkstra_shortest_path(graph, 0, 1)
+        assert result.distance == 2.0
+        assert result.path == [0, 2, 1]
+
+    def test_unreachable_raises(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 1.0)
+        graph.add_node(5)
+        with pytest.raises(PathNotFoundError):
+            dijkstra_shortest_path(graph, 0, 5)
+
+    def test_unknown_node_raises(self):
+        graph = path_graph(3)
+        with pytest.raises(NodeNotFoundError):
+            dijkstra_shortest_path(graph, 0, 99)
+
+    def test_directed_edges_respected(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 1.0)
+        with pytest.raises(PathNotFoundError):
+            dijkstra_shortest_path(graph, 1, 0)
+
+    def test_settled_counter(self):
+        graph = grid_graph(4, 4, seed=1)
+        result = dijkstra_shortest_path(graph, 0, 15)
+        assert 0 < result.settled <= 16
+
+
+class TestSingleSourceDistances:
+    def test_full_distances(self):
+        graph = path_graph(5, weight_range=(2, 2))
+        distances = single_source_distances(graph, 0)
+        assert distances == {0: 0, 1: 2, 2: 4, 3: 6, 4: 8}
+
+    def test_bounded_distances(self):
+        graph = path_graph(5, weight_range=(2, 2))
+        distances = single_source_distances(graph, 0, max_distance=4)
+        assert distances == {0: 0, 1: 2, 2: 4}
+
+    def test_unreachable_excluded(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 1.0)
+        graph.add_node(9)
+        assert 9 not in single_source_distances(graph, 0)
+
+
+class TestBidirectionalDijkstra:
+    def test_simple_case(self):
+        graph = grid_graph(4, 4, seed=3)
+        expected = dijkstra_shortest_path(graph, 0, 15)
+        result = bidirectional_dijkstra(graph, 0, 15)
+        assert result.distance == expected.distance
+
+    def test_source_equals_target(self):
+        graph = path_graph(4)
+        assert bidirectional_dijkstra(graph, 2, 2).distance == 0
+
+    def test_unreachable(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 1.0)
+        graph.add_node(5)
+        with pytest.raises(PathNotFoundError):
+            bidirectional_dijkstra(graph, 0, 5)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_matches_unidirectional_on_random_graphs(self, seed):
+        graph = random_graph(120, avg_degree=4.0, seed=seed)
+        rng = random.Random(seed)
+        nodes = sorted(graph.nodes())
+        checked = 0
+        while checked < 5:
+            source, target = rng.choice(nodes), rng.choice(nodes)
+            try:
+                expected = dijkstra_shortest_path(graph, source, target)
+            except PathNotFoundError:
+                continue
+            result = bidirectional_dijkstra(graph, source, target)
+            assert abs(result.distance - expected.distance) < 1e-9
+            # The returned path must be a real path of the reported length.
+            total = sum(
+                graph.edge_cost(a, b) for a, b in zip(result.path, result.path[1:])
+            )
+            assert abs(total - result.distance) < 1e-9
+            checked += 1
+
+    def test_settled_fewer_than_unidirectional_on_power_graph(self):
+        """The motivation for bi-directional search: smaller search space."""
+        graph = power_law_graph(400, edges_per_node=2, seed=9)
+        rng = random.Random(1)
+        nodes = sorted(graph.nodes())
+        wins = 0
+        trials = 0
+        while trials < 8:
+            source, target = rng.choice(nodes), rng.choice(nodes)
+            if source == target:
+                continue
+            try:
+                uni = dijkstra_shortest_path(graph, source, target)
+            except PathNotFoundError:
+                continue
+            bi = bidirectional_dijkstra(graph, source, target)
+            trials += 1
+            if bi.settled <= uni.settled:
+                wins += 1
+        assert wins >= trials // 2
+
+
+class TestBFS:
+    def test_hop_distances(self):
+        graph = path_graph(5)
+        assert bfs_distances(graph, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_shortest_hop_path(self):
+        graph = grid_graph(3, 3, seed=1)
+        path = bfs_shortest_path(graph, 0, 8)
+        assert path[0] == 0 and path[-1] == 8
+        assert len(path) == 5  # 4 hops across a 3x3 grid
+
+    def test_unreachable(self):
+        graph = Graph()
+        graph.add_edge(0, 1, 1.0)
+        graph.add_node(7)
+        with pytest.raises(PathNotFoundError):
+            bfs_shortest_path(graph, 0, 7)
+
+    def test_unknown_source(self):
+        graph = path_graph(3)
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(graph, 99)

@@ -1,0 +1,184 @@
+"""Tests for the physical query operators."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.rdb.engine import Database
+from repro.rdb.expressions import col
+from repro.rdb.operators import (
+    Aggregate,
+    Filter,
+    HashJoin,
+    IndexNestedLoopJoin,
+    IndexScan,
+    Limit,
+    NestedLoopJoin,
+    Project,
+    Rows,
+    SeqScan,
+    Sort,
+    scalar,
+)
+from repro.rdb.schema import Column
+from repro.rdb.types import FLOAT, INTEGER
+
+
+@pytest.fixture
+def database():
+    db = Database(buffer_capacity=16)
+    yield db
+    db.close()
+
+
+@pytest.fixture
+def edges(database):
+    table = database.create_table(
+        "TEdges",
+        [Column("fid", INTEGER), Column("tid", INTEGER), Column("cost", FLOAT)],
+    )
+    table.create_index("fid")
+    table.insert_many(
+        [
+            {"fid": 1, "tid": 2, "cost": 4.0},
+            {"fid": 1, "tid": 3, "cost": 2.0},
+            {"fid": 2, "tid": 3, "cost": 1.0},
+            {"fid": 3, "tid": 4, "cost": 5.0},
+        ]
+    )
+    return table
+
+
+@pytest.fixture
+def visited(database):
+    table = database.create_table(
+        "TVisited",
+        [Column("nid", INTEGER), Column("d2s", FLOAT), Column("f", INTEGER)],
+    )
+    table.insert_many(
+        [
+            {"nid": 1, "d2s": 0.0, "f": 1},
+            {"nid": 2, "d2s": 4.0, "f": 0},
+            {"nid": 3, "d2s": 2.0, "f": 0},
+        ]
+    )
+    return table
+
+
+class TestScans:
+    def test_seq_scan(self, edges):
+        assert len(SeqScan(edges).rows()) == 4
+
+    def test_seq_scan_with_alias(self, edges):
+        row = SeqScan(edges, alias="e").rows()[0]
+        assert set(row) == {"e.fid", "e.tid", "e.cost"}
+
+    def test_index_scan_equality(self, edges):
+        rows = IndexScan(edges, "fid", key=1).rows()
+        assert {row["tid"] for row in rows} == {2, 3}
+
+    def test_index_scan_range(self, edges):
+        rows = IndexScan(edges, "fid", low=2, high=3).rows()
+        assert {row["fid"] for row in rows} == {2, 3}
+
+    def test_index_scan_requires_key_or_range(self, edges):
+        with pytest.raises(QueryError):
+            IndexScan(edges, "fid")
+
+    def test_rows_operator(self):
+        rows = Rows([{"a": 1}, {"a": 2}], alias="r").rows()
+        assert rows == [{"r.a": 1}, {"r.a": 2}]
+
+
+class TestFilterProject:
+    def test_filter(self, visited):
+        rows = Filter(SeqScan(visited), col("f").eq(0)).rows()
+        assert {row["nid"] for row in rows} == {2, 3}
+
+    def test_filter_with_callable(self, visited):
+        rows = Filter(SeqScan(visited), lambda row: row["d2s"] > 1.0).rows()
+        assert {row["nid"] for row in rows} == {2, 3}
+
+    def test_project(self, visited):
+        rows = Project(SeqScan(visited), {"nid": col("nid"),
+                                           "double": col("d2s") * 2}).rows()
+        assert {row["nid"]: row["double"] for row in rows} == {1: 0.0, 2: 8.0, 3: 4.0}
+
+
+class TestJoins:
+    def test_nested_loop_join(self, visited, edges):
+        joined = NestedLoopJoin(
+            SeqScan(visited), SeqScan(edges, alias="e"),
+            lambda row: row["nid"] == row["e.fid"],
+        ).rows()
+        assert len(joined) == 4
+
+    def test_index_nested_loop_join(self, visited, edges):
+        frontier = Filter(SeqScan(visited), col("f").eq(0))
+        joined = IndexNestedLoopJoin(frontier, edges, outer_key=col("nid"),
+                                     inner_column="fid", inner_alias="e").rows()
+        # Node 2 has one outgoing edge, node 3 has one.
+        assert len(joined) == 2
+        assert all("e.tid" in row and "nid" in row for row in joined)
+
+    def test_index_nested_loop_join_residual(self, visited, edges):
+        joined = IndexNestedLoopJoin(
+            SeqScan(visited), edges, outer_key=col("nid"), inner_column="fid",
+            inner_alias="e", residual=lambda row: row["e.cost"] > 2.0,
+        ).rows()
+        assert all(row["e.cost"] > 2.0 for row in joined)
+
+    def test_hash_join(self, visited, edges):
+        joined = HashJoin(SeqScan(visited), SeqScan(edges, alias="e"),
+                          left_key=col("nid"), right_key=col("e.fid")).rows()
+        assert len(joined) == 4
+
+
+class TestSortLimitAggregate:
+    def test_sort_ascending(self, visited):
+        rows = Sort(SeqScan(visited), [(col("d2s"), True)]).rows()
+        assert [row["nid"] for row in rows] == [1, 3, 2]
+
+    def test_sort_descending(self, visited):
+        rows = Sort(SeqScan(visited), [(col("d2s"), False)]).rows()
+        assert [row["nid"] for row in rows] == [2, 3, 1]
+
+    def test_sort_multiple_keys(self, visited):
+        rows = Sort(SeqScan(visited), [(col("f"), True), (col("d2s"), False)]).rows()
+        assert [row["nid"] for row in rows] == [2, 3, 1]
+
+    def test_limit(self, visited):
+        assert len(Limit(SeqScan(visited), 2).rows()) == 2
+        assert Limit(SeqScan(visited), 0).rows() == []
+        with pytest.raises(QueryError):
+            Limit(SeqScan(visited), -1)
+
+    def test_aggregate_global(self, visited):
+        rows = Aggregate(SeqScan(visited), [], {
+            "min_d": ("min", col("d2s")),
+            "max_d": ("max", col("d2s")),
+            "count": ("count", col("nid")),
+            "avg_d": ("avg", col("d2s")),
+            "sum_d": ("sum", col("d2s")),
+        }).rows()
+        assert rows == [{"min_d": 0.0, "max_d": 4.0, "count": 3,
+                         "avg_d": 2.0, "sum_d": 6.0}]
+
+    def test_aggregate_group_by(self, edges):
+        rows = Aggregate(SeqScan(edges), ["fid"], {
+            "min_cost": ("min", col("cost")),
+        }).rows()
+        assert {row["fid"]: row["min_cost"] for row in rows} == {1: 2.0, 2: 1.0, 3: 5.0}
+
+    def test_aggregate_empty_input_global(self):
+        rows = Aggregate(Rows([]), [], {"count": ("count", col("x"))}).rows()
+        assert rows == [{"count": 0}]
+
+    def test_aggregate_unknown_function(self, visited):
+        with pytest.raises(QueryError):
+            Aggregate(SeqScan(visited), [], {"x": ("median", col("d2s"))})
+
+    def test_scalar_helper(self, visited):
+        value = scalar(Aggregate(Filter(SeqScan(visited), col("f").eq(0)), [],
+                                 {"m": ("min", col("d2s"))}), "m")
+        assert value == 2.0
+        assert scalar(Rows([]), "m") is None

@@ -1,0 +1,144 @@
+"""Tests for column types, schemas and expressions."""
+
+import pytest
+
+from repro.errors import QueryError, SchemaError, TypeMismatchError
+from repro.rdb.expressions import BinaryOp, col, lit, as_callable
+from repro.rdb.schema import Column, TableSchema
+from repro.rdb.types import FLOAT, INTEGER, TEXT, coerce_value, python_type
+
+
+class TestTypes:
+    def test_python_types(self):
+        assert python_type(INTEGER) is int
+        assert python_type(FLOAT) is float
+        assert python_type(TEXT) is str
+
+    def test_python_type_unknown(self):
+        with pytest.raises(TypeMismatchError):
+            python_type("BLOB")
+
+    def test_coerce_integer(self):
+        assert coerce_value(5, INTEGER) == 5
+        assert coerce_value(True, INTEGER) == 1
+        assert coerce_value(5.0, INTEGER) == 5
+
+    def test_coerce_integer_rejects_fraction(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(5.5, INTEGER)
+
+    def test_coerce_float(self):
+        assert coerce_value(5, FLOAT) == 5.0
+        assert coerce_value(2.5, FLOAT) == 2.5
+        with pytest.raises(TypeMismatchError):
+            coerce_value("x", FLOAT)
+
+    def test_coerce_text(self):
+        assert coerce_value("abc", TEXT) == "abc"
+        with pytest.raises(TypeMismatchError):
+            coerce_value(5, TEXT)
+
+    def test_null_handling(self):
+        assert coerce_value(None, INTEGER) is None
+        with pytest.raises(TypeMismatchError):
+            coerce_value(None, INTEGER, nullable=False)
+
+
+class TestSchema:
+    def make_schema(self) -> TableSchema:
+        return TableSchema(
+            "TEdges",
+            [Column("fid", INTEGER), Column("tid", INTEGER), Column("cost", FLOAT)],
+        )
+
+    def test_column_validation(self):
+        with pytest.raises(SchemaError):
+            Column("bad name", INTEGER)
+        with pytest.raises(SchemaError):
+            Column("x", "BLOB")
+
+    def test_schema_requires_columns(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_duplicate_column_names(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", INTEGER), Column("a", FLOAT)])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", INTEGER)], primary_key="b")
+
+    def test_positions_and_lookup(self):
+        schema = self.make_schema()
+        assert schema.column_names == ["fid", "tid", "cost"]
+        assert schema.position("cost") == 2
+        assert schema.column("tid").type == INTEGER
+        assert schema.has_column("fid")
+        assert not schema.has_column("missing")
+        with pytest.raises(SchemaError):
+            schema.position("missing")
+
+    def test_row_to_tuple_and_back(self):
+        schema = self.make_schema()
+        values = schema.row_to_tuple({"fid": 1, "tid": 2, "cost": 3})
+        assert values == (1, 2, 3.0)
+        assert schema.tuple_to_row(values) == {"fid": 1, "tid": 2, "cost": 3.0}
+
+    def test_missing_columns_become_null(self):
+        schema = self.make_schema()
+        assert schema.row_to_tuple({"fid": 1}) == (1, None, None)
+
+    def test_unknown_column_rejected(self):
+        schema = self.make_schema()
+        with pytest.raises(SchemaError):
+            schema.row_to_tuple({"fid": 1, "oops": 2})
+
+    def test_tuple_arity_checked(self):
+        schema = self.make_schema()
+        with pytest.raises(SchemaError):
+            schema.tuple_to_row((1, 2))
+
+
+class TestExpressions:
+    def test_column_and_literal(self):
+        row = {"a": 3, "b": 4}
+        assert col("a")(row) == 3
+        assert lit(7)(row) == 7
+
+    def test_missing_column_raises(self):
+        with pytest.raises(QueryError):
+            col("missing")({"a": 1})
+
+    def test_arithmetic(self):
+        row = {"a": 3, "b": 4}
+        assert (col("a") + col("b"))(row) == 7
+        assert (col("a") - 1)(row) == 2
+        assert (col("a") * 2)(row) == 6
+
+    def test_comparisons(self):
+        row = {"a": 3}
+        assert (col("a") < 5)(row) is True
+        assert (col("a") >= 5)(row) is False
+        assert col("a").eq(3)(row) is True
+        assert col("a").ne(3)(row) is False
+
+    def test_boolean_connectives(self):
+        row = {"a": 3, "b": 0}
+        assert (col("a").eq(3)).and_(col("b").eq(0))(row) is True
+        assert (col("a").eq(9)).or_(col("b").eq(0))(row) is True
+
+    def test_null_propagation(self):
+        row = {"a": None}
+        assert (col("a") + 1)(row) is None
+        assert (col("a") < 1)(row) is None
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError):
+            BinaryOp("%%", lit(1), lit(2))
+
+    def test_as_callable(self):
+        assert as_callable(lambda row: 5)({}) == 5
+        assert as_callable(lit(2))({}) == 2
+        with pytest.raises(QueryError):
+            as_callable(42)

@@ -1,0 +1,153 @@
+"""Tests for the disk managers and the buffer pool."""
+
+import pytest
+
+from repro.errors import BufferPoolError, DiskError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import FileDiskManager, InMemoryDiskManager, open_disk
+
+
+class TestDiskManagers:
+    def test_allocate_and_rw_in_memory(self):
+        disk = InMemoryDiskManager(page_size=256)
+        page_id = disk.allocate_page()
+        data = bytearray(b"\x07" * 256)
+        disk.write_page(page_id, bytes(data))
+        assert disk.read_page(page_id) == data
+        assert disk.reads == 1 and disk.writes == 1
+
+    def test_unallocated_page_rejected(self):
+        disk = InMemoryDiskManager()
+        with pytest.raises(DiskError):
+            disk.read_page(0)
+
+    def test_wrong_size_write_rejected(self):
+        disk = InMemoryDiskManager(page_size=256)
+        page_id = disk.allocate_page()
+        with pytest.raises(DiskError):
+            disk.write_page(page_id, b"short")
+
+    def test_file_disk_round_trip(self, tmp_path):
+        disk = FileDiskManager(str(tmp_path / "pages.db"), page_size=256)
+        first = disk.allocate_page()
+        second = disk.allocate_page()
+        disk.write_page(first, b"\x01" * 256)
+        disk.write_page(second, b"\x02" * 256)
+        assert disk.read_page(first) == bytearray(b"\x01" * 256)
+        assert disk.read_page(second) == bytearray(b"\x02" * 256)
+        disk.close()
+
+    def test_open_disk_dispatch(self, tmp_path):
+        assert isinstance(open_disk(None), InMemoryDiskManager)
+        file_backed = open_disk(str(tmp_path / "x.db"))
+        assert isinstance(file_backed, FileDiskManager)
+        file_backed.close()
+
+    def test_reset_counters(self):
+        disk = InMemoryDiskManager()
+        page_id = disk.allocate_page()
+        disk.read_page(page_id)
+        disk.reset_counters()
+        assert disk.reads == 0
+
+    def test_page_size_validation(self):
+        with pytest.raises(ValueError):
+            InMemoryDiskManager(page_size=8)
+
+
+class TestBufferPool:
+    def make_pool(self, capacity=4):
+        return BufferPool(InMemoryDiskManager(page_size=256), capacity=capacity)
+
+    def test_new_page_is_pinned(self):
+        pool = self.make_pool()
+        page = pool.new_page()
+        with pytest.raises(BufferPoolError):
+            # Cannot be evicted while pinned, so filling the pool fails.
+            for _ in range(10):
+                pool.new_page()
+        assert page.page_id == 0
+
+    def test_fetch_hit_and_miss(self):
+        pool = self.make_pool()
+        page = pool.new_page()
+        pool.unpin(page.page_id, dirty=True)
+        pool.fetch_page(page.page_id)
+        pool.unpin(page.page_id)
+        assert pool.stats.hits == 1
+        # Evict by filling the pool, then refetch -> miss.
+        for _ in range(4):
+            extra = pool.new_page()
+            pool.unpin(extra.page_id, dirty=True)
+        pool.fetch_page(page.page_id)
+        assert pool.stats.misses >= 1
+
+    def test_dirty_page_survives_eviction(self):
+        pool = self.make_pool(capacity=2)
+        page = pool.new_page()
+        slot = page.insert(b"payload")
+        pool.unpin(page.page_id, dirty=True)
+        for _ in range(3):
+            extra = pool.new_page()
+            pool.unpin(extra.page_id, dirty=True)
+        reloaded = pool.fetch_page(page.page_id)
+        assert reloaded.read(slot) == b"payload"
+        pool.unpin(page.page_id)
+
+    def test_unpin_unknown_page(self):
+        pool = self.make_pool()
+        with pytest.raises(BufferPoolError):
+            pool.unpin(99)
+
+    def test_unpin_not_pinned(self):
+        pool = self.make_pool()
+        page = pool.new_page()
+        pool.unpin(page.page_id)
+        with pytest.raises(BufferPoolError):
+            pool.unpin(page.page_id)
+
+    def test_context_manager(self):
+        pool = self.make_pool()
+        page = pool.new_page()
+        pool.unpin(page.page_id, dirty=True)
+        with pool.page(page.page_id) as fetched:
+            assert fetched.page_id == page.page_id
+
+    def test_set_capacity_shrinks(self):
+        pool = self.make_pool(capacity=8)
+        for _ in range(6):
+            page = pool.new_page()
+            pool.unpin(page.page_id, dirty=True)
+        pool.set_capacity(2)
+        assert pool.num_resident <= 2
+
+    def test_smaller_buffer_means_more_misses(self):
+        """The mechanism behind Figure 8(b): shrinking the buffer increases
+        physical reads for the same access pattern."""
+        def run(capacity):
+            disk = InMemoryDiskManager(page_size=256)
+            pool = BufferPool(disk, capacity=capacity)
+            pages = []
+            for _ in range(12):
+                page = pool.new_page()
+                pool.unpin(page.page_id, dirty=True)
+                pages.append(page.page_id)
+            for _ in range(3):
+                for page_id in pages:
+                    pool.fetch_page(page_id)
+                    pool.unpin(page_id)
+            return pool.stats.misses
+
+        assert run(capacity=2) > run(capacity=16)
+
+    def test_hit_ratio(self):
+        pool = self.make_pool()
+        page = pool.new_page()
+        pool.unpin(page.page_id)
+        pool.fetch_page(page.page_id)
+        pool.unpin(page.page_id)
+        assert 0.0 < pool.stats.hit_ratio <= 1.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            self.make_pool(capacity=0)

@@ -1,0 +1,163 @@
+"""Unit and property-based tests for the slotted page."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PageError, PageFullError
+from repro.storage.page import HEADER_SIZE, RecordId, SlottedPage
+
+
+class TestSlottedPageBasics:
+    def test_new_page_is_empty(self):
+        page = SlottedPage(0, page_size=512)
+        assert page.num_records == 0
+        assert page.num_slots == 0
+        assert page.free_space() == 512 - HEADER_SIZE
+
+    def test_insert_and_read(self):
+        page = SlottedPage(0, page_size=512)
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+        assert page.num_records == 1
+
+    def test_multiple_inserts_have_distinct_slots(self):
+        page = SlottedPage(0, page_size=512)
+        slots = [page.insert(f"rec{i}".encode()) for i in range(5)]
+        assert len(set(slots)) == 5
+        for index, slot in enumerate(slots):
+            assert page.read(slot) == f"rec{index}".encode()
+
+    def test_empty_record_rejected(self):
+        page = SlottedPage(0, page_size=512)
+        with pytest.raises(PageError):
+            page.insert(b"")
+
+    def test_oversized_record_rejected(self):
+        page = SlottedPage(0, page_size=256)
+        with pytest.raises(PageError):
+            page.insert(b"x" * 10_000)
+
+    def test_page_full(self):
+        page = SlottedPage(0, page_size=128)
+        with pytest.raises(PageFullError):
+            for _ in range(100):
+                page.insert(b"x" * 16)
+
+    def test_delete_and_reuse_slot(self):
+        page = SlottedPage(0, page_size=512)
+        slot = page.insert(b"first")
+        page.delete(slot)
+        assert page.num_records == 0
+        new_slot = page.insert(b"second")
+        assert new_slot == slot
+        assert page.read(new_slot) == b"second"
+
+    def test_read_deleted_slot_raises(self):
+        page = SlottedPage(0, page_size=512)
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(PageError):
+            page.read(slot)
+
+    def test_double_delete_raises(self):
+        page = SlottedPage(0, page_size=512)
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(PageError):
+            page.delete(slot)
+
+    def test_out_of_range_slot(self):
+        page = SlottedPage(0, page_size=512)
+        with pytest.raises(PageError):
+            page.read(3)
+
+
+class TestSlottedPageUpdate:
+    def test_update_same_size(self):
+        page = SlottedPage(0, page_size=512)
+        slot = page.insert(b"aaaa")
+        assert page.update(slot, b"bbbb")
+        assert page.read(slot) == b"bbbb"
+
+    def test_update_smaller(self):
+        page = SlottedPage(0, page_size=512)
+        slot = page.insert(b"aaaaaaaa")
+        assert page.update(slot, b"bb")
+        assert page.read(slot) == b"bb"
+
+    def test_update_larger_with_space(self):
+        page = SlottedPage(0, page_size=512)
+        slot = page.insert(b"aa")
+        assert page.update(slot, b"b" * 64)
+        assert page.read(slot) == b"b" * 64
+
+    def test_update_larger_without_space(self):
+        page = SlottedPage(0, page_size=96)
+        slot = page.insert(b"a" * 40)
+        assert page.update(slot, b"b" * 4000) is False
+        assert page.read(slot) == b"a" * 40
+
+    def test_update_preserves_other_records(self):
+        page = SlottedPage(0, page_size=512)
+        first = page.insert(b"first")
+        second = page.insert(b"second")
+        page.update(first, b"FIRST!")
+        assert page.read(second) == b"second"
+
+
+class TestSlottedPagePersistence:
+    def test_round_trip_through_bytes(self):
+        page = SlottedPage(7, page_size=512)
+        page.insert(b"alpha")
+        page.insert(b"beta")
+        restored = SlottedPage(7, bytearray(page.to_bytes()))
+        assert dict(restored.records()) == dict(page.records())
+
+    def test_compact_reclaims_space(self):
+        page = SlottedPage(0, page_size=256)
+        slots = [page.insert(b"x" * 30) for _ in range(5)]
+        for slot in slots[:4]:
+            page.delete(slot)
+        free_before = page.free_space()
+        page.compact()
+        assert page.free_space() > free_before
+        assert page.read(slots[4]) == b"x" * 30
+
+
+class TestRecordId:
+    def test_ordering(self):
+        assert RecordId(0, 1) < RecordId(0, 2) < RecordId(1, 0)
+
+    def test_equality(self):
+        assert RecordId(3, 4) == RecordId(3, 4)
+
+
+@settings(max_examples=50, deadline=None)
+@given(records=st.lists(st.binary(min_size=1, max_size=40), min_size=1, max_size=30))
+def test_property_insert_then_read_back(records):
+    """Whatever fits in the page must read back byte-identical."""
+    page = SlottedPage(0, page_size=4096)
+    stored = {}
+    for record in records:
+        slot = page.insert(record)
+        stored[slot] = record
+    for slot, record in stored.items():
+        assert page.read(slot) == record
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    records=st.lists(st.binary(min_size=1, max_size=40), min_size=2, max_size=20),
+    data=st.data(),
+)
+def test_property_delete_subset_keeps_others(records, data):
+    """Deleting some records never disturbs the remaining ones."""
+    page = SlottedPage(0, page_size=4096)
+    slots = [page.insert(record) for record in records]
+    to_delete = data.draw(st.sets(st.sampled_from(slots), max_size=len(slots) - 1))
+    for slot in to_delete:
+        page.delete(slot)
+    page.compact()
+    for slot, record in zip(slots, records):
+        if slot not in to_delete:
+            assert page.read(slot) == record
