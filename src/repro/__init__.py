@@ -5,21 +5,36 @@ Shortest Path Discovery over Large Graphs", PVLDB 5(4), 2011*.
 
 The library stores graphs in relational tables and answers shortest-path
 queries by issuing iterative FEM (Frontier / Expand / Merge) statements
-against a relational engine — either the built-in page/buffer-pool engine
-(``repro.rdb``) or SQLite.  It implements the paper's methods DJ, BDJ, BSDJ,
-BBFS and BSEG, the SegTable index and its FEM-based construction, and the
-in-memory competitors MDJ and MBDJ.
+against a relational engine.  It implements the paper's methods DJ, BDJ,
+BSDJ, BBFS and BSEG, the SegTable index and its FEM-based construction, and
+the in-memory competitors MDJ and MBDJ.
+
+The public API is the session-based service layer in :mod:`repro.service`:
+a :class:`PathService` hosts any number of named graphs over pluggable
+store backends (``minidb`` — the built-in page/buffer-pool engine — or
+``sqlite``; more via :func:`register_backend`), plans ``method="auto"``
+queries from graph statistics, memoizes SegTable builds, and batches
+queries behind a shared LRU result cache.
 
 Quickstart::
 
-    from repro import RelationalPathFinder, power_law_graph
+    from repro import PathService, power_law_graph
 
     graph = power_law_graph(2_000, edges_per_node=3, seed=7)
-    finder = RelationalPathFinder(graph)
-    finder.build_segtable(lthd=5)
-    result = finder.shortest_path(0, 1234, method="BSEG")
-    print(result.distance, result.path)
-    finder.close()
+    with PathService() as service:
+        service.add_graph("social", graph)
+        service.build_segtable("social", lthd=5)
+        print(service.explain(0, 1234, graph="social").describe())
+        result = service.shortest_path(0, 1234, graph="social")
+        print(result.distance, result.path)
+        batch = service.shortest_path_many([(0, 1234), (3, 99)],
+                                           graph="social")
+        print(batch.distances(), batch.stats.hit_rate)
+
+Migration note: the former entry points ``RelationalPathFinder`` and the
+one-shot ``shortest_path`` remain available as deprecated shims with
+identical results — ``RelationalPathFinder(graph)`` is now spelled
+``service.add_graph(...)`` plus ``service.shortest_path(...)``.
 """
 
 from repro.core.api import (
@@ -31,7 +46,7 @@ from repro.core.api import (
 from repro.core.path import PathResult
 from repro.core.segtable import SegTableConfig, build_segtable
 from repro.core.sqlstyle import NSQL, TSQL
-from repro.core.stats import QueryStats, SegTableBuildStats
+from repro.core.stats import BatchStats, QueryStats, SegTableBuildStats
 from repro.core.store.base import IndexMode
 from repro.core.store.minidb import MiniDBGraphStore
 from repro.core.store.sqlite import SQLiteGraphStore
@@ -55,10 +70,22 @@ from repro.graph.model import Edge, Graph
 from repro.memory.bidirectional import bidirectional_dijkstra
 from repro.memory.dijkstra import dijkstra_shortest_path
 from repro.rdb.engine import Database
+from repro.service import (
+    BatchResult,
+    PathService,
+    QueryPlan,
+    QuerySpec,
+    Session,
+    available_backends,
+    register_backend,
+    unregister_backend,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchResult",
+    "BatchStats",
     "Database",
     "Edge",
     "Graph",
@@ -67,13 +94,18 @@ __all__ = [
     "MiniDBGraphStore",
     "NSQL",
     "PathResult",
+    "PathService",
+    "QueryPlan",
+    "QuerySpec",
     "QueryStats",
     "RelationalPathFinder",
     "SQLiteGraphStore",
     "SegTableBuildStats",
     "SegTableConfig",
+    "Session",
     "TSQL",
     "__version__",
+    "available_backends",
     "bidirectional_dijkstra",
     "build_segtable",
     "complete_graph",
@@ -88,8 +120,10 @@ __all__ = [
     "power_law_graph",
     "random_graph",
     "read_edge_list",
+    "register_backend",
     "shortest_path",
     "shortest_path_in_memory",
     "star_graph",
+    "unregister_backend",
     "write_edge_list",
 ]

@@ -6,6 +6,7 @@ lives here so the experiment logic is importable and unit-testable.
 """
 
 from repro.bench.harness import (
+    bench_backend,
     bench_scale,
     format_table,
     paper_reference,
@@ -21,6 +22,7 @@ from repro.bench.experiments import (
 )
 
 __all__ = [
+    "bench_backend",
     "bench_scale",
     "build_power_graph",
     "build_random_graph",

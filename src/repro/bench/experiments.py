@@ -10,15 +10,35 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.bench.harness import num_bench_queries
-from repro.core.api import RelationalPathFinder
-from repro.core.segtable import build_segtable
+from repro.bench.harness import bench_backend, num_bench_queries
 from repro.core.sqlstyle import NSQL
 from repro.core.store.base import IndexMode
 from repro.graph.generators import power_law_graph, random_graph
 from repro.graph.model import Graph
+from repro.service.session import PathService
 from repro.workloads.queries import generate_queries
-from repro.workloads.runner import MethodAggregate, run_workload
+from repro.workloads.runner import MethodAggregate, run_service_workload
+
+
+def _measurement_service(graph: Graph, backend: Optional[str] = None,
+                         buffer_capacity: int = 256,
+                         index_mode: str = IndexMode.CLUSTERED) -> PathService:
+    """Open a cache-less service hosting ``graph`` as ``"bench"``.
+
+    The result cache is disabled so every query is measured for real;
+    ``backend`` defaults to the ``REPRO_BENCH_BACKEND`` environment
+    override.
+    """
+    backend = backend or bench_backend()
+    service = PathService(default_backend=backend, cache_size=0)
+    try:
+        service.add_graph("bench", graph, backend=backend,
+                          buffer_capacity=buffer_capacity,
+                          index_mode=index_mode)
+    except Exception:
+        service.close()
+        raise
+    return service
 
 
 def build_power_graph(num_nodes: int, degree: int = 3, seed: int = 7) -> Graph:
@@ -34,45 +54,54 @@ def build_random_graph(num_nodes: int, degree: int = 3, seed: int = 11) -> Graph
 def method_comparison(graph: Graph, methods: Sequence[str],
                       num_queries: Optional[int] = None,
                       lthd: Optional[float] = None,
-                      backend: str = "minidb",
+                      backend: Optional[str] = None,
                       buffer_capacity: int = 256,
                       index_mode: str = IndexMode.CLUSTERED,
                       sql_style: str = NSQL,
                       seed: int = 0,
                       max_iterations: Optional[int] = None
                       ) -> List[MethodAggregate]:
-    """Run the same workload with every method and return the aggregates."""
+    """Run the same workload with every method and return the aggregates.
+
+    The workload goes through a :class:`~repro.service.PathService` with the
+    result cache disabled, so every query is measured for real; ``backend``
+    defaults to the ``REPRO_BENCH_BACKEND`` environment override.
+    """
     num_queries = num_queries or num_bench_queries()
     workload = generate_queries(graph, num_queries, seed=seed)
-    finder = RelationalPathFinder(graph, backend=backend,
-                                  buffer_capacity=buffer_capacity,
-                                  index_mode=index_mode)
+    service = _measurement_service(graph, backend=backend,
+                                   buffer_capacity=buffer_capacity,
+                                   index_mode=index_mode)
     try:
         if any(method.upper() == "BSEG" for method in methods):
-            finder.build_segtable(lthd if lthd is not None else 3.0,
-                                  sql_style=sql_style)
-        return [
-            run_workload(finder, workload, method, sql_style=sql_style,
-                         max_iterations=max_iterations)
-            for method in methods
-        ]
+            service.build_segtable("bench",
+                                   lthd=lthd if lthd is not None else 3.0,
+                                   sql_style=sql_style)
+        aggregates = []
+        for method in methods:
+            aggregate, _ = run_service_workload(
+                service, workload, method=method, graph="bench",
+                sql_style=sql_style, max_iterations=max_iterations)
+            aggregates.append(aggregate)
+        return aggregates
     finally:
-        finder.close()
+        service.close()
 
 
 def lthd_sweep(graph: Graph, lthds: Sequence[float],
                num_queries: Optional[int] = None,
-               backend: str = "minidb",
+               backend: Optional[str] = None,
                seed: int = 0) -> List[Dict[str, object]]:
     """Query time of BSEG as a function of the SegTable threshold."""
     num_queries = num_queries or num_bench_queries()
     workload = generate_queries(graph, num_queries, seed=seed)
     rows: List[Dict[str, object]] = []
     for lthd in lthds:
-        finder = RelationalPathFinder(graph, backend=backend)
+        service = _measurement_service(graph, backend=backend)
         try:
-            build_stats = finder.build_segtable(lthd)
-            aggregate = run_workload(finder, workload, "BSEG")
+            build_stats = service.build_segtable("bench", lthd=lthd)
+            aggregate, _ = run_service_workload(service, workload,
+                                                method="BSEG", graph="bench")
             rows.append(
                 {
                     "lthd": lthd,
@@ -83,7 +112,7 @@ def lthd_sweep(graph: Graph, lthds: Sequence[float],
                 }
             )
         finally:
-            finder.close()
+            service.close()
     return rows
 
 
@@ -96,14 +125,15 @@ def buffer_sweep(graph: Graph, capacities: Sequence[int],
     workload = generate_queries(graph, num_queries, seed=seed)
     rows: List[Dict[str, object]] = []
     for capacity in capacities:
-        finder = RelationalPathFinder(graph, backend="minidb",
-                                      buffer_capacity=capacity)
+        service = _measurement_service(graph, backend="minidb",
+                                       buffer_capacity=capacity)
         try:
             if method.upper() == "BSEG":
-                finder.build_segtable(lthd)
-            store = finder.store
+                service.build_segtable("bench", lthd=lthd)
+            store = service.store("bench")
             store.database.reset_stats()  # type: ignore[attr-defined]
-            aggregate = run_workload(finder, workload, method)
+            aggregate, _ = run_service_workload(service, workload,
+                                                method=method, graph="bench")
             buffer_stats = store.database.buffer_stats  # type: ignore[attr-defined]
             rows.append(
                 {
@@ -115,7 +145,7 @@ def buffer_sweep(graph: Graph, capacities: Sequence[int],
                 }
             )
         finally:
-            finder.close()
+            service.close()
     return rows
 
 
@@ -132,11 +162,12 @@ def index_mode_comparison(graph: Graph, method: str = "BSEG", lthd: float = 3.0,
     }
     rows: List[Dict[str, object]] = []
     for mode in (IndexMode.NONE, IndexMode.NONCLUSTERED, IndexMode.CLUSTERED):
-        finder = RelationalPathFinder(graph, backend="minidb", index_mode=mode)
+        service = _measurement_service(graph, backend="minidb", index_mode=mode)
         try:
             if method.upper() == "BSEG":
-                finder.build_segtable(lthd, index_mode=mode)
-            aggregate = run_workload(finder, workload, method)
+                service.build_segtable("bench", lthd=lthd, index_mode=mode)
+            aggregate, _ = run_service_workload(service, workload,
+                                                method=method, graph="bench")
             rows.append(
                 {
                     "index_strategy": labels[mode],
@@ -145,24 +176,27 @@ def index_mode_comparison(graph: Graph, method: str = "BSEG", lthd: float = 3.0,
                 }
             )
         finally:
-            finder.close()
+            service.close()
     return rows
 
 
 def sql_style_comparison(graph: Graph, method: str = "BSDJ",
                          num_queries: Optional[int] = None,
-                         backend: str = "minidb", lthd: Optional[float] = None,
+                         backend: Optional[str] = None, lthd: Optional[float] = None,
                          seed: int = 0) -> List[Dict[str, object]]:
     """NSQL (window function + MERGE) versus TSQL (aggregate + update/insert)."""
     num_queries = num_queries or num_bench_queries()
     workload = generate_queries(graph, num_queries, seed=seed)
     rows: List[Dict[str, object]] = []
-    finder = RelationalPathFinder(graph, backend=backend)
+    service = _measurement_service(graph, backend=backend)
     try:
         if method.upper() == "BSEG":
-            finder.build_segtable(lthd if lthd is not None else 3.0)
+            service.build_segtable("bench",
+                                   lthd=lthd if lthd is not None else 3.0)
         for style in ("nsql", "tsql"):
-            aggregate = run_workload(finder, workload, method, sql_style=style)
+            aggregate, _ = run_service_workload(service, workload,
+                                                method=method, graph="bench",
+                                                sql_style=style)
             rows.append(
                 {
                     "sql_features": "NSQL" if style == "nsql" else "TSQL",
@@ -171,7 +205,7 @@ def sql_style_comparison(graph: Graph, method: str = "BSDJ",
                 }
             )
     finally:
-        finder.close()
+        service.close()
     return rows
 
 
@@ -194,15 +228,16 @@ def operator_breakdown(graph: Graph, method: str = "BSDJ",
 
 
 def construction_sweep(graphs: Dict[str, Graph], lthds: Sequence[float],
-                       backend: str = "minidb",
+                       backend: Optional[str] = None,
                        sql_style: str = NSQL) -> List[Dict[str, object]]:
     """SegTable size and construction time across graphs and thresholds."""
     rows: List[Dict[str, object]] = []
     for graph_name, graph in graphs.items():
         for lthd in lthds:
-            finder = RelationalPathFinder(graph, backend=backend)
+            service = _measurement_service(graph, backend=backend)
             try:
-                stats = build_segtable(finder.store, lthd, sql_style=sql_style)
+                stats = service.build_segtable("bench", lthd=lthd,
+                                               sql_style=sql_style)
                 rows.append(
                     {
                         "graph": graph_name,
@@ -214,7 +249,7 @@ def construction_sweep(graphs: Dict[str, Graph], lthds: Sequence[float],
                     }
                 )
             finally:
-                finder.close()
+                service.close()
     return rows
 
 

@@ -35,6 +35,25 @@ def scaled(value: int, minimum: int = 50) -> int:
     return max(minimum, int(value * bench_scale()))
 
 
+def bench_backend(default: str = "minidb") -> str:
+    """Backend the benchmarks run against (``REPRO_BENCH_BACKEND``).
+
+    The value is validated against the backend registry, so a CI matrix can
+    re-run the whole suite on any registered engine.  Unknown names raise
+    rather than silently benchmarking the wrong engine under the intended
+    engine's label.
+    """
+    from repro.core.store import available_backends  # imports register stores
+
+    raw = os.environ.get("REPRO_BENCH_BACKEND", default).lower()
+    if raw not in available_backends():
+        raise ValueError(
+            f"REPRO_BENCH_BACKEND={raw!r} is not a registered backend; "
+            f"expected one of {available_backends()}"
+        )
+    return raw
+
+
 def num_bench_queries(default: int = 4) -> int:
     """Number of queries per configuration (``REPRO_BENCH_QUERIES``)."""
     raw = os.environ.get("REPRO_BENCH_QUERIES", str(default))

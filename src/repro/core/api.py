@@ -1,14 +1,19 @@
-"""Top-level convenience API.
+"""Legacy top-level API — thin deprecation shims over :mod:`repro.service`.
 
-:class:`RelationalPathFinder` wraps the whole pipeline the paper describes:
-load a graph into relational tables, optionally build the SegTable index,
-and answer shortest-path queries with any of the paper's methods::
+The session-based :class:`~repro.service.PathService` replaced this module
+as the public entry point::
 
-    finder = RelationalPathFinder(graph)            # mini relational engine
-    finder.build_segtable(lthd=5)
-    result = finder.shortest_path(s, t, method="BSEG")
-    print(result.distance, result.path)
-    finder.close()
+    from repro.service import PathService
+
+    with PathService() as service:
+        service.add_graph("default", graph)
+        service.build_segtable(lthd=5)
+        result = service.shortest_path(s, t)          # method="auto"
+
+:class:`RelationalPathFinder` and the one-shot :func:`shortest_path` keep
+their historical behaviour (including the ``BSDJ`` default method) but
+merely delegate to a private service session; each emits a
+:class:`DeprecationWarning` once per process.
 
 Method names follow the paper: ``DJ``, ``BDJ``, ``BSDJ``, ``BBFS``, ``BSEG``
 for the relational algorithms and ``MDJ``, ``MBDJ`` for the in-memory
@@ -17,47 +22,46 @@ competitors.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import warnings
+from typing import Optional, Set
 
-from repro.core.bfs import bidirectional_bfs
-from repro.core.bidirectional import bidirectional_dijkstra, bidirectional_set_dijkstra
-from repro.core.bseg import bidirectional_segtable_search
-from repro.core.dijkstra import dijkstra_single_direction
 from repro.core.path import PathResult
-from repro.core.segtable import build_segtable
 from repro.core.sqlstyle import NSQL, validate_sql_style
-from repro.core.stats import QueryStats, SegTableBuildStats
+from repro.core.stats import SegTableBuildStats
 from repro.core.store.base import GraphStore, IndexMode
-from repro.core.store.minidb import MiniDBGraphStore
-from repro.core.store.sqlite import SQLiteGraphStore
-from repro.errors import InvalidQueryError, NodeNotFoundError
+from repro.core.store.registry import available_backends, backend_factory
+from repro.errors import NodeNotFoundError
 from repro.graph.model import Graph
-from repro.memory.bidirectional import bidirectional_dijkstra as memory_bidirectional
-from repro.memory.dijkstra import dijkstra_shortest_path as memory_dijkstra
+from repro.service.planner import MEMORY_METHODS, METHODS, RELATIONAL_METHODS
+from repro.service.session import DEFAULT_GRAPH, PathService, run_in_memory
 
-RELATIONAL_METHODS: Dict[str, Callable[..., PathResult]] = {
-    "DJ": dijkstra_single_direction,
-    "BDJ": bidirectional_dijkstra,
-    "BSDJ": bidirectional_set_dijkstra,
-    "BBFS": bidirectional_bfs,
-    "BSEG": bidirectional_segtable_search,
-}
+# Snapshot of the registry at import time, kept for source compatibility.
+# New code should call repro.service.available_backends(), which reflects
+# later registrations.
+BACKENDS = available_backends()
 
-MEMORY_METHODS = ("MDJ", "MBDJ")
+_WARNED: Set[str] = set()
 
-METHODS = tuple(RELATIONAL_METHODS) + MEMORY_METHODS
-"""All supported method names."""
 
-BACKENDS = ("minidb", "sqlite")
+def _warn_deprecated(name: str, replacement: str) -> None:
+    """Emit the deprecation warning for ``name`` exactly once per process."""
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class RelationalPathFinder:
-    """Owns a graph store and answers shortest-path queries against it.
+    """Deprecated single-graph facade over :class:`PathService`.
 
     Args:
         graph: the graph to load.
-        backend: ``"minidb"`` (the built-in engine / DBMS-x role) or
-            ``"sqlite"`` (the second-platform role).
+        backend: any registered backend name (``"minidb"`` or ``"sqlite"``
+            by default).
         buffer_capacity: buffer-pool size in pages (minidb backend only).
         index_mode: index strategy for the edge and visited tables
             (``"clustered"``, ``"nonclustered"`` or ``"none"``).
@@ -69,32 +73,46 @@ class RelationalPathFinder:
                  buffer_capacity: int = 256,
                  index_mode: str = IndexMode.CLUSTERED,
                  db_path: Optional[str] = None) -> None:
-        if backend not in BACKENDS:
-            raise InvalidQueryError(
-                f"unknown backend {backend!r}; expected one of {BACKENDS}"
-            )
+        _warn_deprecated("RelationalPathFinder", "repro.service.PathService")
+        backend_factory(backend)  # fail fast on unknown backends
         self.graph = graph
         self.backend = backend
         self.index_mode = IndexMode.validate(index_mode)
-        if backend == "minidb":
-            self.store: GraphStore = MiniDBGraphStore(
-                buffer_capacity=buffer_capacity, path=db_path
-            )
-        else:
-            self.store = SQLiteGraphStore(path=db_path or ":memory:")
-        self.store.load_graph(graph, index_mode=self.index_mode)
-        self.segtable_stats: Optional[SegTableBuildStats] = None
+        self._service = PathService(default_backend=backend, cache_size=0)
+        self._service.add_graph(DEFAULT_GRAPH, graph, backend=backend,
+                                buffer_capacity=buffer_capacity,
+                                index_mode=self.index_mode, db_path=db_path)
+
+    @property
+    def store(self) -> GraphStore:
+        """The graph store backing this finder."""
+        return self._service.store(DEFAULT_GRAPH)
+
+    @property
+    def segtable_stats(self) -> Optional[SegTableBuildStats]:
+        """Build statistics of the SegTable (``None`` until built)."""
+        return self._service.segtable_stats(DEFAULT_GRAPH)
+
+    @segtable_stats.setter
+    def segtable_stats(self, value: Optional[SegTableBuildStats]) -> None:
+        # Historically a plain instance attribute; keep it writable.
+        host = self._service._host(DEFAULT_GRAPH)
+        host.segtable_stats = value
+        host._segtable_key = None
 
     # -- index management -----------------------------------------------------------
 
     def build_segtable(self, lthd: float, sql_style: str = NSQL,
                        index_mode: Optional[str] = None) -> SegTableBuildStats:
-        """Construct the SegTable index with threshold ``lthd``."""
-        self.segtable_stats = build_segtable(
-            self.store, lthd, sql_style=sql_style,
-            index_mode=index_mode or self.index_mode,
-        )
-        return self.segtable_stats
+        """Construct the SegTable index with threshold ``lthd``.
+
+        Historical semantics: every call rebuilds (``force=True``), unlike
+        the memoizing :meth:`PathService.build_segtable`.
+        """
+        return self._service.build_segtable(DEFAULT_GRAPH, lthd=lthd,
+                                            sql_style=sql_style,
+                                            index_mode=index_mode,
+                                            force=True)
 
     # -- queries ---------------------------------------------------------------------
 
@@ -108,29 +126,18 @@ class RelationalPathFinder:
             InvalidQueryError: for unknown methods.
             PathNotFoundError: when the nodes are not connected.
         """
-        self._check_node(source)
-        self._check_node(target)
-        method = method.upper()
-        validate_sql_style(sql_style)
-        if method in MEMORY_METHODS:
-            return shortest_path_in_memory(self.graph, source, target, method=method)
-        if method not in RELATIONAL_METHODS:
-            raise InvalidQueryError(
-                f"unknown method {method!r}; expected one of {METHODS}"
-            )
-        algorithm = RELATIONAL_METHODS[method]
-        return algorithm(self.store, source, target, sql_style=sql_style,
-                         max_iterations=max_iterations)
-
-    def _check_node(self, nid: int) -> None:
-        if not self.graph.has_node(nid):
-            raise NodeNotFoundError(f"node {nid} is not in the graph")
+        return self._service.shortest_path(source, target,
+                                           graph=DEFAULT_GRAPH,
+                                           method=method,
+                                           sql_style=sql_style,
+                                           max_iterations=max_iterations,
+                                           use_cache=False)
 
     # -- lifecycle ----------------------------------------------------------------------
 
     def close(self) -> None:
         """Release the underlying database."""
-        self.store.close()
+        self._service.close()
 
     def __enter__(self) -> "RelationalPathFinder":
         return self
@@ -143,43 +150,41 @@ def shortest_path(graph: Graph, source: int, target: int, method: str = "BSDJ",
                   backend: str = "minidb", sql_style: str = NSQL,
                   lthd: Optional[float] = None,
                   buffer_capacity: int = 256,
-                  index_mode: str = IndexMode.CLUSTERED) -> PathResult:
-    """One-shot convenience wrapper: load, (optionally) index, query, close.
+                  index_mode: str = IndexMode.CLUSTERED,
+                  max_iterations: Optional[int] = None,
+                  db_path: Optional[str] = None) -> PathResult:
+    """Deprecated one-shot wrapper: load, (optionally) index, query, close.
 
-    For repeated queries over the same graph prefer
-    :class:`RelationalPathFinder`, which loads the graph only once.
+    Prefer a :class:`~repro.service.PathService`, which keeps the graph
+    loaded across queries and caches repeated results.
     """
+    _warn_deprecated("shortest_path", "repro.service.PathService")
     method = method.upper()
     if method in MEMORY_METHODS:
-        return shortest_path_in_memory(graph, source, target, method=method)
-    with RelationalPathFinder(graph, backend=backend,
-                              buffer_capacity=buffer_capacity,
-                              index_mode=index_mode) as finder:
+        # The in-memory competitors need no store, but must validate the
+        # query exactly like the relational paths do.
+        validate_sql_style(sql_style)
+        for nid in (source, target):
+            if not graph.has_node(nid):
+                raise NodeNotFoundError(f"node {nid} is not in the graph")
+        return run_in_memory(graph, source, target, method=method)
+    with PathService(default_backend=backend, cache_size=0) as service:
+        service.add_graph(DEFAULT_GRAPH, graph, backend=backend,
+                          buffer_capacity=buffer_capacity,
+                          index_mode=index_mode, db_path=db_path)
         if method == "BSEG":
             threshold = lthd if lthd is not None else _default_lthd(graph)
-            finder.build_segtable(threshold, sql_style=sql_style)
-        return finder.shortest_path(source, target, method=method,
-                                    sql_style=sql_style)
+            service.build_segtable(DEFAULT_GRAPH, lthd=threshold,
+                                   sql_style=sql_style)
+        return service.shortest_path(source, target, graph=DEFAULT_GRAPH,
+                                     method=method, sql_style=sql_style,
+                                     max_iterations=max_iterations)
 
 
 def shortest_path_in_memory(graph: Graph, source: int, target: int,
                             method: str = "MDJ") -> PathResult:
     """Run one of the in-memory competitors (MDJ or MBDJ)."""
-    method = method.upper()
-    if method == "MDJ":
-        result = memory_dijkstra(graph, source, target)
-    elif method == "MBDJ":
-        result = memory_bidirectional(graph, source, target)
-    else:
-        raise InvalidQueryError(
-            f"unknown in-memory method {method!r}; expected MDJ or MBDJ"
-        )
-    stats = QueryStats(method=method)
-    stats.found = True
-    stats.distance = result.distance
-    stats.visited_nodes = result.settled
-    stats.path_edges = result.num_edges
-    return PathResult(source, target, result.distance, result.path, stats)
+    return run_in_memory(graph, source, target, method=method)
 
 
 def _default_lthd(graph: Graph) -> float:
@@ -189,3 +194,14 @@ def _default_lthd(graph: Graph) -> float:
         return 3.0 * graph.min_edge_weight()
     except ValueError:
         return 1.0
+
+
+__all__ = [
+    "BACKENDS",
+    "MEMORY_METHODS",
+    "METHODS",
+    "RELATIONAL_METHODS",
+    "RelationalPathFinder",
+    "shortest_path",
+    "shortest_path_in_memory",
+]

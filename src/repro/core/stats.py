@@ -106,6 +106,52 @@ class QueryStats:
 
 
 @dataclass
+class BatchStats:
+    """Aggregate counters for one :meth:`PathService.shortest_path_many` call.
+
+    Attributes:
+        total: number of queries in the batch.
+        executed: queries actually run against a store or in memory —
+            cache misses, uncacheable queries, and unreachable pairs
+            (which still run a full search).
+        cache_hits: queries answered from the shared result cache.
+        cache_misses: queries that had to execute and were then cached.
+        not_found: queries whose endpoints are not connected.
+        total_time: wall-clock seconds for the whole batch.
+        per_graph: graph name -> number of queries routed to it.
+        per_method: resolved method name -> number of queries.
+    """
+
+    total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    not_found: int = 0
+    total_time: float = 0.0
+    per_graph: Dict[str, int] = field(default_factory=dict)
+    per_method: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of the batch served from the result cache."""
+        return self.cache_hits / self.total if self.total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return a plain-dict summary (used by workload reports)."""
+        return {
+            "total": self.total,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "not_found": self.not_found,
+            "total_time": self.total_time,
+            "hit_rate": self.hit_rate,
+            "per_graph": dict(self.per_graph),
+            "per_method": dict(self.per_method),
+        }
+
+
+@dataclass
 class SegTableBuildStats:
     """Counters collected while constructing the SegTable index."""
 

@@ -14,10 +14,33 @@ Two implementations are provided:
 * :class:`~repro.core.store.sqlite.SQLiteGraphStore` — backed by SQLite with
   literal SQL text, playing the role of the paper's "second platform"
   (PostgreSQL), including its lack of a MERGE statement.
+
+Stores register themselves in the backend registry
+(:mod:`repro.core.store.registry`) when imported; importing this package is
+what populates the default ``minidb`` and ``sqlite`` entries.  Additional
+engines plug in via :func:`register_backend` without any service-layer
+changes.
 """
 
 from repro.core.store.base import GraphStore, IndexMode
+from repro.core.store.registry import (
+    available_backends,
+    backend_factory,
+    create_store,
+    register_backend,
+    unregister_backend,
+)
 from repro.core.store.minidb import MiniDBGraphStore
 from repro.core.store.sqlite import SQLiteGraphStore
 
-__all__ = ["GraphStore", "IndexMode", "MiniDBGraphStore", "SQLiteGraphStore"]
+__all__ = [
+    "GraphStore",
+    "IndexMode",
+    "MiniDBGraphStore",
+    "SQLiteGraphStore",
+    "available_backends",
+    "backend_factory",
+    "create_store",
+    "register_backend",
+    "unregister_backend",
+]

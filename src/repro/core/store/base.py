@@ -36,7 +36,15 @@ class IndexMode:
 
 
 class GraphStore(ABC):
-    """The relational backend the FEM algorithms issue statements against."""
+    """The relational backend the FEM algorithms issue statements against.
+
+    Concrete stores set :attr:`backend_name` and register a factory in
+    :mod:`repro.core.store.registry`; the service layer instantiates them
+    exclusively through that registry.
+    """
+
+    backend_name: str = ""
+    """Registry name of this store class (empty for unregistered stores)."""
 
     def __init__(self) -> None:
         self.stats: QueryStats = QueryStats()

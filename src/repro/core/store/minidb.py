@@ -19,6 +19,7 @@ from repro.core.directions import BACKWARD_DIRECTION, Direction, FORWARD_DIRECTI
 from repro.core.sqlstyle import NSQL, validate_sql_style
 from repro.core.stats import OPERATOR_E, OPERATOR_F, OPERATOR_M
 from repro.core.store.base import GraphStore, IndexMode
+from repro.core.store.registry import register_backend
 from repro.errors import InvalidQueryError
 from repro.graph.model import Graph
 from repro.rdb.engine import Database
@@ -40,6 +41,8 @@ def _pair_key(fid: int, tid: int) -> int:
 
 class MiniDBGraphStore(GraphStore):
     """Graph store backed by :class:`repro.rdb.engine.Database`."""
+
+    backend_name = "minidb"
 
     def __init__(self, database: Optional[Database] = None,
                  buffer_capacity: int = 256,
@@ -634,5 +637,16 @@ class MiniDBGraphStore(GraphStore):
             return []
         return list(self._table(direction.seg_table).scan())
 
+
+def _create_minidb_store(path: Optional[str] = None,
+                         buffer_capacity: int = 256) -> MiniDBGraphStore:
+    """Backend-registry factory (see :mod:`repro.core.store.registry`)."""
+    return MiniDBGraphStore(buffer_capacity=buffer_capacity, path=path)
+
+
+# replace=True keeps re-imports (importlib.reload, notebook autoreload)
+# from tripping the duplicate-name guard.
+register_backend(MiniDBGraphStore.backend_name, _create_minidb_store,
+                 replace=True)
 
 __all__ = ["MiniDBGraphStore", "FORWARD_DIRECTION", "BACKWARD_DIRECTION"]

@@ -19,6 +19,7 @@ from repro.core.directions import Direction, INFINITY
 from repro.core.sqlstyle import NSQL, validate_sql_style
 from repro.core.stats import OPERATOR_E, OPERATOR_F, OPERATOR_M
 from repro.core.store.base import GraphStore, IndexMode
+from repro.core.store.registry import register_backend
 from repro.errors import InvalidQueryError
 from repro.graph.model import Graph
 
@@ -29,6 +30,8 @@ _INF = INFINITY
 
 class SQLiteGraphStore(GraphStore):
     """Graph store backed by a SQLite database (in-memory by default)."""
+
+    backend_name = "sqlite"
 
     def __init__(self, path: str = ":memory:") -> None:
         super().__init__()
@@ -551,3 +554,17 @@ class SQLiteGraphStore(GraphStore):
             f"SELECT fid, tid, pid, cost FROM {direction.seg_table}"
         ).fetchall()
         return [dict(zip(["fid", "tid", "pid", "cost"], row)) for row in rows]
+
+
+def _create_sqlite_store(path: Optional[str] = None,
+                         buffer_capacity: int = 256) -> SQLiteGraphStore:
+    """Backend-registry factory; SQLite manages its own page cache, so the
+    ``buffer_capacity`` lifecycle argument is accepted but unused."""
+    del buffer_capacity
+    return SQLiteGraphStore(path=path or ":memory:")
+
+
+# replace=True keeps re-imports (importlib.reload, notebook autoreload)
+# from tripping the duplicate-name guard.
+register_backend(SQLiteGraphStore.backend_name, _create_sqlite_store,
+                 replace=True)

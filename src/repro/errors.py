@@ -117,3 +117,32 @@ class PathNotFoundError(SearchError):
 
 class InvalidQueryError(SearchError):
     """The shortest-path query itself is invalid (unknown node, bad method)."""
+
+
+# ---------------------------------------------------------------------------
+# Service layer (backend registry, sessions)
+# ---------------------------------------------------------------------------
+
+class ServiceError(ReproError):
+    """Base class for service-layer errors (registry, sessions, batches)."""
+
+
+class UnknownBackendError(ServiceError, InvalidQueryError):
+    """A backend name is not present in the backend registry.
+
+    Also an :class:`InvalidQueryError` so legacy callers that guarded
+    ``RelationalPathFinder(backend=...)`` with it keep working.
+    """
+
+
+class DuplicateBackendError(ServiceError):
+    """A backend name is already registered (pass ``replace=True`` to
+    overwrite it deliberately)."""
+
+
+class UnknownGraphError(ServiceError):
+    """A graph name is not hosted by the :class:`~repro.service.PathService`."""
+
+
+class DuplicateGraphError(ServiceError):
+    """A graph name is already hosted by the service."""

@@ -1,0 +1,67 @@
+"""Service layer: the session-based public query API.
+
+This package is the front door of the library.  It separates *what* a
+shortest-path query is (:class:`QuerySpec`) from *how* it executes — the
+same split the paper's FEM framework makes between the search algorithms
+and the relational engine underneath:
+
+* the **backend registry** (:func:`register_backend`,
+  :func:`available_backends`) makes graph stores pluggable by name;
+* :class:`PathService` (alias :class:`Session`) hosts multiple named
+  graphs, manages store lifecycle and memoizes SegTable builds;
+* the **planner** resolves ``method="auto"`` into DJ/BDJ/BSDJ/BSEG from
+  graph statistics, and :meth:`PathService.explain` returns the chosen
+  :class:`QueryPlan` with its predicted FEM iteration shape;
+* :meth:`PathService.shortest_path_many` executes batches grouped per
+  graph behind a shared LRU result cache and reports
+  :class:`~repro.core.stats.BatchStats`.
+
+The legacy ``RelationalPathFinder`` / module-level ``shortest_path`` API in
+:mod:`repro.core.api` remains as a deprecation shim over this layer.
+"""
+
+from repro.core.stats import BatchStats
+from repro.core.store.registry import (
+    available_backends,
+    backend_factory,
+    create_store,
+    register_backend,
+    unregister_backend,
+)
+from repro.service.batch import BatchResult, execute_batch, normalize_queries
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.planner import (
+    AUTO_METHOD,
+    MEMORY_METHODS,
+    METHODS,
+    QueryPlan,
+    QuerySpec,
+    RELATIONAL_METHODS,
+    plan_query,
+)
+from repro.service.session import DEFAULT_GRAPH, PathService, Session, run_in_memory
+
+__all__ = [
+    "AUTO_METHOD",
+    "BatchResult",
+    "BatchStats",
+    "CacheStats",
+    "DEFAULT_GRAPH",
+    "MEMORY_METHODS",
+    "METHODS",
+    "PathService",
+    "QueryPlan",
+    "QuerySpec",
+    "RELATIONAL_METHODS",
+    "ResultCache",
+    "Session",
+    "available_backends",
+    "backend_factory",
+    "create_store",
+    "execute_batch",
+    "normalize_queries",
+    "plan_query",
+    "register_backend",
+    "run_in_memory",
+    "unregister_backend",
+]

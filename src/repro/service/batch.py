@@ -1,0 +1,173 @@
+"""Batch execution: many queries, one store pass, one shared cache.
+
+:func:`execute_batch` normalizes heterogeneous query descriptions into
+:class:`~repro.service.planner.QuerySpec` objects, plans them all up front
+(so malformed queries fail before any work), executes them in input order
+against each graph's already-open store, answers duplicates from the
+service's LRU result cache, and reports aggregate
+:class:`~repro.core.stats.BatchStats`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, TYPE_CHECKING
+
+from repro.core.path import PathResult
+from repro.core.sqlstyle import NSQL
+from repro.core.stats import BatchStats
+from repro.errors import InvalidQueryError, PathNotFoundError
+from repro.service.planner import QuerySpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.session import BatchQuery, PathService
+
+
+@dataclass
+class BatchResult:
+    """Results and statistics of one batch run.
+
+    Attributes:
+        specs: the normalized query specs, in input order.
+        results: one entry per spec, aligned with the input order;
+            ``None`` marks an unreachable pair (when the batch was run with
+            ``raise_on_unreachable=False``).
+        from_cache: one flag per spec — ``True`` when that answer was
+            replayed from the result cache rather than executed here.
+        stats: aggregate batch counters.
+    """
+
+    specs: List[QuerySpec] = field(default_factory=list)
+    results: List[Optional[PathResult]] = field(default_factory=list)
+    from_cache: List[bool] = field(default_factory=list)
+    stats: BatchStats = field(default_factory=BatchStats)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> Optional[PathResult]:
+        return self.results[index]
+
+    def distances(self) -> List[Optional[float]]:
+        """Distances in input order (``None`` for unreachable pairs)."""
+        return [None if result is None else result.distance
+                for result in self.results]
+
+    def found(self) -> List[PathResult]:
+        """Only the successful results (input order preserved)."""
+        return [result for result in self.results if result is not None]
+
+
+def normalize_queries(queries: Sequence["BatchQuery"], graph: str,
+                      method: str, sql_style: str) -> List[QuerySpec]:
+    """Turn mixed query descriptions into :class:`QuerySpec` objects.
+
+    Accepted forms: a ``QuerySpec``; ``(source, target)``;
+    ``(graph, source, target)``; ``(graph, source, target, method)``; or a
+    dict of :class:`QuerySpec` field names.  Tuple forms inherit the
+    batch-level defaults for the fields they omit.
+    """
+    specs: List[QuerySpec] = []
+    for query in queries:
+        if isinstance(query, QuerySpec):
+            specs.append(query)
+        elif isinstance(query, dict):
+            fields = {"graph": graph, "method": method,
+                      "sql_style": sql_style, **query}
+            try:
+                specs.append(QuerySpec(**fields))
+            except TypeError:
+                accepted = tuple(QuerySpec.__dataclass_fields__)
+                raise InvalidQueryError(
+                    f"cannot interpret batch query {query!r}; dict queries "
+                    f"accept the QuerySpec fields {accepted} and must "
+                    f"include 'source' and 'target'"
+                ) from None
+        elif isinstance(query, tuple) and len(query) == 2:
+            if any(isinstance(item, str) for item in query):
+                raise InvalidQueryError(
+                    f"batch query {query!r} mixes a string into a "
+                    f"(source, target) pair; to name a graph use the "
+                    f"(graph, source, target) form"
+                )
+            specs.append(QuerySpec(source=query[0], target=query[1],
+                                   graph=graph, method=method,
+                                   sql_style=sql_style))
+        elif isinstance(query, tuple) and len(query) in (3, 4):
+            if not isinstance(query[0], str):
+                raise InvalidQueryError(
+                    f"batch query {query!r} must start with a graph name; "
+                    f"to set a per-query method use the "
+                    f"(graph, source, target, method) form or a QuerySpec"
+                )
+            specs.append(QuerySpec(graph=query[0], source=query[1],
+                                   target=query[2],
+                                   method=query[3] if len(query) == 4 else method,
+                                   sql_style=sql_style))
+        else:
+            raise InvalidQueryError(
+                f"cannot interpret batch query {query!r}; expected a "
+                f"QuerySpec, a (source, target)[, ...] tuple, or a dict"
+            )
+    return specs
+
+
+def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
+                  graph: str = "default", method: str = "auto",
+                  sql_style: str = NSQL,
+                  raise_on_unreachable: bool = False) -> BatchResult:
+    """Answer ``queries`` against ``service`` and aggregate statistics.
+
+    Queries are planned up front (so malformed specs fail before any work)
+    and executed in input order, reusing each graph's already-open store
+    connection.  Duplicate ``(graph, source, target, method)`` pairs hit the
+    service's shared LRU cache.
+
+    Args:
+        service: the hosting :class:`PathService`.
+        queries: the batch (see :func:`normalize_queries` for forms).
+        graph: default graph for queries that do not name one.
+        method: default method for queries that do not name one.
+        sql_style: default SQL style.
+        raise_on_unreachable: propagate :class:`PathNotFoundError` instead
+            of recording a ``None`` result.
+
+    Raises:
+        UnknownGraphError, NodeNotFoundError, InvalidQueryError: on the
+            first malformed query, before anything executes.
+    """
+    start = time.perf_counter()
+    specs = normalize_queries(queries, graph=graph, method=method,
+                              sql_style=sql_style)
+    batch = BatchResult(specs=specs, results=[None] * len(specs),
+                        from_cache=[False] * len(specs))
+    batch.stats.total = len(specs)
+
+    plans = [service.plan(spec) for spec in specs]
+
+    for index, (spec, plan) in enumerate(zip(specs, plans)):
+        batch.stats.per_graph[spec.graph] = (
+            batch.stats.per_graph.get(spec.graph, 0) + 1
+        )
+        batch.stats.per_method[plan.method] = (
+            batch.stats.per_method.get(plan.method, 0) + 1
+        )
+        hits_before = batch.stats.cache_hits
+        try:
+            batch.results[index] = service._execute(plan,
+                                                    batch_stats=batch.stats)
+        except PathNotFoundError:
+            if raise_on_unreachable:
+                raise
+            batch.stats.not_found += 1
+        batch.from_cache[index] = batch.stats.cache_hits > hits_before
+
+    batch.stats.total_time = time.perf_counter() - start
+    return batch
+
+
+__all__ = ["BatchResult", "execute_batch", "normalize_queries"]

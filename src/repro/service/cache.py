@@ -1,0 +1,96 @@
+"""Shared LRU result cache for the service layer.
+
+Batch workloads repeat queries heavily (the paper's evaluation itself
+replays random workloads), so :class:`PathService` memoizes finished
+:class:`~repro.core.path.PathResult` objects keyed by
+``(graph, source, target, method, sql_style)``.  The cache is a plain LRU
+over an :class:`~collections.OrderedDict` with hit/miss/eviction counters
+surfaced through :class:`CacheStats`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+from repro.core.path import PathResult
+
+CacheKey = Tuple[Hashable, ...]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of the cache counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """A bounded LRU mapping of query keys to :class:`PathResult` objects."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, PathResult]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> Optional[PathResult]:
+        """Return the cached result for ``key`` (refreshing its recency) or
+        ``None`` on a miss."""
+        result = self._entries.get(key)
+        if result is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return result
+
+    def put(self, key: CacheKey, result: PathResult) -> None:
+        """Insert ``result``, evicting the least-recently-used entry when
+        the cache is full.  A zero-capacity cache stores nothing."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = result
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def invalidate_graph(self, graph: str) -> int:
+        """Drop every entry belonging to ``graph`` (its first key field);
+        returns how many were dropped."""
+        stale = [key for key in self._entries if key and key[0] == graph]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """Current counters as an immutable :class:`CacheStats`."""
+        return CacheStats(hits=self._hits, misses=self._misses,
+                          evictions=self._evictions, size=len(self._entries),
+                          capacity=self.capacity)
+
+
+__all__ = ["CacheKey", "CacheStats", "ResultCache"]

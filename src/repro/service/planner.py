@@ -1,0 +1,267 @@
+"""Query specification and planning.
+
+The planner turns a declarative :class:`QuerySpec` into an executable
+:class:`QueryPlan`: it validates the method name, and — for
+``method="auto"`` — picks among the paper's algorithms from the hosted
+graph's statistics:
+
+* ``BSEG`` whenever the graph's SegTable index is available (the paper's
+  Table 3 shows it dominating the other methods once built);
+* ``DJ`` on graphs small enough that bidirectional bookkeeping costs more
+  than it saves;
+* ``BSDJ`` on large or heavy-tailed graphs, where set-at-a-time expansion
+  amortizes the per-statement overhead over wide frontiers (Table 2);
+* ``BDJ`` otherwise.
+
+The plan also predicts the FEM iteration shape (frontier mode, operator
+sequence and an order-of-magnitude iteration estimate), which
+:meth:`PathService.explain` surfaces without running the query.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.core.bfs import bidirectional_bfs
+from repro.core.bidirectional import bidirectional_dijkstra, bidirectional_set_dijkstra
+from repro.core.bseg import bidirectional_segtable_search
+from repro.core.dijkstra import dijkstra_single_direction
+from repro.core.path import PathResult
+from repro.core.sqlstyle import NSQL
+from repro.core.stats import (
+    OPERATOR_E,
+    OPERATOR_F,
+    OPERATOR_M,
+    PHASE_PATH_EXPANSION,
+    PHASE_PATH_RECOVERY,
+    PHASE_STATISTICS,
+)
+from repro.errors import InvalidQueryError
+from repro.graph.stats import GraphStatistics
+
+RELATIONAL_METHODS: Dict[str, Callable[..., PathResult]] = {
+    "DJ": dijkstra_single_direction,
+    "BDJ": bidirectional_dijkstra,
+    "BSDJ": bidirectional_set_dijkstra,
+    "BBFS": bidirectional_bfs,
+    "BSEG": bidirectional_segtable_search,
+}
+
+MEMORY_METHODS = ("MDJ", "MBDJ")
+
+METHODS = tuple(RELATIONAL_METHODS) + MEMORY_METHODS
+"""All supported method names."""
+
+AUTO_METHOD = "AUTO"
+
+# Planner thresholds: below SMALL_GRAPH_NODES a single-direction scan beats
+# the bidirectional bookkeeping; past LARGE_GRAPH_NODES (or with skewed /
+# dense degrees) wide frontiers favour set-at-a-time expansion.
+SMALL_GRAPH_NODES = 64
+LARGE_GRAPH_NODES = 1_000
+DENSE_AVG_DEGREE = 2.5
+SKEWED_DEGREE_RATIO = 8.0
+
+# Frontier modes (the two expansion shapes of Listings 2 and 4).
+NODE_AT_A_TIME = "node-at-a-time"
+SET_AT_A_TIME = "set-at-a-time"
+
+
+def normalize_method(method: str) -> str:
+    """Upper-case ``method``, raising for names the service cannot run.
+
+    Returns ``AUTO_METHOD`` for the ``"auto"`` sentinel.
+    """
+    normalized = method.upper()
+    if normalized == AUTO_METHOD:
+        return AUTO_METHOD
+    if normalized not in METHODS:
+        raise InvalidQueryError(
+            f"unknown method {method!r}; expected one of {METHODS + ('auto',)}"
+        )
+    return normalized
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One declarative shortest-path query.
+
+    Attributes:
+        source: source node id.
+        target: target node id.
+        graph: name of the hosted graph to query.
+        method: a method name from :data:`METHODS`, or ``"auto"`` to let the
+            planner choose.
+        sql_style: ``"nsql"`` or ``"tsql"``.
+        max_iterations: optional safety cap on expansions.
+    """
+
+    source: int
+    target: int
+    graph: str = "default"
+    method: str = "auto"
+    sql_style: str = NSQL
+    max_iterations: Optional[int] = None
+
+
+@dataclass
+class QueryPlan:
+    """The executable plan the planner chose for a :class:`QuerySpec`.
+
+    Attributes:
+        spec: the query being planned.
+        method: the resolved method name (never ``"auto"``).
+        reason: one-line justification of the choice.
+        uses_segtable: whether execution expands over ``TOutSegs``/``TInSegs``.
+        bidirectional: whether two searches run toward each other.
+        frontier_mode: ``"node-at-a-time"`` (Listing 2) or
+            ``"set-at-a-time"`` (Listing 4).
+        phases: FEM phase labels in execution order.
+        operators_per_iteration: operator labels of one FEM iteration.
+        estimated_iterations: order-of-magnitude FEM iteration estimate
+            derived from the graph statistics (not a promise); ``None``
+            when the plan was made without computing statistics.
+    """
+
+    spec: QuerySpec
+    method: str
+    reason: str
+    uses_segtable: bool = False
+    bidirectional: bool = True
+    frontier_mode: str = SET_AT_A_TIME
+    phases: Tuple[str, ...] = (PHASE_STATISTICS, PHASE_PATH_EXPANSION,
+                               PHASE_PATH_RECOVERY)
+    operators_per_iteration: Tuple[str, ...] = (OPERATOR_F, OPERATOR_E, OPERATOR_M)
+    estimated_iterations: Optional[int] = None
+
+    def describe(self) -> str:
+        """Human-readable plan summary (what ``explain()`` prints)."""
+        direction = "bidirectional" if self.bidirectional else "single-direction"
+        if self.estimated_iterations is None:
+            expectation = ""
+        else:
+            expectation = f"  (~{self.estimated_iterations} iterations expected)"
+        lines = [
+            f"method: {self.method} ({direction}, {self.frontier_mode})",
+            f"reason: {self.reason}",
+            f"relation: {'TOutSegs/TInSegs (SegTable)' if self.uses_segtable else 'TEdges'}",
+            f"phases: {' -> '.join(self.phases)}",
+            "iteration: " + " -> ".join(self.operators_per_iteration) + expectation,
+        ]
+        return "\n".join(lines)
+
+
+StatsSource = Union[GraphStatistics, Callable[[], GraphStatistics]]
+
+
+def plan_query(spec: QuerySpec, stats: StatsSource,
+               has_segtable: bool, estimate: bool = False) -> QueryPlan:
+    """Resolve ``spec`` into a :class:`QueryPlan`.
+
+    Args:
+        spec: the query to plan.
+        stats: statistics of the graph named by ``spec.graph``, or a
+            zero-argument callable producing them.  A callable is invoked
+            only when the plan actually needs statistics (``"auto"``
+            resolution or ``estimate=True``), keeping explicit-method
+            planning free of the O(V+E) statistics scan.
+        has_segtable: whether that graph's store has a SegTable built.
+        estimate: fill :attr:`QueryPlan.estimated_iterations` even for
+            explicit methods (``explain()`` wants it; the query hot path
+            does not).
+
+    Raises:
+        InvalidQueryError: for unknown methods, or an explicit ``BSEG``
+            request without a SegTable.
+    """
+    resolved: Optional[GraphStatistics] = (
+        None if callable(stats) else stats
+    )
+
+    def _stats() -> GraphStatistics:
+        nonlocal resolved
+        if resolved is None:
+            resolved = stats()  # type: ignore[operator]
+        return resolved
+
+    method = normalize_method(spec.method)
+    if method == AUTO_METHOD:
+        method, reason = _choose_method(_stats(), has_segtable)
+    elif method == "BSEG" and not has_segtable:
+        raise InvalidQueryError(
+            "BSEG requires a SegTable; build one with build_segtable() first"
+        )
+    else:
+        reason = "method requested explicitly"
+    plan = _shape_plan(spec, method, reason)
+    if estimate or resolved is not None:
+        plan.estimated_iterations = _estimate_iterations(method, _stats())
+    return plan
+
+
+def _choose_method(stats: GraphStatistics,
+                   has_segtable: bool) -> Tuple[str, str]:
+    if has_segtable:
+        return "BSEG", "SegTable index is available; segment expansion dominates"
+    if stats.num_nodes <= SMALL_GRAPH_NODES:
+        return "DJ", (
+            f"graph has only {stats.num_nodes} nodes "
+            f"(<= {SMALL_GRAPH_NODES}); single-direction search is cheapest"
+        )
+    skewed = (stats.avg_out_degree > 0 and
+              stats.max_out_degree >= SKEWED_DEGREE_RATIO * stats.avg_out_degree)
+    if (stats.num_nodes >= LARGE_GRAPH_NODES
+            or stats.avg_out_degree >= DENSE_AVG_DEGREE or skewed):
+        shape = ("heavy-tailed degree distribution" if skewed
+                 else "large or dense graph")
+        return "BSDJ", f"{shape}; set-at-a-time expansion amortizes statements"
+    return "BDJ", "moderate graph; bidirectional search halves the explored ball"
+
+
+def _shape_plan(spec: QuerySpec, method: str, reason: str) -> QueryPlan:
+    plan = QueryPlan(spec=spec, method=method, reason=reason)
+    plan.uses_segtable = method == "BSEG"
+    plan.bidirectional = method != "DJ"
+    plan.frontier_mode = (NODE_AT_A_TIME if method in ("DJ", "BDJ")
+                          else SET_AT_A_TIME)
+    if method in MEMORY_METHODS:
+        plan.frontier_mode = NODE_AT_A_TIME
+        plan.phases = (PHASE_PATH_EXPANSION,)
+        plan.operators_per_iteration = ()
+        plan.bidirectional = method == "MBDJ"
+    return plan
+
+
+def _estimate_iterations(method: str, stats: GraphStatistics) -> int:
+    """Order-of-magnitude FEM iteration estimate from the branching factor.
+
+    A node-at-a-time search settles one node per iteration, so iterations
+    track the size of the explored ball; set-at-a-time searches settle a
+    whole distance level per iteration, so iterations track the ball's
+    radius (``log_b n``).
+    """
+    nodes = max(2, stats.num_nodes)
+    branching = max(2.0, stats.avg_out_degree)
+    radius = max(1, math.ceil(math.log(nodes, branching)))
+    if method in ("DJ", "MDJ"):
+        return max(1, nodes // 2)
+    if method in ("BDJ", "MBDJ"):
+        return max(1, int(2 * math.sqrt(nodes)))
+    # Set-at-a-time: two half-radius sweeps meeting in the middle.
+    return max(1, radius)
+
+
+__all__ = [
+    "AUTO_METHOD",
+    "MEMORY_METHODS",
+    "METHODS",
+    "NODE_AT_A_TIME",
+    "QueryPlan",
+    "QuerySpec",
+    "RELATIONAL_METHODS",
+    "SET_AT_A_TIME",
+    "normalize_method",
+    "plan_query",
+]

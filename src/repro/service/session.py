@@ -1,0 +1,375 @@
+"""The :class:`PathService` session: multi-graph hosting over pluggable stores.
+
+One service hosts any number of named graphs, each loaded once into a store
+created through the backend registry.  The service owns the full query
+pipeline — validation, planning (``method="auto"``), execution, SegTable
+memoization, and a shared LRU result cache — so callers state *what* they
+want and the service decides *how* to run it::
+
+    with PathService() as service:
+        service.add_graph("social", graph, backend="minidb")
+        service.build_segtable("social", lthd=5)
+        print(service.explain(0, 42, graph="social").describe())
+        result = service.shortest_path(0, 42, graph="social")
+        batch = service.shortest_path_many([(0, 42), (3, 99)],
+                                           graph="social")
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, replace
+from typing import Dict, Hashable, Optional, Sequence, Tuple, Union
+
+from repro.core.path import PathResult
+from repro.core.segtable import build_segtable as _build_segtable
+from repro.core.sqlstyle import NSQL, validate_sql_style
+from repro.core.stats import BatchStats, QueryStats, SegTableBuildStats
+from repro.core.store.base import GraphStore, IndexMode
+from repro.core.store.registry import create_store
+from repro.errors import (
+    DuplicateGraphError,
+    InvalidQueryError,
+    NodeNotFoundError,
+    ServiceError,
+    UnknownGraphError,
+)
+from repro.graph.model import Graph
+from repro.graph.stats import GraphStatistics, compute_statistics
+from repro.memory.bidirectional import bidirectional_dijkstra as _memory_bidirectional
+from repro.memory.dijkstra import dijkstra_shortest_path as _memory_dijkstra
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.planner import (
+    MEMORY_METHODS,
+    QueryPlan,
+    QuerySpec,
+    RELATIONAL_METHODS,
+    plan_query,
+)
+
+DEFAULT_GRAPH = "default"
+
+BatchQuery = Union[QuerySpec, Tuple[int, int], Tuple[str, int, int],
+                   Tuple[str, int, int, str], Dict[str, object]]
+
+
+def run_in_memory(graph: Graph, source: int, target: int,
+                  method: str = "MDJ") -> PathResult:
+    """Run one of the in-memory competitors (MDJ or MBDJ) on ``graph``."""
+    method = method.upper()
+    if method == "MDJ":
+        result = _memory_dijkstra(graph, source, target)
+    elif method == "MBDJ":
+        result = _memory_bidirectional(graph, source, target)
+    else:
+        raise InvalidQueryError(
+            f"unknown in-memory method {method!r}; expected MDJ or MBDJ"
+        )
+    stats = QueryStats(method=method)
+    stats.found = True
+    stats.distance = result.distance
+    stats.visited_nodes = result.settled
+    stats.path_edges = result.num_edges
+    return PathResult(source, target, result.distance, result.path, stats)
+
+
+@dataclass
+class _GraphHost:
+    """Everything the service keeps per hosted graph."""
+
+    name: str
+    graph: Graph
+    store: GraphStore
+    backend: str
+    index_mode: str
+    segtable_stats: Optional[SegTableBuildStats] = None
+    _segtable_key: Optional[Tuple[Hashable, ...]] = None
+    _statistics: Optional[GraphStatistics] = None
+
+    @property
+    def statistics(self) -> GraphStatistics:
+        """Graph statistics, computed once (hosted graphs are frozen)."""
+        if self._statistics is None:
+            self._statistics = compute_statistics(self.graph)
+        return self._statistics
+
+
+class PathService:
+    """Session object hosting named graphs and answering queries over them.
+
+    Args:
+        default_backend: registry name used when :meth:`add_graph` does not
+            specify one.
+        cache_size: capacity of the shared LRU result cache (``0`` disables
+            result caching entirely).
+    """
+
+    def __init__(self, default_backend: str = "minidb",
+                 cache_size: int = 1024) -> None:
+        self.default_backend = default_backend
+        self._hosts: Dict[str, _GraphHost] = {}
+        self._cache = ResultCache(cache_size)
+        self._closed = False
+
+    # -- graph lifecycle ---------------------------------------------------------
+
+    def add_graph(self, name: str, graph: Graph,
+                  backend: Optional[str] = None,
+                  buffer_capacity: int = 256,
+                  index_mode: str = IndexMode.CLUSTERED,
+                  db_path: Optional[str] = None) -> str:
+        """Host ``graph`` under ``name``, loading it into a fresh store.
+
+        Args:
+            name: session-unique graph name.
+            graph: the graph to load; treated as frozen once hosted.
+            backend: registry backend name (service default when ``None``).
+            buffer_capacity: buffer-pool pages (engines without one ignore it).
+            index_mode: index strategy for the relational tables.
+            db_path: optional backing file; in-memory by default.
+
+        Returns:
+            The graph name, for chaining into a query call.
+
+        Raises:
+            DuplicateGraphError: when ``name`` is already hosted.
+            UnknownBackendError: when ``backend`` is not registered.
+        """
+        if self._closed:
+            raise ServiceError("this PathService is closed; create a new one")
+        if name in self._hosts:
+            raise DuplicateGraphError(
+                f"graph {name!r} is already hosted; drop_graph() it first"
+            )
+        backend = (backend or self.default_backend).lower()
+        index_mode = IndexMode.validate(index_mode)
+        store = create_store(backend, path=db_path,
+                             buffer_capacity=buffer_capacity)
+        try:
+            store.load_graph(graph, index_mode=index_mode)
+        except Exception:
+            store.close()
+            raise
+        self._hosts[name] = _GraphHost(name=name, graph=graph, store=store,
+                                       backend=backend, index_mode=index_mode)
+        return name
+
+    def drop_graph(self, name: str) -> None:
+        """Close and forget the graph hosted under ``name``, dropping its
+        cached results."""
+        host = self._host(name)
+        del self._hosts[name]
+        self._cache.invalidate_graph(name)
+        host.store.close()
+
+    def graphs(self) -> Tuple[str, ...]:
+        """Names of the hosted graphs, in insertion order."""
+        return tuple(self._hosts)
+
+    def graph(self, name: str = DEFAULT_GRAPH) -> Graph:
+        """The :class:`Graph` hosted under ``name``."""
+        return self._host(name).graph
+
+    def store(self, name: str = DEFAULT_GRAPH) -> GraphStore:
+        """The :class:`GraphStore` backing the graph hosted under ``name``."""
+        return self._host(name).store
+
+    def statistics(self, name: str = DEFAULT_GRAPH) -> GraphStatistics:
+        """Memoized :class:`GraphStatistics` for the hosted graph."""
+        return self._host(name).statistics
+
+    # -- SegTable management -----------------------------------------------------
+
+    def build_segtable(self, graph: str = DEFAULT_GRAPH, *, lthd: float,
+                       sql_style: str = NSQL,
+                       index_mode: Optional[str] = None,
+                       force: bool = False) -> SegTableBuildStats:
+        """Build the SegTable index for a hosted graph, memoized.
+
+        Rebuilding with the same ``(lthd, sql_style, index_mode)`` returns
+        the previous :class:`SegTableBuildStats` without touching the store;
+        pass ``force=True`` (or different parameters) to rebuild.
+        """
+        host = self._host(graph)
+        validate_sql_style(sql_style)
+        mode = IndexMode.validate(index_mode or host.index_mode)
+        key = (lthd, sql_style, mode)
+        if not force and host._segtable_key == key:
+            assert host.segtable_stats is not None
+            return host.segtable_stats
+        host.segtable_stats = _build_segtable(host.store, lthd,
+                                              sql_style=sql_style,
+                                              index_mode=mode)
+        host._segtable_key = key
+        return host.segtable_stats
+
+    def segtable_stats(self, graph: str = DEFAULT_GRAPH
+                       ) -> Optional[SegTableBuildStats]:
+        """Build statistics of the graph's SegTable (``None`` if unbuilt)."""
+        return self._host(graph).segtable_stats
+
+    # -- planning ----------------------------------------------------------------
+
+    def plan(self, spec: QuerySpec, estimate: bool = False) -> QueryPlan:
+        """Plan ``spec`` without executing it.
+
+        Statistics are computed lazily: explicit-method plans skip the
+        O(V+E) graph-statistics scan unless ``estimate=True``.
+        """
+        host = self._host(spec.graph)
+        self._check_nodes(host, spec.source, spec.target)
+        validate_sql_style(spec.sql_style)
+        return plan_query(spec, lambda: host.statistics,
+                          host.store.has_segtable, estimate=estimate)
+
+    def explain(self, source: int, target: int, graph: str = DEFAULT_GRAPH,
+                method: str = "auto", sql_style: str = NSQL) -> QueryPlan:
+        """Return the :class:`QueryPlan` the service would execute, with
+        the predicted FEM iteration shape filled in."""
+        return self.plan(QuerySpec(source=source, target=target, graph=graph,
+                                   method=method, sql_style=sql_style),
+                         estimate=True)
+
+    # -- queries -----------------------------------------------------------------
+
+    def shortest_path(self, source: int, target: int,
+                      graph: str = DEFAULT_GRAPH, method: str = "auto",
+                      sql_style: str = NSQL,
+                      max_iterations: Optional[int] = None,
+                      use_cache: bool = True) -> PathResult:
+        """Answer one shortest-path query against a hosted graph.
+
+        Raises:
+            UnknownGraphError: when ``graph`` is not hosted.
+            NodeNotFoundError: when an endpoint is not in the graph.
+            InvalidQueryError: for unknown methods or BSEG without an index.
+            PathNotFoundError: when the nodes are not connected.
+        """
+        spec = QuerySpec(source=source, target=target, graph=graph,
+                         method=method, sql_style=sql_style,
+                         max_iterations=max_iterations)
+        plan = self.plan(spec)
+        return self._execute(plan, use_cache=use_cache)
+
+    def shortest_path_many(self, queries: Sequence[BatchQuery],
+                           graph: str = DEFAULT_GRAPH, method: str = "auto",
+                           sql_style: str = NSQL,
+                           raise_on_unreachable: bool = False):
+        """Answer a batch of queries; see
+        :func:`repro.service.batch.execute_batch` for the full contract."""
+        from repro.service.batch import execute_batch
+        return execute_batch(self, queries, graph=graph, method=method,
+                             sql_style=sql_style,
+                             raise_on_unreachable=raise_on_unreachable)
+
+    # -- cache -------------------------------------------------------------------
+
+    def cache_info(self) -> CacheStats:
+        """Counters of the shared result cache."""
+        return self._cache.stats()
+
+    def clear_cache(self) -> None:
+        """Drop every cached result."""
+        self._cache.clear()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every hosted store and drop the cache."""
+        if self._closed:
+            return
+        self._closed = True
+        for host in self._hosts.values():
+            host.store.close()
+        self._hosts.clear()
+        self._cache.clear()
+
+    def __enter__(self) -> "PathService":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _host(self, name: str) -> _GraphHost:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            hosted = tuple(self._hosts) or "(no graphs hosted)"
+            raise UnknownGraphError(
+                f"graph {name!r} is not hosted by this service; "
+                f"hosted graphs: {hosted}"
+            ) from None
+
+    @staticmethod
+    def _check_nodes(host: _GraphHost, source: int, target: int) -> None:
+        for nid in (source, target):
+            if not host.graph.has_node(nid):
+                raise NodeNotFoundError(
+                    f"node {nid} is not in graph {host.name!r}"
+                )
+
+    def _cache_key(self, plan: QueryPlan) -> Optional[Tuple[Hashable, ...]]:
+        if self._cache.capacity == 0:
+            return None  # caching disabled; don't report phantom misses
+        spec = plan.spec
+        if spec.max_iterations is not None:
+            return None  # capped runs may return partial work; never cache
+        return (spec.graph, spec.source, spec.target, plan.method,
+                spec.sql_style)
+
+    def _execute(self, plan: QueryPlan, use_cache: bool = True,
+                 batch_stats: Optional[BatchStats] = None) -> PathResult:
+        """Run a planned query, consulting and feeding the result cache."""
+        key = self._cache_key(plan) if use_cache else None
+        if key is not None:
+            cached = self._cache.get(key)
+            if cached is not None:
+                if batch_stats is not None:
+                    batch_stats.cache_hits += 1
+                return self._copy_result(cached)
+        try:
+            result = self._run(plan)
+        finally:
+            # Unreachable pairs still ran a full search against the store.
+            if batch_stats is not None:
+                batch_stats.executed += 1
+        if key is not None:
+            self._cache.put(key, result)
+            if batch_stats is not None:
+                batch_stats.cache_misses += 1
+            # Hand out a copy here too: the cache keeps the pristine
+            # original, immune to caller mutation.
+            return self._copy_result(result)
+        return result
+
+    @staticmethod
+    def _copy_result(result: PathResult) -> PathResult:
+        """Fresh result object per handout, so callers can mutate what they
+        receive (path or stats) without corrupting the cached original."""
+        stats = result.stats
+        if stats is not None:
+            stats = replace(stats,
+                            time_by_phase=defaultdict(
+                                float, stats.time_by_phase),
+                            time_by_operator=defaultdict(
+                                float, stats.time_by_operator))
+        return replace(result, path=list(result.path), stats=stats)
+
+    def _run(self, plan: QueryPlan) -> PathResult:
+        spec = plan.spec
+        host = self._host(spec.graph)
+        if plan.method in MEMORY_METHODS:
+            return run_in_memory(host.graph, spec.source, spec.target,
+                                 method=plan.method)
+        algorithm = RELATIONAL_METHODS[plan.method]
+        return algorithm(host.store, spec.source, spec.target,
+                         sql_style=spec.sql_style,
+                         max_iterations=spec.max_iterations)
+
+
+Session = PathService
+"""Alias: a :class:`PathService` *is* the query session."""
+
+__all__ = ["DEFAULT_GRAPH", "PathService", "Session", "run_in_memory"]

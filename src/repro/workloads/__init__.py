@@ -2,12 +2,26 @@
 
 The paper's evaluation answers 100 random shortest-path queries per
 configuration and reports averages.  This package generates such workloads
-(pairs of connected nodes) and runs them against a
-:class:`~repro.core.api.RelationalPathFinder`, aggregating the statistics the
-paper's tables and figures report.
+(pairs of connected nodes) and runs them either against the legacy
+:class:`~repro.core.api.RelationalPathFinder` (:func:`run_workload`) or
+through a :class:`~repro.service.PathService` batch
+(:func:`run_service_workload`), aggregating the statistics the paper's
+tables and figures report.
 """
 
 from repro.workloads.queries import QueryWorkload, generate_queries
-from repro.workloads.runner import MethodAggregate, run_workload
+from repro.workloads.runner import (
+    MethodAggregate,
+    aggregate_results,
+    run_service_workload,
+    run_workload,
+)
 
-__all__ = ["MethodAggregate", "QueryWorkload", "generate_queries", "run_workload"]
+__all__ = [
+    "MethodAggregate",
+    "QueryWorkload",
+    "aggregate_results",
+    "generate_queries",
+    "run_service_workload",
+    "run_workload",
+]

@@ -4,6 +4,12 @@ The aggregates mirror the columns of the paper's Tables 2 and 3: average
 query time, average number of expansions ("Exps") and average number of
 visited nodes ("Vst"), plus the phase/operator time breakdowns used by
 Figure 6.
+
+Two entry points are provided: :func:`run_workload` drives the legacy
+:class:`~repro.core.api.RelationalPathFinder` one query at a time, and
+:func:`run_service_workload` pushes the whole workload through
+:meth:`~repro.service.PathService.shortest_path_many`, returning the same
+aggregate plus the batch's cache statistics.
 """
 
 from __future__ import annotations
@@ -15,7 +21,9 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.core.api import RelationalPathFinder
 from repro.core.path import PathResult
 from repro.core.sqlstyle import NSQL
+from repro.core.stats import BatchStats
 from repro.errors import PathNotFoundError
+from repro.service.session import DEFAULT_GRAPH, PathService
 
 
 @dataclass
@@ -54,23 +62,11 @@ class MethodAggregate:
         }
 
 
-def run_workload(finder: RelationalPathFinder,
-                 queries: Iterable[Tuple[int, int]],
-                 method: str,
-                 sql_style: str = NSQL,
-                 max_iterations: Optional[int] = None) -> MethodAggregate:
-    """Run every query with ``method`` and aggregate the statistics."""
-    results: List[PathResult] = []
-    not_found = 0
-    for source, target in queries:
-        try:
-            result = finder.shortest_path(source, target, method=method,
-                                          sql_style=sql_style,
-                                          max_iterations=max_iterations)
-        except PathNotFoundError:
-            not_found += 1
-            continue
-        results.append(result)
+def aggregate_results(results: List[PathResult], method: str,
+                      sql_style: str = NSQL,
+                      not_found: int = 0) -> MethodAggregate:
+    """Fold per-query :class:`PathResult` statistics into a
+    :class:`MethodAggregate`."""
     aggregate = MethodAggregate(method=method.upper(), sql_style=sql_style,
                                 queries=len(results), not_found=not_found)
     if not results:
@@ -103,3 +99,66 @@ def run_workload(finder: RelationalPathFinder,
         key: value / count for key, value in operator_totals.items()
     }
     return aggregate
+
+
+def run_workload(finder: RelationalPathFinder,
+                 queries: Iterable[Tuple[int, int]],
+                 method: str,
+                 sql_style: str = NSQL,
+                 max_iterations: Optional[int] = None) -> MethodAggregate:
+    """Run every query with ``method`` and aggregate the statistics."""
+    results: List[PathResult] = []
+    not_found = 0
+    for source, target in queries:
+        try:
+            result = finder.shortest_path(source, target, method=method,
+                                          sql_style=sql_style,
+                                          max_iterations=max_iterations)
+        except PathNotFoundError:
+            not_found += 1
+            continue
+        results.append(result)
+    return aggregate_results(results, method=method, sql_style=sql_style,
+                             not_found=not_found)
+
+
+def run_service_workload(service: PathService,
+                         queries: Iterable[Tuple[int, int]],
+                         method: str = "auto",
+                         graph: str = DEFAULT_GRAPH,
+                         sql_style: str = NSQL,
+                         max_iterations: Optional[int] = None,
+                         ) -> Tuple[MethodAggregate, BatchStats]:
+    """Run a workload through the service's batch API.
+
+    Returns the same :class:`MethodAggregate` as :func:`run_workload` (the
+    label is the batch's dominant resolved method when planning with
+    ``"auto"``) plus the batch's :class:`BatchStats`.
+
+    The aggregate covers only the executions this batch actually performed;
+    answers replayed from the result cache cost ~nothing and would distort
+    the per-execution averages, so they count toward :class:`BatchStats`
+    (``cache_hits``, ``total_time``) but not toward the aggregate.  On a
+    fully warm cache the aggregate is therefore empty — pass a
+    ``cache_size=0`` service for timing measurements, as
+    :func:`repro.bench.experiments.method_comparison` does.
+    """
+    from repro.service.planner import QuerySpec
+
+    specs = [QuerySpec(source=source, target=target, graph=graph,
+                       method=method, sql_style=sql_style,
+                       max_iterations=max_iterations)
+             for source, target in queries]
+    batch = service.shortest_path_many(specs, graph=graph,
+                                       method=method, sql_style=sql_style)
+    label = method.upper()
+    if label == "AUTO" and batch.stats.per_method:
+        label = max(batch.stats.per_method.items(), key=lambda item: item[1])[0]
+    executed_results = [result
+                        for result, replayed in zip(batch.results,
+                                                    batch.from_cache)
+                        if result is not None and not replayed]
+    aggregate = aggregate_results(executed_results, method=label,
+                                  sql_style=sql_style,
+                                  not_found=batch.stats.not_found)
+    return aggregate, batch.stats

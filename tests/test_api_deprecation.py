@@ -1,0 +1,218 @@
+"""Deprecation hygiene: shims warn exactly once and stay result-identical
+to the service layer, covering the legacy call patterns from examples/."""
+
+import warnings
+
+import pytest
+
+import repro.core.api as api
+from repro.core.api import RelationalPathFinder, shortest_path
+from repro.errors import NodeNotFoundError, PathNotFoundError
+from repro.graph.generators import grid_graph, path_graph, power_law_graph
+from repro.service import PathService
+from repro.workloads.queries import generate_queries
+
+
+@pytest.fixture(autouse=True)
+def reset_warning_dedup():
+    """Each test observes the warning as if in a fresh process."""
+    api._WARNED.clear()
+    yield
+    api._WARNED.clear()
+
+
+def _collect_deprecations(action):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        action()
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestWarnOnce:
+    def test_finder_warns_exactly_once(self):
+        graph = path_graph(4)
+
+        def construct_twice():
+            with RelationalPathFinder(graph):
+                pass
+            with RelationalPathFinder(graph):
+                pass
+
+        caught = _collect_deprecations(construct_twice)
+        assert len(caught) == 1
+        assert "PathService" in str(caught[0].message)
+
+    def test_one_shot_warns_exactly_once(self):
+        graph = path_graph(4, weight_range=(1, 1))
+
+        def call_twice():
+            shortest_path(graph, 0, 3)
+            shortest_path(graph, 0, 3)
+
+        caught = _collect_deprecations(call_twice)
+        assert len(caught) == 1
+
+    def test_finder_and_one_shot_warn_independently(self):
+        graph = path_graph(4, weight_range=(1, 1))
+
+        def call_both():
+            with RelationalPathFinder(graph):
+                pass
+            shortest_path(graph, 0, 3)
+
+        caught = _collect_deprecations(call_both)
+        assert len(caught) == 2
+
+    def test_queries_through_finder_do_not_warn(self):
+        graph = path_graph(4, weight_range=(1, 1))
+        finder = RelationalPathFinder(graph)
+
+        def query():
+            finder.shortest_path(0, 3)
+            finder.shortest_path(0, 3, method="BDJ")
+
+        caught = _collect_deprecations(query)
+        finder.close()
+        assert caught == []
+
+
+class TestLegacyParity:
+    """The exact call patterns from examples/ produce PathResults identical
+    to the service layer's."""
+
+    def _assert_same_result(self, legacy, modern):
+        assert legacy.source == modern.source
+        assert legacy.target == modern.target
+        assert abs(legacy.distance - modern.distance) < 1e-9
+        assert legacy.path == modern.path
+        assert legacy.stats.method == modern.stats.method
+        assert legacy.stats.expansions == modern.stats.expansions
+        assert legacy.stats.statements == modern.stats.statements
+        assert legacy.stats.visited_nodes == modern.stats.visited_nodes
+
+    def test_quickstart_pattern_every_method(self):
+        # examples/quickstart.py (pre-redesign): finder + SegTable + all methods.
+        graph = power_law_graph(200, edges_per_node=2, seed=7)
+        source, target = generate_queries(graph, 1, seed=3,
+                                          min_hops=3).queries[0]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            finder = RelationalPathFinder(graph, backend="minidb",
+                                          buffer_capacity=256)
+            finder.build_segtable(lthd=10)
+        with PathService() as service:
+            service.add_graph("default", graph, backend="minidb",
+                              buffer_capacity=256)
+            service.build_segtable(lthd=10)
+            for method in ("DJ", "BDJ", "BSDJ", "BBFS", "BSEG", "MDJ", "MBDJ"):
+                legacy = finder.shortest_path(source, target, method=method)
+                modern = service.shortest_path(source, target, method=method,
+                                               use_cache=False)
+                self._assert_same_result(legacy, modern)
+        finder.close()
+
+    def test_road_network_pattern(self):
+        # examples/road_network.py: grid graph, per-method finder queries.
+        graph = grid_graph(6, 6, seed=11)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with RelationalPathFinder(graph) as finder:
+                legacy = finder.shortest_path(0, 35, method="BSDJ")
+        with PathService() as service:
+            service.add_graph("default", graph)
+            modern = service.shortest_path(0, 35, method="BSDJ")
+        self._assert_same_result(legacy, modern)
+
+    def test_one_shot_pattern(self):
+        graph = grid_graph(4, 4, seed=5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = shortest_path(graph, 0, 15, method="BDJ")
+        with PathService() as service:
+            service.add_graph("default", graph)
+            modern = service.shortest_path(0, 15, method="BDJ")
+        self._assert_same_result(legacy, modern)
+
+
+class TestOneShotBugfixes:
+    """Regression tests for the two historical one-shot wrapper bugs."""
+
+    def test_memory_methods_validate_nodes(self):
+        # Previously the MDJ/MBDJ fast path skipped _check_node and raised
+        # backend-specific errors for bad endpoints.
+        graph = path_graph(3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for method in ("MDJ", "MBDJ"):
+                with pytest.raises(NodeNotFoundError):
+                    shortest_path(graph, 0, 99, method=method)
+                with pytest.raises(NodeNotFoundError):
+                    shortest_path(graph, 99, 0, method=method)
+
+    def test_memory_methods_validate_sql_style(self):
+        graph = path_graph(3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError):
+                shortest_path(graph, 0, 2, method="MDJ", sql_style="mysql")
+
+    def test_max_iterations_plumbed_through(self):
+        # Previously the wrapper silently ignored max_iterations.
+        graph = path_graph(8, weight_range=(1, 1))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(PathNotFoundError):
+                shortest_path(graph, 0, 7, method="DJ", max_iterations=1)
+            result = shortest_path(graph, 0, 7, method="DJ")
+            assert result.distance == 7
+
+    def test_db_path_plumbed_through(self, tmp_path):
+        # Previously the wrapper could not run against a file-backed store.
+        db_file = tmp_path / "one_shot.sqlite"
+        graph = path_graph(4, weight_range=(2, 2))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            result = shortest_path(graph, 0, 3, backend="sqlite",
+                                   db_path=str(db_file))
+        assert result.distance == 6
+        assert db_file.exists()
+
+
+class TestShimHistoricalSemantics:
+    def test_build_segtable_rebuilds_every_call(self):
+        # Unlike PathService.build_segtable, the legacy shim never memoizes.
+        graph = grid_graph(4, 4, seed=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with RelationalPathFinder(graph) as finder:
+                first = finder.build_segtable(3.0)
+                second = finder.build_segtable(3.0)
+                assert second is not first
+
+    def test_segtable_stats_attribute_writable(self):
+        graph = grid_graph(4, 4, seed=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with RelationalPathFinder(graph) as finder:
+                finder.build_segtable(3.0)
+                finder.segtable_stats = None  # historical staleness marker
+                assert finder.segtable_stats is None
+
+    def test_store_module_reload_safe(self):
+        # In a subprocess: importlib.reload rebinds the module's globals in
+        # place, so running it here would poison this process's registry
+        # with factories building fresh class objects.
+        import subprocess
+        import sys
+
+        code = (
+            "import importlib, repro.core.store.minidb as m, "
+            "repro.core.store.sqlite as s; "
+            "importlib.reload(m); importlib.reload(s); "  # must not raise
+            "from repro.service import create_store; "
+            "store = create_store('minidb'); store.close(); print('ok')"
+        )
+        result = subprocess.run([sys.executable, "-c", code],
+                                capture_output=True, text=True)
+        assert result.returncode == 0, result.stderr
+        assert "ok" in result.stdout

@@ -1,0 +1,110 @@
+"""Tests for the query planner (QuerySpec -> QueryPlan, method="auto")."""
+
+import pytest
+
+from repro.errors import InvalidQueryError
+from repro.graph.generators import grid_graph, path_graph, power_law_graph
+from repro.graph.stats import compute_statistics
+from repro.service import PathService, QuerySpec
+from repro.service.planner import (
+    METHODS,
+    NODE_AT_A_TIME,
+    SET_AT_A_TIME,
+    normalize_method,
+    plan_query,
+)
+
+
+class TestNormalizeMethod:
+    def test_known_methods_upper_cased(self):
+        assert normalize_method("bsdj") == "BSDJ"
+        assert normalize_method("MDJ") == "MDJ"
+
+    def test_auto_sentinel(self):
+        assert normalize_method("auto") == "AUTO"
+        assert normalize_method("Auto") == "AUTO"
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(InvalidQueryError):
+            normalize_method("ASTAR")
+
+    def test_methods_constant(self):
+        assert set(METHODS) == {"DJ", "BDJ", "BSDJ", "BBFS", "BSEG",
+                                "MDJ", "MBDJ"}
+
+
+class TestPlanQuery:
+    def _plan(self, graph, method="auto", has_segtable=False):
+        spec = QuerySpec(source=0, target=1, method=method)
+        return plan_query(spec, compute_statistics(graph), has_segtable)
+
+    def test_explicit_method_passthrough(self):
+        plan = self._plan(grid_graph(3, 3, seed=1), method="bdj")
+        assert plan.method == "BDJ"
+        assert "explicitly" in plan.reason
+
+    def test_explicit_bseg_without_segtable_raises(self):
+        with pytest.raises(InvalidQueryError):
+            self._plan(grid_graph(3, 3, seed=1), method="BSEG")
+
+    def test_auto_small_graph_picks_dj(self):
+        plan = self._plan(grid_graph(5, 5, seed=2))
+        assert plan.method == "DJ"
+        assert not plan.bidirectional
+        assert plan.frontier_mode == NODE_AT_A_TIME
+
+    def test_auto_power_law_graph_picks_bsdj(self):
+        plan = self._plan(power_law_graph(120, edges_per_node=2, seed=3))
+        assert plan.method == "BSDJ"
+        assert plan.bidirectional
+        assert plan.frontier_mode == SET_AT_A_TIME
+
+    def test_auto_prefers_segtable(self):
+        plan = self._plan(power_law_graph(120, edges_per_node=2, seed=3),
+                          has_segtable=True)
+        assert plan.method == "BSEG"
+        assert plan.uses_segtable
+
+    def test_auto_never_picks_bseg_without_segtable(self):
+        for graph in (path_graph(5), grid_graph(5, 5, seed=2),
+                      power_law_graph(200, edges_per_node=3, seed=4)):
+            assert self._plan(graph).method != "BSEG"
+
+    def test_estimated_iterations_positive(self):
+        for method in METHODS:
+            if method == "BSEG":
+                continue
+            plan = self._plan(grid_graph(4, 4, seed=5), method=method)
+            assert plan.estimated_iterations >= 1
+
+    def test_describe_mentions_method_and_operators(self):
+        plan = self._plan(power_law_graph(120, edges_per_node=2, seed=3))
+        text = plan.describe()
+        assert "BSDJ" in text
+        assert "F -> E -> M" in text
+        assert "reason:" in text
+
+
+class TestServiceExplain:
+    def test_explain_matches_execution(self, small_power_graph):
+        with PathService() as service:
+            service.add_graph("default", small_power_graph)
+            plan = service.explain(0, 50)
+            result = service.shortest_path(0, 50)
+            assert result.stats.method == plan.method
+
+    def test_explain_changes_after_segtable_build(self, small_power_graph):
+        with PathService() as service:
+            service.add_graph("default", small_power_graph)
+            before = service.explain(0, 50).method
+            service.build_segtable(lthd=5)
+            after = service.explain(0, 50).method
+            assert before == "BSDJ"
+            assert after == "BSEG"
+
+    def test_explain_validates_nodes(self, small_power_graph):
+        from repro.errors import NodeNotFoundError
+        with PathService() as service:
+            service.add_graph("default", small_power_graph)
+            with pytest.raises(NodeNotFoundError):
+                service.explain(0, 10_000)

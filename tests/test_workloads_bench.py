@@ -129,3 +129,75 @@ class TestExperimentHelpers:
         rows = construction_sweep({"power": grid_graph(3, 3, seed=1)}, [5, 10])
         assert len(rows) == 2
         assert all(row["segments"] > 0 for row in rows)
+
+
+class TestServiceRunner:
+    def test_run_service_workload_aggregate(self):
+        from repro.service import PathService
+        from repro.workloads.runner import run_service_workload
+
+        graph = power_law_graph(100, edges_per_node=2, seed=6)
+        workload = generate_queries(graph, 4, seed=8)
+        with PathService() as service:
+            service.add_graph("default", graph)
+            aggregate, batch_stats = run_service_workload(
+                service, workload, method="BSDJ")
+        assert aggregate.method == "BSDJ"
+        assert aggregate.queries + aggregate.not_found == len(workload)
+        assert batch_stats.total == len(workload)
+        assert batch_stats.per_method.get("BSDJ") == len(workload)
+
+    def test_run_service_workload_auto_label(self):
+        from repro.service import PathService
+        from repro.workloads.runner import run_service_workload
+
+        graph = power_law_graph(100, edges_per_node=2, seed=6)
+        workload = generate_queries(graph, 3, seed=9)
+        with PathService() as service:
+            service.add_graph("default", graph)
+            aggregate, batch_stats = run_service_workload(
+                service, workload, method="auto")
+        # The label is the dominant resolved method, never the sentinel.
+        assert aggregate.method != "AUTO"
+        assert aggregate.method in batch_stats.per_method
+
+    def test_bench_backend_env_override(self, monkeypatch):
+        from repro.bench.harness import bench_backend
+
+        monkeypatch.delenv("REPRO_BENCH_BACKEND", raising=False)
+        assert bench_backend() == "minidb"
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "SQLite")
+        assert bench_backend() == "sqlite"
+        # A typo'd engine must fail loudly, not benchmark the wrong one.
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "oracle")
+        with pytest.raises(ValueError):
+            bench_backend()
+
+    def test_run_service_workload_counts_each_execution_once(self):
+        from repro.service import PathService
+        from repro.workloads.runner import run_service_workload
+
+        graph = grid_graph(4, 4, seed=3)
+        workload = [(0, 15), (0, 15), (0, 15), (0, 12)]
+        with PathService() as service:
+            service.add_graph("default", graph)
+            aggregate, batch_stats = run_service_workload(
+                service, workload, method="BDJ")
+        # Cache hits replay an earlier execution; the aggregate must not
+        # re-count it per duplicate.
+        assert batch_stats.cache_hits == 2
+        assert aggregate.queries == 2
+
+    def test_run_service_workload_warm_cache_aggregates_nothing(self):
+        from repro.service import PathService
+        from repro.workloads.runner import run_service_workload
+
+        graph = grid_graph(4, 4, seed=3)
+        workload = [(0, 15), (0, 12)]
+        with PathService() as service:
+            service.add_graph("default", graph)
+            run_service_workload(service, workload, method="BDJ")
+            aggregate, batch_stats = run_service_workload(
+                service, workload, method="BDJ")  # fully warm
+        assert batch_stats.cache_hits == 2
+        assert aggregate.queries == 0  # nothing executed in this batch
