@@ -1,0 +1,137 @@
+"""Parallel batch execution — pooled SQLite readers vs. the serial engine.
+
+Not a figure from the paper: the paper's operators are embarrassingly
+parallel across source/target pairs, and this benchmark measures what the
+PR-2 store-pool/executor subsystem buys on a multi-core machine.  A
+64-query batch runs against a ``db_path``-backed SQLite store — the
+backend whose pool grows by *cloning connections* over one database file,
+and whose C-level query execution releases the GIL — once serially and
+once per concurrency level, asserting bit-identical results every time.
+
+Besides the usual text report, the run writes a machine-readable
+``benchmarks/results/parallel_batch.json`` (CI uploads it as an artifact)
+with per-level wall times, speedups, and the queue/execute split from the
+extended ``BatchStats``.
+"""
+
+import json
+import os
+import random
+from pathlib import Path
+
+from repro.bench.harness import (
+    RESULTS_DIR,
+    format_table,
+    paper_reference,
+    scaled,
+    write_report,
+)
+from repro.graph.generators import random_graph
+from repro.service import PathService
+
+CONCURRENCY_LEVELS = (2, 4, 8)
+NUM_QUERIES = 64
+
+
+def _batch_queries(graph, count, seed=7):
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes())
+    return [(rng.choice(nodes), rng.choice(nodes)) for _ in range(count)]
+
+
+def _shapes(batch):
+    return [(None if r is None else (r.distance, tuple(r.path)))
+            for r in batch.results]
+
+
+def run_experiment(tmp_dir):
+    # A fairly large graph keeps each query mostly inside sqlite's
+    # GIL-releasing C code, which is what the threaded speedup depends on.
+    graph = random_graph(scaled(600), avg_degree=3.0, seed=17)
+    queries = _batch_queries(graph, NUM_QUERIES)
+    rows = []
+    with PathService(cache_size=0) as service:
+        service.add_graph("bench", graph, backend="sqlite",
+                          db_path=os.path.join(tmp_dir, "parallel_bench.db"))
+        serial = service.shortest_path_many(queries, graph="bench")
+        baseline_shapes = _shapes(serial)
+        rows.append({
+            "concurrency": 1,
+            "wall_s": round(serial.stats.total_time, 4),
+            "speedup": 1.0,
+            "queue_s": 0.0,
+            "execute_s": round(serial.stats.total_time, 4),
+            "identical": True,
+        })
+        for level in CONCURRENCY_LEVELS:
+            parallel = service.shortest_path_many(queries, graph="bench",
+                                                  concurrency=level)
+            identical = _shapes(parallel) == baseline_shapes
+            assert identical, (
+                f"concurrency={level} changed results vs. serial"
+            )
+            wall = parallel.stats.total_time
+            rows.append({
+                "concurrency": level,
+                "wall_s": round(wall, 4),
+                "speedup": round(serial.stats.total_time / wall, 2)
+                if wall else float("inf"),
+                "queue_s": round(parallel.stats.queue_time, 4),
+                "execute_s": round(parallel.stats.execute_time, 4),
+                "identical": identical,
+            })
+        pool = service.pool_stats("bench")
+    return rows, {
+        "replicas_cloned": pool.replicas_cloned,
+        "replicas_rehydrated": pool.replicas_rehydrated,
+        "pool_capacity": pool.capacity,
+    }
+
+
+def _write_json(rows, pool_info):
+    payload = {
+        "benchmark": "parallel_batch",
+        "backend": "sqlite (db_path-backed, pool grows by connection clone)",
+        "num_queries": NUM_QUERIES,
+        "cpu_count": os.cpu_count(),
+        "levels": rows,
+        "pool": pool_info,
+        "best_speedup": max(row["speedup"] for row in rows),
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / "parallel_batch.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path, payload
+
+
+def test_parallel_batch_speedup(benchmark, tmp_path):
+    rows, pool_info = benchmark.pedantic(
+        run_experiment, args=(str(tmp_path),), rounds=1, iterations=1)
+    _, payload = _write_json(rows, pool_info)
+    write_report(
+        "parallel_batch",
+        paper_reference(
+            "Not in the paper — PR-2 concurrency subsystem",
+            [
+                "DJ/BDJ/BSDJ/BSEG queries are independent across pairs",
+                "Pool: one SQLite connection per worker over one db file",
+                "Expected shape: wall time drops as concurrency rises on a "
+                "multi-core host; results stay bit-identical",
+                f"This host: {os.cpu_count()} cpu core(s)",
+            ],
+        ),
+        format_table(rows, title="Reproduced (64-query batch, sqlite file)"),
+    )
+    # Results must match serial exactly at every level (asserted inside the
+    # experiment too, before timings are even recorded).
+    assert all(row["identical"] for row in rows)
+    # The speedup claim needs real cores; a 1-core container can only show
+    # correctness.  CI runners with 4+ cores enforce the bar (default 2x;
+    # REPRO_BENCH_MIN_SPEEDUP tunes it for noisy shared runners).
+    cpu_count = os.cpu_count() or 1
+    if cpu_count >= 4:
+        min_speedup = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"))
+        assert payload["best_speedup"] >= min_speedup, (
+            f"expected >= {min_speedup}x speedup on a {cpu_count}-core "
+            f"host, got {payload['best_speedup']}x"
+        )

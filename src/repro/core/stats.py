@@ -120,6 +120,13 @@ class BatchStats:
         total_time: wall-clock seconds for the whole batch.
         per_graph: graph name -> number of queries routed to it.
         per_method: resolved method name -> number of queries.
+        concurrency: worker threads the batch ran with (``1`` = serial).
+        single_flight_hits: queries that piggybacked on an identical
+            in-flight query instead of executing (parallel batches only).
+        queue_time: summed seconds queries spent waiting for a pooled
+            store connection (can exceed ``total_time`` across workers).
+        execute_time: summed seconds queries spent actually executing
+            (can exceed ``total_time`` across workers).
     """
 
     total: int = 0
@@ -130,6 +137,10 @@ class BatchStats:
     total_time: float = 0.0
     per_graph: Dict[str, int] = field(default_factory=dict)
     per_method: Dict[str, int] = field(default_factory=dict)
+    concurrency: int = 1
+    single_flight_hits: int = 0
+    queue_time: float = 0.0
+    execute_time: float = 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -148,6 +159,10 @@ class BatchStats:
             "hit_rate": self.hit_rate,
             "per_graph": dict(self.per_graph),
             "per_method": dict(self.per_method),
+            "concurrency": self.concurrency,
+            "single_flight_hits": self.single_flight_hits,
+            "queue_time": self.queue_time,
+            "execute_time": self.execute_time,
         }
 
 

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.directions import Direction
 from repro.core.stats import QueryStats, SegTableBuildStats
+from repro.errors import StoreCloneUnsupportedError
 from repro.graph.model import Graph
 
 
@@ -46,11 +47,61 @@ class GraphStore(ABC):
     backend_name: str = ""
     """Registry name of this store class (empty for unregistered stores)."""
 
+    supports_concurrent_readers: bool = False
+    """Whether independent reader handles of this backend (the primary store
+    plus its :meth:`clone` / rehydrated replicas) may answer queries from
+    different threads at the same time.
+
+    The :class:`~repro.service.pool.StorePool` enforces this flag: a backend
+    that leaves it ``False`` never gets more than one pooled connection, so
+    its queries serialize even when the caller asks for a wider pool.  A
+    backend may set it ``True`` when each pooled member owns (or safely
+    shares read-only) its underlying data — e.g. one SQLite connection per
+    member over the same database file.
+    """
+
     def __init__(self) -> None:
         self.stats: QueryStats = QueryStats()
         self.sql_style: str = "nsql"
         self.has_segtable: bool = False
         self.segtable_lthd: Optional[float] = None
+
+    def quiesce(self) -> None:
+        """Release cross-query resources so the store can sit idle.
+
+        The store pool calls this at every checkin.  Engines that
+        accumulate state between statements override it — SQLite ends the
+        implicit transaction its temp-table writes opened, dropping the
+        shared lock the connection would otherwise keep on the database
+        file (which would block a SegTable build's commit forever).  The
+        default is a no-op.
+        """
+
+    def supports_clone(self) -> bool:
+        """Whether :meth:`clone` has a fast path for *this instance* (e.g.
+        a ``db_path``-backed SQLite store, but not an in-memory one).  The
+        service skips work that only rehydration-based pool growth needs —
+        like capturing SegTable rows — when this returns ``True``."""
+        return False
+
+    def clone(self) -> "GraphStore":
+        """Return a fresh reader handle over this store's already-loaded data.
+
+        This is the cheap pool-growth path: a ``db_path``-backed SQLite store
+        clones by opening another connection to the same file, skipping the
+        bulk load entirely.  Stores without such a fast path raise
+        :class:`~repro.errors.StoreCloneUnsupportedError`, and the pool falls
+        back to rehydrating a replica (fresh store + ``load_graph`` +
+        ``load_segtable``) instead.
+
+        Clones are *readers*: the pool never calls :meth:`load_graph` or the
+        SegTable-construction statements on them, only the per-query
+        statements (Listings 2-4).
+        """
+        raise StoreCloneUnsupportedError(
+            f"{type(self).__name__} has no cheap clone path; "
+            f"the pool will rehydrate a replica from the hosted graph"
+        )
 
     # -- graph and index lifecycle ------------------------------------------------
 

@@ -40,9 +40,17 @@ def _pair_key(fid: int, tid: int) -> int:
 
 
 class MiniDBGraphStore(GraphStore):
-    """Graph store backed by :class:`repro.rdb.engine.Database`."""
+    """Graph store backed by :class:`repro.rdb.engine.Database`.
+
+    There is no cheap :meth:`~repro.core.store.base.GraphStore.clone` path —
+    the engine is a single in-process :class:`Database` — so the store pool
+    grows by rehydrating full replicas (fresh store + ``load_graph``).  Each
+    replica owns its pages, buffer pool, and indexes outright, which is what
+    makes concurrent readers safe to declare.
+    """
 
     backend_name = "minidb"
+    supports_concurrent_readers = True
 
     def __init__(self, database: Optional[Database] = None,
                  buffer_capacity: int = 256,

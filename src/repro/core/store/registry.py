@@ -17,6 +17,17 @@ store-lifecycle keyword arguments the service layer forwards —
 ``path`` (backing file, ``None`` for in-memory) and ``buffer_capacity``
 (page budget; engines without a buffer pool may ignore it) — and must
 accept both even if unused.
+
+Concurrency contract: the :class:`~repro.service.pool.StorePool` grows a
+per-graph pool of stores for parallel batches, but only when the backend
+class sets :attr:`~repro.core.store.base.GraphStore.supports_concurrent_readers`
+to ``True``.  Pool replicas are created either through the store's
+:meth:`~repro.core.store.base.GraphStore.clone` fast path (e.g. a second
+SQLite connection over the same ``db_path``) or, when cloning is
+unsupported, by calling this registry's factory again and reloading the
+hosted graph into the fresh store.  Backends that are not safe to read from
+multiple threads simply keep the default ``False`` and their queries stay
+serialized.  See ``docs/backends.md`` for a worked third-party example.
 """
 
 from __future__ import annotations

@@ -20,7 +20,7 @@ from repro.core.sqlstyle import NSQL, validate_sql_style
 from repro.core.stats import OPERATOR_E, OPERATOR_F, OPERATOR_M
 from repro.core.store.base import GraphStore, IndexMode
 from repro.core.store.registry import register_backend
-from repro.errors import InvalidQueryError
+from repro.errors import InvalidQueryError, StoreCloneUnsupportedError
 from repro.graph.model import Graph
 
 # SQLite cannot index an expression with parameters, and +inf round-trips
@@ -29,16 +29,62 @@ _INF = INFINITY
 
 
 class SQLiteGraphStore(GraphStore):
-    """Graph store backed by a SQLite database (in-memory by default)."""
+    """Graph store backed by a SQLite database (in-memory by default).
+
+    Per-query state (``TVisited`` and the TSQL scratch tables) lives in the
+    connection-private ``temp`` schema, so any number of connections over the
+    same database file can answer queries concurrently: the shared file is
+    only ever *read* during a query, and each connection scribbles in its own
+    temp space.  That is what makes :meth:`clone` (and therefore pooled
+    parallel execution) safe for ``db_path``-backed stores.
+    """
 
     backend_name = "sqlite"
+    supports_concurrent_readers = True
 
     def __init__(self, path: str = ":memory:") -> None:
         super().__init__()
-        self.connection = sqlite3.connect(path)
+        self.path = path
+        # check_same_thread=False: the store pool hands a connection to one
+        # worker thread at a time; serialized handoff is safe, sqlite's
+        # same-thread assertion is stricter than we need.
+        self.connection = sqlite3.connect(path, check_same_thread=False)
         self.connection.execute("PRAGMA journal_mode = MEMORY")
         self.connection.execute("PRAGMA synchronous = OFF")
+        self.connection.execute("PRAGMA temp_store = MEMORY")
         self.index_mode = IndexMode.CLUSTERED
+        # Every connection gets its private TVisited up front, so reader
+        # clones can answer queries without a load_graph() call.
+        self._create_visited_table()
+
+    def supports_clone(self) -> bool:
+        """File-backed stores clone cheaply; in-memory ones cannot."""
+        return self.path != ":memory:"
+
+    def quiesce(self) -> None:
+        """End the implicit transaction left open by per-query temp-table
+        DML, releasing this connection's shared lock on the shared file so
+        an idle pool member never blocks a writer (SegTable build)."""
+        self.connection.commit()
+
+    def clone(self) -> "SQLiteGraphStore":
+        """Open a fresh reader connection over the same database file.
+
+        The clone sees ``TNodes`` / ``TEdges`` / the SegTable relations that
+        are already in the file and gets its own private ``TVisited``; no
+        bulk load happens.  In-memory stores have nothing shareable to point
+        a second connection at, so they refuse and the pool rehydrates.
+        """
+        if self.path == ":memory:":
+            raise StoreCloneUnsupportedError(
+                "an in-memory SQLite store cannot share its database with a "
+                "second connection; the pool will rehydrate a replica"
+            )
+        replica = SQLiteGraphStore(path=self.path)
+        replica.index_mode = self.index_mode
+        replica.has_segtable = self.has_segtable
+        replica.segtable_lthd = self.segtable_lthd
+        return replica
 
     # ------------------------------------------------------------------ helpers
 
@@ -80,9 +126,13 @@ class SQLiteGraphStore(GraphStore):
         self.connection.commit()
 
     def _create_visited_table(self) -> None:
+        # TVisited is connection-private (temp schema): concurrent reader
+        # clones over one database file must not clobber each other's
+        # per-query search state, and temp tables shadow any same-named
+        # table in the shared file.
         self.connection.execute(
             """
-            CREATE TABLE IF NOT EXISTS TVisited (
+            CREATE TEMP TABLE IF NOT EXISTS TVisited (
                 nid INTEGER PRIMARY KEY,
                 d2s REAL, p2s INTEGER, f INTEGER,
                 d2t REAL, p2t INTEGER, b INTEGER
@@ -536,6 +586,9 @@ class SQLiteGraphStore(GraphStore):
                 f"CREATE INDEX ix_{name.lower()}_fid ON {name} (fid)"
             )
         self._execute_unlogged(f"DROP TABLE IF EXISTS {work}")
+        # Publish the finished SegTable: pooled reader clones are separate
+        # connections and only see committed data.
+        self.connection.commit()
         self.has_segtable = True
         self.segtable_lthd = lthd
         return int(

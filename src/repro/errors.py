@@ -146,3 +146,22 @@ class UnknownGraphError(ServiceError):
 
 class DuplicateGraphError(ServiceError):
     """A graph name is already hosted by the service."""
+
+
+class ConcurrencyError(ServiceError):
+    """Base class for store-pool and parallel-execution errors."""
+
+
+class PoolClosedError(ConcurrencyError):
+    """A checkout (or checkin) was attempted against a closed
+    :class:`~repro.service.pool.StorePool`."""
+
+
+class PoolTimeoutError(ConcurrencyError):
+    """Waiting for a pooled store connection exceeded the caller's timeout
+    (every member was checked out and the pool is at capacity)."""
+
+
+class StoreCloneUnsupportedError(ConcurrencyError):
+    """The store cannot produce a cheap reader clone of itself; the pool
+    falls back to rehydrating a fresh replica from the hosted graph."""

@@ -14,7 +14,13 @@ and the relational engine underneath:
   :class:`QueryPlan` with its predicted FEM iteration shape;
 * :meth:`PathService.shortest_path_many` executes batches grouped per
   graph behind a shared LRU result cache and reports
-  :class:`~repro.core.stats.BatchStats`.
+  :class:`~repro.core.stats.BatchStats`;
+* with ``concurrency=N`` a batch runs across N worker threads
+  (:class:`Executor`): each graph grows a :class:`StorePool` of reader
+  connections (cloned or rehydrated per the backend's
+  ``supports_concurrent_readers`` capability), identical in-flight
+  queries collapse onto one execution, and results stay in input order,
+  identical to serial.
 
 The legacy ``RelationalPathFinder`` / module-level ``shortest_path`` API in
 :mod:`repro.core.api` remains as a deprecation shim over this layer.
@@ -29,7 +35,9 @@ from repro.core.store.registry import (
     unregister_backend,
 )
 from repro.service.batch import BatchResult, execute_batch, normalize_queries
-from repro.service.cache import CacheStats, ResultCache
+from repro.service.cache import CacheStats, InFlightMap, ResultCache
+from repro.service.executor import Executor
+from repro.service.pool import PoolStats, StorePool
 from repro.service.planner import (
     AUTO_METHOD,
     MEMORY_METHODS,
@@ -47,10 +55,14 @@ __all__ = [
     "BatchStats",
     "CacheStats",
     "DEFAULT_GRAPH",
+    "Executor",
+    "InFlightMap",
     "MEMORY_METHODS",
     "METHODS",
     "PathService",
+    "PoolStats",
     "QueryPlan",
+    "StorePool",
     "QuerySpec",
     "RELATIONAL_METHODS",
     "ResultCache",

@@ -119,13 +119,21 @@ def normalize_queries(queries: Sequence["BatchQuery"], graph: str,
 def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
                   graph: str = "default", method: str = "auto",
                   sql_style: str = NSQL,
-                  raise_on_unreachable: bool = False) -> BatchResult:
+                  raise_on_unreachable: bool = False,
+                  concurrency: int = 1,
+                  checkout_timeout: Optional[float] = None) -> BatchResult:
     """Answer ``queries`` against ``service`` and aggregate statistics.
 
     Queries are planned up front (so malformed specs fail before any work)
-    and executed in input order, reusing each graph's already-open store
-    connection.  Duplicate ``(graph, source, target, method)`` pairs hit the
-    service's shared LRU cache.
+    and answered in input order.  With ``concurrency=1`` they execute
+    serially on each graph's primary store — semantics identical to PR 1.
+    With ``concurrency=N`` they run across N worker threads (see
+    :class:`~repro.service.executor.Executor`): each graph's store pool is
+    grown on demand, every worker checks a connection out per query, and
+    identical in-flight queries collapse onto a single execution.  Either
+    way, duplicate ``(graph, source, target, method)`` pairs hit the
+    service's shared LRU cache, and ``results[i]`` always answers
+    ``queries[i]``.
 
     Args:
         service: the hosting :class:`PathService`.
@@ -134,12 +142,22 @@ def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
         method: default method for queries that do not name one.
         sql_style: default SQL style.
         raise_on_unreachable: propagate :class:`PathNotFoundError` instead
-            of recording a ``None`` result.
+            of recording a ``None`` result.  (A serial batch stops at the
+            first unreachable pair; a parallel batch finishes its workers,
+            then raises the unreachable failure with the smallest input
+            index.)
+        concurrency: worker-thread count (``1`` = serial).
+        checkout_timeout: parallel batches only — per-query bound, in
+            seconds, on waiting for a pooled store connection.
 
     Raises:
         UnknownGraphError, NodeNotFoundError, InvalidQueryError: on the
             first malformed query, before anything executes.
     """
+    if concurrency < 1:
+        raise InvalidQueryError(
+            f"batch concurrency must be >= 1, got {concurrency}"
+        )
     start = time.perf_counter()
     specs = normalize_queries(queries, graph=graph, method=method,
                               sql_style=sql_style)
@@ -148,23 +166,30 @@ def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
     batch.stats.total = len(specs)
 
     plans = [service.plan(spec) for spec in specs]
-
-    for index, (spec, plan) in enumerate(zip(specs, plans)):
+    for spec, plan in zip(specs, plans):
         batch.stats.per_graph[spec.graph] = (
             batch.stats.per_graph.get(spec.graph, 0) + 1
         )
         batch.stats.per_method[plan.method] = (
             batch.stats.per_method.get(plan.method, 0) + 1
         )
-        hits_before = batch.stats.cache_hits
-        try:
-            batch.results[index] = service._execute(plan,
-                                                    batch_stats=batch.stats)
-        except PathNotFoundError:
-            if raise_on_unreachable:
-                raise
-            batch.stats.not_found += 1
-        batch.from_cache[index] = batch.stats.cache_hits > hits_before
+
+    if concurrency > 1 and len(plans) > 1:
+        from repro.service.executor import Executor
+        Executor(service, concurrency,
+                 checkout_timeout=checkout_timeout).run(
+            plans, batch, raise_on_unreachable=raise_on_unreachable)
+    else:
+        for index, plan in enumerate(plans):
+            hits_before = batch.stats.cache_hits
+            try:
+                batch.results[index] = service._execute(
+                    plan, batch_stats=batch.stats)
+            except PathNotFoundError:
+                if raise_on_unreachable:
+                    raise
+                batch.stats.not_found += 1
+            batch.from_cache[index] = batch.stats.cache_hits > hits_before
 
     batch.stats.total_time = time.perf_counter() - start
     return batch

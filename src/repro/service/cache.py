@@ -1,4 +1,4 @@
-"""Shared LRU result cache for the service layer.
+"""Shared LRU result cache and single-flight map for the service layer.
 
 Batch workloads repeat queries heavily (the paper's evaluation itself
 replays random workloads), so :class:`PathService` memoizes finished
@@ -6,13 +6,22 @@ replays random workloads), so :class:`PathService` memoizes finished
 ``(graph, source, target, method, sql_style)``.  The cache is a plain LRU
 over an :class:`~collections.OrderedDict` with hit/miss/eviction counters
 surfaced through :class:`CacheStats`.
+
+Both structures here are thread-safe: parallel batch workers share one
+:class:`ResultCache` (every operation runs under an internal lock) and one
+:class:`InFlightMap`, which deduplicates *identical queries that are
+currently executing* — the window the LRU cannot cover.  The first worker
+to ask for a key becomes the flight's leader and executes; every later
+worker blocks on the flight and receives the leader's result (or exception)
+without touching a store.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Optional, Tuple
+from typing import Dict, Hashable, Optional, Tuple
 
 from repro.core.path import PathResult
 
@@ -37,60 +46,145 @@ class CacheStats:
 
 
 class ResultCache:
-    """A bounded LRU mapping of query keys to :class:`PathResult` objects."""
+    """A bounded LRU mapping of query keys to :class:`PathResult` objects.
+
+    Safe to share across threads: lookups, inserts, invalidation, and stats
+    snapshots each run under one internal lock.
+    """
 
     def __init__(self, capacity: int = 1024) -> None:
         if capacity < 0:
             raise ValueError("cache capacity must be non-negative")
         self.capacity = capacity
         self._entries: "OrderedDict[CacheKey, PathResult]" = OrderedDict()
+        self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: CacheKey) -> Optional[PathResult]:
         """Return the cached result for ``key`` (refreshing its recency) or
         ``None`` on a miss."""
-        result = self._entries.get(key)
-        if result is None:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return result
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return result
+
+    def peek(self, key: CacheKey) -> Optional[PathResult]:
+        """Like :meth:`get` (including the recency refresh) but without
+        touching the hit/miss counters — for re-checks of a key whose
+        lookup was already counted once, so parallel batches report the
+        same hit rate as serial ones."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is not None:
+                self._entries.move_to_end(key)
+            return result
 
     def put(self, key: CacheKey, result: PathResult) -> None:
         """Insert ``result``, evicting the least-recently-used entry when
         the cache is full.  A zero-capacity cache stores nothing."""
         if self.capacity == 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = result
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = result
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
 
     def invalidate_graph(self, graph: str) -> int:
         """Drop every entry belonging to ``graph`` (its first key field);
         returns how many were dropped."""
-        stale = [key for key in self._entries if key and key[0] == graph]
-        for key in stale:
-            del self._entries[key]
-        return len(stale)
+        with self._lock:
+            stale = [key for key in self._entries if key and key[0] == graph]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
 
     def clear(self) -> None:
         """Drop all entries (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> CacheStats:
         """Current counters as an immutable :class:`CacheStats`."""
-        return CacheStats(hits=self._hits, misses=self._misses,
-                          evictions=self._evictions, size=len(self._entries),
-                          capacity=self.capacity)
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses,
+                              evictions=self._evictions,
+                              size=len(self._entries),
+                              capacity=self.capacity)
 
 
-__all__ = ["CacheKey", "CacheStats", "ResultCache"]
+class Flight:
+    """One in-flight query: an event the leader resolves with a result or
+    an exception, and any number of followers wait on."""
+
+    __slots__ = ("_event", "result", "error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.result: Optional[PathResult] = None
+        self.error: Optional[BaseException] = None
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[PathResult]:
+        """Block until the leader resolves the flight; re-raise its
+        exception, or return its result."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("in-flight query did not resolve in time")
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+    def _finish(self, result: Optional[PathResult],
+                error: Optional[BaseException]) -> None:
+        self.result = result
+        self.error = error
+        self._event.set()
+
+
+class InFlightMap:
+    """Single-flight registry of queries currently executing.
+
+    :meth:`lease` either registers the caller as the leader of a new flight
+    (it must later call :meth:`resolve` or :meth:`fail` — use
+    ``try/finally``) or hands back an existing flight to wait on.
+    """
+
+    def __init__(self) -> None:
+        self._flights: Dict[CacheKey, Flight] = {}
+        self._lock = threading.Lock()
+
+    def lease(self, key: CacheKey) -> Tuple[Flight, bool]:
+        """Return ``(flight, is_leader)`` for ``key``."""
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                return flight, False
+            flight = Flight()
+            self._flights[key] = flight
+            return flight, True
+
+    def resolve(self, key: CacheKey, result: PathResult) -> None:
+        """Leader-only: publish ``result`` and wake every follower."""
+        self._pop(key)._finish(result, None)
+
+    def fail(self, key: CacheKey, error: BaseException) -> None:
+        """Leader-only: publish ``error`` and wake every follower."""
+        self._pop(key)._finish(None, error)
+
+    def _pop(self, key: CacheKey) -> Flight:
+        with self._lock:
+            return self._flights.pop(key)
+
+
+__all__ = ["CacheKey", "CacheStats", "Flight", "InFlightMap", "ResultCache"]

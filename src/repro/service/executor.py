@@ -1,0 +1,177 @@
+"""Parallel batch execution over per-graph store pools.
+
+The paper's operators are independent across source/target pairs, so a
+batch of shortest-path queries is embarrassingly parallel — the only shared
+mutable state is each graph's store, which :class:`~repro.service.pool.StorePool`
+multiplies into per-worker reader connections.  :class:`Executor` runs one
+planned batch across a worker-thread pool:
+
+* **order preservation** — workers write into ``results[index]`` slots, so
+  the output order is the input order no matter how execution interleaves;
+* **per-query pool checkout** — a worker borrows a store only for the
+  duration of one query, so a 64-query batch over a 4-member pool keeps
+  all 4 members saturated;
+* **single-flight dedup** — identical queries that are *currently
+  executing* collapse onto one leader via
+  :class:`~repro.service.cache.InFlightMap`; followers receive the
+  leader's result without touching a store (the LRU cache only helps once
+  a result is finished);
+* **timings** — waiting-for-a-store seconds and executing seconds are
+  summed into the batch's extended
+  :class:`~repro.core.stats.BatchStats` (``queue_time`` /
+  ``execute_time``), alongside wall-clock ``total_time``.
+
+Serial semantics stay bit-identical: ``concurrency=1`` batches never enter
+this module (see :func:`repro.service.batch.execute_batch`).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor, wait
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.errors import ConcurrencyError, PathNotFoundError
+from repro.service.cache import InFlightMap
+from repro.service.planner import QueryPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.batch import BatchResult
+    from repro.service.session import PathService
+
+
+class Executor:
+    """Runs one planned batch across ``concurrency`` worker threads.
+
+    Args:
+        service: the hosting :class:`~repro.service.session.PathService`.
+        concurrency: worker-thread count; each graph's pool is grown (up
+            to its backend's capability) to match before execution starts.
+        checkout_timeout: per-query bound, in seconds, on waiting for a
+            pooled store (``None`` waits indefinitely); exceeding it raises
+            :class:`~repro.errors.PoolTimeoutError` out of the batch.
+    """
+
+    def __init__(self, service: "PathService", concurrency: int,
+                 checkout_timeout: Optional[float] = None) -> None:
+        if concurrency < 1:
+            raise ValueError("executor concurrency must be at least 1")
+        self._service = service
+        self._concurrency = concurrency
+        self._checkout_timeout = checkout_timeout
+        self._inflight = InFlightMap()
+        self._lock = threading.Lock()
+        self._errors: Dict[int, BaseException] = {}
+
+    def run(self, plans: Sequence[QueryPlan], batch: "BatchResult",
+            raise_on_unreachable: bool = False) -> None:
+        """Execute ``plans`` and fill ``batch`` in place (results,
+        ``from_cache`` flags, and stats counters).
+
+        The first failure *by input position* is re-raised after every
+        worker finishes — unlike the serial path, later queries still run,
+        but the surfaced exception is deterministic.
+        """
+        service = self._service
+        for name in {plan.spec.graph for plan in plans}:
+            service._host(name).pool.resize(self._concurrency)
+        workers = max(1, min(self._concurrency, len(plans)))
+        batch.stats.concurrency = workers
+        self._raise_on_unreachable = raise_on_unreachable
+        with ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix="repro-batch") as threads:
+            futures = [threads.submit(self._run_one, index, plan, batch)
+                       for index, plan in enumerate(plans)]
+            wait(futures)
+        for future in futures:
+            # Worker bodies catch everything into self._errors; a raise here
+            # would be a bug in the executor itself — surface it.
+            future.result()
+        if self._errors:
+            raise self._errors[min(self._errors)]
+
+    # -- one query ---------------------------------------------------------------
+
+    def _run_one(self, index: int, plan: QueryPlan,
+                 batch: "BatchResult") -> None:
+        try:
+            self._answer(index, plan, batch)
+        except PathNotFoundError as exc:
+            with self._lock:
+                batch.stats.not_found += 1
+                if self._raise_on_unreachable:
+                    self._errors[index] = exc
+        except BaseException as exc:  # surfaced after the batch drains
+            with self._lock:
+                self._errors[index] = exc
+
+    def _answer(self, index: int, plan: QueryPlan,
+                batch: "BatchResult") -> None:
+        service = self._service
+        key = service._cache_key(plan)
+        if key is not None:
+            # Result copies happen OUTSIDE the executor lock throughout:
+            # the source object is immutable once published, and copying a
+            # long path under the one batch-wide mutex would serialize all
+            # workers on the handout hot path.
+            cached = service._cache.get(key)
+            if cached is not None:
+                copied = service._copy_result(cached)
+                with self._lock:
+                    batch.stats.cache_hits += 1
+                    batch.from_cache[index] = True
+                    batch.results[index] = copied
+                return
+            flight, leader = self._inflight.lease(key)
+            if not leader:
+                result = flight.wait()  # re-raises the leader's error
+                copied = service._copy_result(result)
+                with self._lock:
+                    batch.stats.single_flight_hits += 1
+                    batch.from_cache[index] = True
+                    batch.results[index] = copied
+                return
+            # Double-check the cache now that we hold the flight: a previous
+            # leader may have resolved (and vacated) this key between our
+            # miss above and the lease, and its result is in the cache.
+            # peek() keeps the counters untouched — this query's lookup was
+            # already counted as a miss above.
+            cached = service._cache.peek(key)
+            if cached is not None:
+                self._inflight.resolve(key, cached)
+                copied = service._copy_result(cached)
+                with self._lock:
+                    batch.stats.cache_hits += 1
+                    batch.from_cache[index] = True
+                    batch.results[index] = copied
+                return
+        try:
+            result, queued, executed = service._run_timed(
+                plan, checkout_timeout=self._checkout_timeout)
+        except BaseException as exc:
+            if key is not None:
+                self._inflight.fail(key, exc)
+            # Serial parity: unreachable pairs still ran a full search and
+            # count as executed.  Pool failures (timeout, closed) happen
+            # *before* any store was obtained, so they do not.
+            if not isinstance(exc, ConcurrencyError):
+                with self._lock:
+                    batch.stats.executed += 1
+            raise
+        if key is not None:
+            service._cache.put(key, result)
+            self._inflight.resolve(key, result)
+            handout = service._copy_result(result)
+        else:
+            handout = result
+        with self._lock:
+            batch.stats.executed += 1
+            batch.stats.queue_time += queued
+            batch.stats.execute_time += executed
+            if key is not None:
+                batch.stats.cache_misses += 1
+            batch.results[index] = handout
+
+
+__all__ = ["Executor"]

@@ -1,0 +1,418 @@
+"""Per-graph store pools: many reader connections over one hosted graph.
+
+PR 1 left every hosted graph with exactly one store connection, so batch
+queries serialized even though the paper's operators are independent across
+source/target pairs.  :class:`StorePool` removes that bottleneck: it owns
+the graph's *primary* store (the one ``load_graph`` / ``build_segtable``
+ran against) plus lazily-created *replicas*, and hands exactly one member
+to one worker thread at a time via :meth:`checkout` / :meth:`checkin` (or
+the :meth:`lease` context manager).
+
+Replica creation prefers the store's cheap
+:meth:`~repro.core.store.base.GraphStore.clone` path (a second SQLite
+connection over the same ``db_path``) and falls back to *rehydration* — a
+fresh store from the backend registry, ``load_graph``, and a
+``load_segtable`` replay when the primary has one built.
+
+Thread-safety is enforced per backend: a store class that does not set
+:attr:`~repro.core.store.base.GraphStore.supports_concurrent_readers`
+keeps a capacity of one no matter what the caller requests, so its queries
+stay serialized rather than racing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.store.base import GraphStore
+from repro.errors import (
+    PoolClosedError,
+    PoolTimeoutError,
+    StoreCloneUnsupportedError,
+)
+
+ReplicaFactory = Callable[[GraphStore], GraphStore]
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Immutable snapshot of one pool's counters.
+
+    Attributes:
+        capacity: maximum number of members (1 for serial-only backends).
+        created: members created so far (primary included).
+        idle: members currently waiting for a checkout.
+        in_use: members currently checked out.
+        checkouts: total successful checkouts.
+        waits: checkouts that had to block for a free member.
+        timeouts: checkouts that gave up waiting.
+        replicas_cloned: replicas built through the store's ``clone()``.
+        replicas_rehydrated: replicas rebuilt via ``load_graph``.
+    """
+
+    capacity: int
+    created: int
+    idle: int
+    in_use: int
+    checkouts: int
+    waits: int
+    timeouts: int
+    replicas_cloned: int
+    replicas_rehydrated: int
+
+
+class StorePool:
+    """A bounded pool of interchangeable reader stores for one graph.
+
+    Args:
+        primary: the graph's original store; always pool member zero and
+            never closed by :meth:`reset` (index builds run against it).
+        replica_factory: callable ``(primary) -> GraphStore`` producing one
+            more reader over the same graph.  Only invoked while growing,
+            from the thread that needed the member, outside the pool lock.
+        size: requested capacity; clamped to 1 when the primary's class
+            does not declare ``supports_concurrent_readers``.
+    """
+
+    def __init__(self, primary: GraphStore,
+                 replica_factory: ReplicaFactory,
+                 size: int = 1) -> None:
+        if size < 1:
+            raise ValueError("pool size must be at least 1")
+        self._primary = primary
+        self._factory = replica_factory
+        self._capacity = self._clamp(size)
+        self._cond = threading.Condition()
+        self._idle: List[GraphStore] = [primary]
+        self._created = 1
+        self._closed = False
+        self._draining = False
+        self._generation = 0
+        # store id -> generation at checkout time; a member returned after
+        # reset() bumped the generation is stale and gets retired instead
+        # of going back on the shelf.
+        self._lease_generation: Dict[int, int] = {}
+        self._checkouts = 0
+        self._waits = 0
+        self._timeouts = 0
+        self._cloned = 0
+        self._rehydrated = 0
+
+    # -- sizing ------------------------------------------------------------------
+
+    def _clamp(self, size: int) -> int:
+        if not type(self._primary).supports_concurrent_readers:
+            return 1
+        return max(1, size)
+
+    @property
+    def capacity(self) -> int:
+        """Current maximum number of members."""
+        return self._capacity
+
+    def resize(self, size: int) -> int:
+        """Grow the pool's capacity to at least ``size`` (never shrinks an
+        in-use pool; serial-only backends stay clamped at 1).  Returns the
+        resulting capacity."""
+        with self._cond:
+            self._capacity = max(self._capacity, self._clamp(size))
+            return self._capacity
+
+    # -- checkout / checkin ------------------------------------------------------
+
+    def checkout(self, timeout: Optional[float] = None) -> GraphStore:
+        """Borrow a member, growing the pool if every member is busy and
+        capacity allows.
+
+        Raises:
+            PoolClosedError: the pool (or its service) was closed.
+            PoolTimeoutError: the pool is at capacity and no member was
+                returned within ``timeout`` seconds.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        grow = False
+        waited = False
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise PoolClosedError("cannot check out of a closed pool")
+                # While a drain (write barrier) is pending or active, no
+                # member may be handed out and no new member may be grown —
+                # checkouts queue here until the drain ends.
+                if not self._draining:
+                    if self._idle:
+                        store = self._idle.pop()
+                        self._note_checkout(store, self._generation)
+                        return store
+                    if self._created < self._capacity:
+                        # Reserve the slot now; build the store outside the
+                        # lock so a slow clone/rehydrate doesn't stall
+                        # checkins.  The generation is captured here, not
+                        # after the build: if a reset() lands while the
+                        # replica is being created, the replica reflects
+                        # pre-reset primary state and must be retired on
+                        # checkin like any other stale member.
+                        self._created += 1
+                        generation = self._generation
+                        grow = True
+                        break
+                if not waited:
+                    # One blocked checkout counts as one wait, no matter
+                    # how many condition-variable wakeups it loops through.
+                    self._waits += 1
+                    waited = True
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    self._timeouts += 1
+                    raise PoolTimeoutError(
+                        f"no store became available within {timeout}s "
+                        f"(capacity {self._capacity}, all checked out)"
+                    )
+                self._cond.wait(remaining)
+        if grow:
+            try:
+                store = self._create_replica()
+            except BaseException:
+                with self._cond:
+                    self._created -= 1
+                    self._cond.notify_all()
+                raise
+            with self._cond:
+                if not self._closed:
+                    self._note_checkout(store, generation)
+                    return store
+                # close() won the race while we were building: retire the
+                # fresh replica and refuse, matching the non-grow path.
+                self._created -= 1
+                self._cond.notify_all()
+            store.close()
+            raise PoolClosedError("cannot check out of a closed pool")
+
+    def drain(self, timeout: Optional[float] = None) -> "_DrainBarrier":
+        """Write barrier: ``with pool.drain() as members: ...`` checks out
+        *every* member (primary included), waiting for in-flight queries to
+        finish first, and keeps the pool sealed — no checkouts, no growth —
+        until the ``with`` block exits.
+
+        Operations that mutate the primary's data (SegTable builds) need
+        this: with clones over one SQLite file, a writer must not race
+        *any* reader connection — readers hold shared locks on the same
+        database — and a checkout that grew a fresh clone mid-build would
+        reintroduce exactly that reader.  Queued checkouts proceed once the
+        barrier lifts and the members are checked back in.
+        """
+        return _DrainBarrier(self, timeout)
+
+    def _begin_drain(self, timeout: Optional[float]) -> List[GraphStore]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        members: List[GraphStore] = []
+        with self._cond:
+            try:
+                while self._draining:  # one barrier at a time
+                    if self._closed:
+                        raise PoolClosedError("cannot drain a closed pool")
+                    if not self._cond_wait(deadline):
+                        raise PoolTimeoutError(
+                            f"another drain held the pool past {timeout}s"
+                        )
+                self._draining = True
+                while True:
+                    if self._closed:
+                        # close() already ran its idle sweep; retire what
+                        # we collected so nothing leaks in a dead pool.
+                        for store in members:
+                            self._lease_generation.pop(id(store), None)
+                            self._created -= 1
+                            store.close()
+                        raise PoolClosedError("cannot drain a closed pool")
+                    while self._idle:
+                        store = self._idle.pop()
+                        self._note_checkout(store, self._generation)
+                        members.append(store)
+                    if len(members) == self._created:
+                        return members
+                    if not self._cond_wait(deadline):
+                        self._timeouts += 1
+                        for store in members:  # re-shelve; pool still lives
+                            self._idle.append(store)
+                            self._lease_generation.pop(id(store), None)
+                        raise PoolTimeoutError(
+                            f"not every member came back within {timeout}s"
+                        )
+            except BaseException:
+                self._draining = False
+                self._cond.notify_all()
+                raise
+
+    def _end_drain(self) -> None:
+        with self._cond:
+            self._draining = False
+            self._cond.notify_all()
+
+    def _cond_wait(self, deadline: Optional[float]) -> bool:
+        """Wait on the pool condition; ``False`` when ``deadline`` passed.
+        Must be called with the lock held."""
+        remaining = (None if deadline is None
+                     else deadline - time.monotonic())
+        if remaining is not None and remaining <= 0:
+            return False
+        self._cond.wait(remaining)
+        return True
+
+    def _note_checkout(self, store: GraphStore, generation: int) -> None:
+        self._checkouts += 1
+        self._lease_generation[id(store)] = generation
+
+    def _create_replica(self) -> GraphStore:
+        try:
+            replica = self._primary.clone()
+        except StoreCloneUnsupportedError:
+            replica = None
+        if replica is not None:
+            with self._cond:
+                self._cloned += 1
+            return replica
+        replica = self._factory(self._primary)
+        with self._cond:
+            self._rehydrated += 1
+        return replica
+
+    def checkin(self, store: GraphStore) -> None:
+        """Return a borrowed member.  Always runs, even on error paths —
+        callers wrap queries in ``try/finally`` (or use :meth:`lease`)."""
+        # Release cross-query state (e.g. SQLite's implicit read
+        # transaction) before shelving; a *replica* that cannot quiesce is
+        # broken and gets retired instead of going back into rotation.  The
+        # primary is exempt — closing it would permanently brick the pool
+        # over what may be a transient failure (e.g. a short-lived lock
+        # held by another process), so it is re-shelved regardless.
+        try:
+            store.quiesce()
+            broken = False
+        except Exception:
+            broken = store is not self._primary
+        with self._cond:
+            generation = self._lease_generation.pop(id(store), None)
+            stale = store is not self._primary and (
+                broken or generation is None or generation < self._generation
+            )
+            # notify_all, not notify: the waiters are heterogeneous (queued
+            # checkouts AND possibly a drain barrier); a single wakeup can
+            # land on a sealed checkout that just goes back to sleep,
+            # starving the drain forever.
+            if self._closed or stale:
+                self._created -= 1
+                self._cond.notify_all()
+            else:
+                self._idle.append(store)
+                self._cond.notify_all()
+        if self._closed or stale:
+            store.close()
+
+    def lease(self, timeout: Optional[float] = None):
+        """Context manager: ``with pool.lease() as store: ...`` checks the
+        member back in on exit, exception or not."""
+        return _Lease(self, timeout)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Retire every replica (the primary survives).
+
+        Called after anything that mutates the primary's data — a SegTable
+        build, most notably — since replicas cloned or rehydrated earlier
+        no longer match.  Idle replicas close immediately; checked-out ones
+        are retired on checkin instead of rejoining the pool.
+        """
+        to_close: List[GraphStore] = []
+        with self._cond:
+            self._generation += 1
+            survivors: List[GraphStore] = []
+            for store in self._idle:
+                if store is self._primary:
+                    survivors.append(store)
+                else:
+                    to_close.append(store)
+            self._idle = survivors
+            self._created -= len(to_close)
+            self._cond.notify_all()
+        for store in to_close:
+            store.close()
+
+    def close(self) -> None:
+        """Close every member.  Members still checked out are closed when
+        they come back."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            to_close = list(self._idle)
+            self._idle.clear()
+            self._cond.notify_all()
+        for store in to_close:
+            store.close()
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> PoolStats:
+        """Current counters as an immutable :class:`PoolStats`."""
+        with self._cond:
+            idle = len(self._idle)
+            return PoolStats(capacity=self._capacity, created=self._created,
+                             idle=idle, in_use=self._created - idle,
+                             checkouts=self._checkouts, waits=self._waits,
+                             timeouts=self._timeouts,
+                             replicas_cloned=self._cloned,
+                             replicas_rehydrated=self._rehydrated)
+
+
+class _DrainBarrier:
+    """The object :meth:`StorePool.drain` returns.  Entering collects every
+    member and seals the pool; exiting lifts the seal (the caller is
+    responsible for checking the members back in, normally after a
+    :meth:`StorePool.reset`)."""
+
+    __slots__ = ("_pool", "_timeout", "members")
+
+    def __init__(self, pool: StorePool, timeout: Optional[float]) -> None:
+        self._pool = pool
+        self._timeout = timeout
+        self.members: List[GraphStore] = []
+
+    def __enter__(self) -> List[GraphStore]:
+        self.members = self._pool._begin_drain(self._timeout)
+        return self.members
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self._pool._end_drain()
+
+
+class _Lease:
+    """The object :meth:`StorePool.lease` returns; also exposes how long
+    the checkout waited, which the executor charges to queue time."""
+
+    __slots__ = ("_pool", "_timeout", "store", "queue_seconds")
+
+    def __init__(self, pool: StorePool, timeout: Optional[float]) -> None:
+        self._pool = pool
+        self._timeout = timeout
+        self.store: Optional[GraphStore] = None
+        self.queue_seconds = 0.0
+
+    def __enter__(self) -> GraphStore:
+        start = time.perf_counter()
+        self.store = self._pool.checkout(self._timeout)
+        self.queue_seconds = time.perf_counter() - start
+        return self.store
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if self.store is not None:
+            self._pool.checkin(self.store)
+            self.store = None
+
+
+__all__ = ["PoolStats", "ReplicaFactory", "StorePool"]

@@ -17,10 +17,12 @@ want and the service decides *how* to run it::
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from dataclasses import dataclass, replace
-from typing import Dict, Hashable, Optional, Sequence, Tuple, Union
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
+from repro.core.directions import BACKWARD_DIRECTION, FORWARD_DIRECTION
 from repro.core.path import PathResult
 from repro.core.segtable import build_segtable as _build_segtable
 from repro.core.sqlstyle import NSQL, validate_sql_style
@@ -39,6 +41,7 @@ from repro.graph.stats import GraphStatistics, compute_statistics
 from repro.memory.bidirectional import bidirectional_dijkstra as _memory_bidirectional
 from repro.memory.dijkstra import dijkstra_shortest_path as _memory_dijkstra
 from repro.service.cache import CacheStats, ResultCache
+from repro.service.pool import PoolStats, StorePool
 from repro.service.planner import (
     MEMORY_METHODS,
     QueryPlan,
@@ -82,7 +85,13 @@ class _GraphHost:
     store: GraphStore
     backend: str
     index_mode: str
+    buffer_capacity: int = 256
+    pool: Optional[StorePool] = None
     segtable_stats: Optional[SegTableBuildStats] = None
+    # Segment rows captured at build time so pool rehydration can replay
+    # them into a replica without touching the (possibly busy) primary.
+    segment_rows: Optional[Tuple[List[Dict[str, object]],
+                                 List[Dict[str, object]]]] = None
     _segtable_key: Optional[Tuple[Hashable, ...]] = None
     _statistics: Optional[GraphStatistics] = None
 
@@ -117,7 +126,8 @@ class PathService:
                   backend: Optional[str] = None,
                   buffer_capacity: int = 256,
                   index_mode: str = IndexMode.CLUSTERED,
-                  db_path: Optional[str] = None) -> str:
+                  db_path: Optional[str] = None,
+                  concurrency: int = 1) -> str:
         """Host ``graph`` under ``name``, loading it into a fresh store.
 
         Args:
@@ -127,6 +137,13 @@ class PathService:
             buffer_capacity: buffer-pool pages (engines without one ignore it).
             index_mode: index strategy for the relational tables.
             db_path: optional backing file; in-memory by default.
+            concurrency: store-pool capacity for this graph — how many
+                reader connections parallel batches may use at once.
+                Replicas are created lazily, so ``1`` (the default) costs
+                nothing extra; a later ``shortest_path_many(concurrency=N)``
+                grows the pool on demand anyway.  Backends whose store class
+                does not set ``supports_concurrent_readers`` are clamped
+                to 1 regardless.
 
         Returns:
             The graph name, for chaining into a query call.
@@ -150,9 +167,35 @@ class PathService:
         except Exception:
             store.close()
             raise
-        self._hosts[name] = _GraphHost(name=name, graph=graph, store=store,
-                                       backend=backend, index_mode=index_mode)
+        host = _GraphHost(name=name, graph=graph, store=store,
+                          backend=backend, index_mode=index_mode,
+                          buffer_capacity=buffer_capacity)
+        host.pool = StorePool(store, self._rehydrator(host),
+                              size=concurrency)
+        self._hosts[name] = host
         return name
+
+    def _rehydrator(self, host: _GraphHost):
+        """Replica factory for ``host``'s pool: a fresh in-memory store of
+        the same backend, reloaded from the frozen hosted graph (and the
+        segment rows captured at build time).  Reads nothing from the
+        primary store, which may be serving another worker right now."""
+        def rehydrate(primary: GraphStore) -> GraphStore:
+            del primary  # replicas rebuild from the frozen graph instead
+            store = create_store(host.backend, path=None,
+                                 buffer_capacity=host.buffer_capacity)
+            try:
+                store.load_graph(host.graph, index_mode=host.index_mode)
+                if host.segment_rows is not None:
+                    out_rows, in_rows = host.segment_rows
+                    store.load_segtable(out_rows, in_rows,
+                                        host.store.segtable_lthd or 0.0,
+                                        index_mode=host.index_mode)
+            except Exception:
+                store.close()
+                raise
+            return store
+        return rehydrate
 
     def drop_graph(self, name: str) -> None:
         """Close and forget the graph hosted under ``name``, dropping its
@@ -160,7 +203,8 @@ class PathService:
         host = self._host(name)
         del self._hosts[name]
         self._cache.invalidate_graph(name)
-        host.store.close()
+        assert host.pool is not None
+        host.pool.close()
 
     def graphs(self) -> Tuple[str, ...]:
         """Names of the hosted graphs, in insertion order."""
@@ -177,6 +221,13 @@ class PathService:
     def statistics(self, name: str = DEFAULT_GRAPH) -> GraphStatistics:
         """Memoized :class:`GraphStatistics` for the hosted graph."""
         return self._host(name).statistics
+
+    def pool_stats(self, name: str = DEFAULT_GRAPH) -> PoolStats:
+        """Counters of the graph's store pool (capacity, members created,
+        checkouts, waits, clone vs. rehydrate replica counts)."""
+        host = self._host(name)
+        assert host.pool is not None
+        return host.pool.stats()
 
     # -- SegTable management -----------------------------------------------------
 
@@ -197,10 +248,34 @@ class PathService:
         if not force and host._segtable_key == key:
             assert host.segtable_stats is not None
             return host.segtable_stats
-        host.segtable_stats = _build_segtable(host.store, lthd,
-                                              sql_style=sql_style,
-                                              index_mode=mode)
-        host._segtable_key = key
+        assert host.pool is not None
+        # The build writes into the store's shared data, so seal the whole
+        # pool behind the drain barrier: with SQLite clones, readers hold
+        # shared locks on the very file the build is about to write, and
+        # the barrier also stops checkouts from growing a *fresh* reader
+        # mid-build.  Queries queue and resume once the barrier lifts.
+        primary = host.store
+        with host.pool.drain() as members:
+            try:
+                host.segtable_stats = _build_segtable(primary, lthd,
+                                                      sql_style=sql_style,
+                                                      index_mode=mode)
+                host._segtable_key = key
+                # Capture the finished segments for pool rehydration — only
+                # needed by backends without a clone() fast path (a cloning
+                # store's replicas read the SegTable straight from the
+                # file).
+                if primary.supports_clone():
+                    host.segment_rows = None
+                else:
+                    host.segment_rows = (primary.seg_rows(FORWARD_DIRECTION),
+                                         primary.seg_rows(BACKWARD_DIRECTION))
+            finally:
+                # Retire replicas built against the old index (checkin
+                # after reset() closes them; the primary survives).
+                host.pool.reset()
+                for member in members:
+                    host.pool.checkin(member)
         return host.segtable_stats
 
     def segtable_stats(self, graph: str = DEFAULT_GRAPH
@@ -254,13 +329,24 @@ class PathService:
     def shortest_path_many(self, queries: Sequence[BatchQuery],
                            graph: str = DEFAULT_GRAPH, method: str = "auto",
                            sql_style: str = NSQL,
-                           raise_on_unreachable: bool = False):
+                           raise_on_unreachable: bool = False,
+                           concurrency: int = 1,
+                           checkout_timeout: Optional[float] = None):
         """Answer a batch of queries; see
-        :func:`repro.service.batch.execute_batch` for the full contract."""
+        :func:`repro.service.batch.execute_batch` for the full contract.
+
+        ``concurrency=1`` (the default) executes serially with semantics
+        bit-identical to PR 1; ``concurrency=N`` runs the batch across N
+        worker threads, growing each touched graph's store pool on demand
+        (capability permitting) and deduplicating identical in-flight
+        queries.  Results are in input order either way.
+        """
         from repro.service.batch import execute_batch
         return execute_batch(self, queries, graph=graph, method=method,
                              sql_style=sql_style,
-                             raise_on_unreachable=raise_on_unreachable)
+                             raise_on_unreachable=raise_on_unreachable,
+                             concurrency=concurrency,
+                             checkout_timeout=checkout_timeout)
 
     # -- cache -------------------------------------------------------------------
 
@@ -275,12 +361,15 @@ class PathService:
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
-        """Close every hosted store and drop the cache."""
+        """Close every hosted store pool and drop the cache."""
         if self._closed:
             return
         self._closed = True
         for host in self._hosts.values():
-            host.store.close()
+            if host.pool is not None:
+                host.pool.close()
+            else:  # pragma: no cover - hosts always carry a pool
+                host.store.close()
         self._hosts.clear()
         self._cache.clear()
 
@@ -358,15 +447,36 @@ class PathService:
         return replace(result, path=list(result.path), stats=stats)
 
     def _run(self, plan: QueryPlan) -> PathResult:
+        result, _, _ = self._run_timed(plan)
+        return result
+
+    def _run_timed(self, plan: QueryPlan,
+                   checkout_timeout: Optional[float] = None
+                   ) -> Tuple[PathResult, float, float]:
+        """Run a planned query against a pooled store connection.
+
+        Returns ``(result, queue_seconds, execute_seconds)`` — how long the
+        query waited for a store and how long it actually ran.  With an
+        all-idle pool (every serial call) the checkout is an uncontended
+        lock acquire, so serial behaviour is unchanged.
+        """
         spec = plan.spec
         host = self._host(spec.graph)
         if plan.method in MEMORY_METHODS:
-            return run_in_memory(host.graph, spec.source, spec.target,
-                                 method=plan.method)
+            start = time.perf_counter()
+            result = run_in_memory(host.graph, spec.source, spec.target,
+                                   method=plan.method)
+            return result, 0.0, time.perf_counter() - start
         algorithm = RELATIONAL_METHODS[plan.method]
-        return algorithm(host.store, spec.source, spec.target,
-                         sql_style=spec.sql_style,
-                         max_iterations=spec.max_iterations)
+        assert host.pool is not None
+        lease = host.pool.lease(checkout_timeout)
+        with lease as store:
+            start = time.perf_counter()
+            result = algorithm(store, spec.source, spec.target,
+                               sql_style=spec.sql_style,
+                               max_iterations=spec.max_iterations)
+            executed = time.perf_counter() - start
+        return result, lease.queue_seconds, executed
 
 
 Session = PathService

@@ -1,0 +1,387 @@
+"""Tests for the per-graph store pool: checkout/checkin, lazy growth,
+capability clamping, exhaustion, error paths, reset, and close."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.store.base import GraphStore
+from repro.core.store.minidb import MiniDBGraphStore
+from repro.core.store.registry import create_store
+from repro.core.store.sqlite import SQLiteGraphStore
+from repro.errors import (
+    PoolClosedError,
+    PoolTimeoutError,
+    StoreCloneUnsupportedError,
+)
+from repro.graph.generators import path_graph
+from repro.service.pool import StorePool
+
+
+class _SerialOnlyStore(MiniDBGraphStore):
+    """A backend that never allows concurrent readers."""
+
+    supports_concurrent_readers = False
+
+
+def _loaded_store(graph, cls=MiniDBGraphStore):
+    store = cls()
+    store.load_graph(graph)
+    return store
+
+
+def _rehydrator(graph):
+    def factory(primary: GraphStore) -> GraphStore:
+        store = create_store(primary.backend_name)
+        store.load_graph(graph)
+        return store
+    return factory
+
+
+@pytest.fixture
+def graph():
+    return path_graph(6, weight_range=(1, 1), seed=11)
+
+
+@pytest.fixture
+def pool(graph):
+    pool = StorePool(_loaded_store(graph), _rehydrator(graph), size=3)
+    yield pool
+    pool.close()
+
+
+class TestCheckoutCheckin:
+    def test_primary_is_member_zero(self, graph):
+        primary = _loaded_store(graph)
+        pool = StorePool(primary, _rehydrator(graph), size=2)
+        assert pool.checkout() is primary
+        pool.checkin(primary)
+        pool.close()
+
+    def test_lazy_growth_up_to_capacity(self, pool):
+        assert pool.stats().created == 1
+        first = pool.checkout()
+        second = pool.checkout()
+        third = pool.checkout()
+        assert len({id(first), id(second), id(third)}) == 3
+        assert pool.stats().created == 3
+        assert pool.stats().in_use == 3
+        for member in (first, second, third):
+            pool.checkin(member)
+        assert pool.stats().idle == 3
+
+    def test_checkin_makes_member_reusable(self, pool):
+        store = pool.checkout()
+        pool.checkin(store)
+        assert pool.checkout() is store
+
+    def test_lease_returns_member_on_success(self, pool):
+        with pool.lease() as store:
+            assert pool.stats().in_use == 1
+            assert store is not None
+        assert pool.stats().in_use == 0
+
+    def test_lease_returns_member_on_error(self, pool):
+        with pytest.raises(RuntimeError):
+            with pool.lease():
+                raise RuntimeError("query blew up mid-flight")
+        assert pool.stats().in_use == 0
+        assert pool.stats().idle == 1
+
+    def test_replica_creation_failure_releases_slot(self, graph):
+        def explode(primary):
+            raise RuntimeError("cannot rehydrate")
+
+        pool = StorePool(_loaded_store(graph), explode, size=2)
+        primary = pool.checkout()
+        with pytest.raises(RuntimeError):
+            pool.checkout(timeout=0.1)
+        # The reserved slot was released: returning the primary makes a
+        # member available again rather than leaking capacity.
+        pool.checkin(primary)
+        assert pool.checkout() is primary
+        pool.checkin(primary)
+        pool.close()
+
+
+class TestCapacity:
+    def test_serial_only_backend_clamped_to_one(self, graph):
+        pool = StorePool(_loaded_store(graph, _SerialOnlyStore),
+                         _rehydrator(graph), size=8)
+        assert pool.capacity == 1
+        assert pool.resize(16) == 1
+        pool.close()
+
+    def test_resize_grows_but_never_shrinks(self, pool):
+        assert pool.capacity == 3
+        assert pool.resize(5) == 5
+        assert pool.resize(2) == 5
+
+    def test_size_must_be_positive(self, graph):
+        store = _loaded_store(graph)
+        with pytest.raises(ValueError):
+            StorePool(store, _rehydrator(graph), size=0)
+        store.close()
+
+
+class TestExhaustion:
+    def test_checkout_times_out_when_exhausted(self, graph):
+        pool = StorePool(_loaded_store(graph), _rehydrator(graph), size=1)
+        store = pool.checkout()
+        with pytest.raises(PoolTimeoutError):
+            pool.checkout(timeout=0.05)
+        assert pool.stats().timeouts == 1
+        pool.checkin(store)
+        pool.close()
+
+    def test_blocked_checkout_wakes_on_checkin(self, pool):
+        members = [pool.checkout() for _ in range(3)]
+        obtained = []
+
+        def blocked_waiter():
+            store = pool.checkout(timeout=5.0)
+            obtained.append(store)
+            pool.checkin(store)
+
+        thread = threading.Thread(target=blocked_waiter)
+        thread.start()
+        pool.checkin(members.pop())
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert len(obtained) == 1
+        assert pool.stats().waits >= 1
+        for member in members:
+            pool.checkin(member)
+
+
+class TestResetAndClose:
+    def test_reset_retires_idle_replicas_keeps_primary(self, graph):
+        primary = _loaded_store(graph)
+        pool = StorePool(primary, _rehydrator(graph), size=3)
+        members = [pool.checkout() for _ in range(3)]
+        for member in members:
+            pool.checkin(member)
+        assert pool.stats().created == 3
+        pool.reset()
+        assert pool.stats().created == 1
+        assert pool.checkout() is primary
+        pool.checkin(primary)
+        pool.close()
+
+    def test_reset_retires_checked_out_replica_on_checkin(self, graph):
+        primary = _loaded_store(graph)
+        pool = StorePool(primary, _rehydrator(graph), size=2)
+        first = pool.checkout()
+        replica = pool.checkout()
+        assert replica is not primary
+        pool.reset()
+        pool.checkin(replica)
+        # The stale replica was closed instead of rejoining the shelf.
+        assert pool.stats().created == 1
+        assert pool.stats().idle == 0
+        pool.checkin(first)
+        pool.close()
+
+    def test_replica_built_during_reset_is_retired(self, graph):
+        build_started = threading.Event()
+        proceed = threading.Event()
+
+        def slow_factory(primary):
+            build_started.set()
+            assert proceed.wait(timeout=5.0)
+            store = create_store(primary.backend_name)
+            store.load_graph(graph)
+            return store
+
+        primary = _loaded_store(graph)
+        pool = StorePool(primary, slow_factory, size=2)
+        first = pool.checkout()  # primary busy -> next checkout grows
+        obtained = []
+        thread = threading.Thread(
+            target=lambda: obtained.append(pool.checkout(timeout=5.0)))
+        thread.start()
+        assert build_started.wait(timeout=5.0)
+        pool.reset()  # lands while the replica is mid-build
+        proceed.set()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        pool.checkin(obtained[0])
+        # The replica reflects pre-reset primary state: retired, not shelved.
+        assert pool.stats().created == 1
+        assert pool.stats().idle == 0
+        pool.checkin(first)
+        pool.close()
+
+    def test_drain_waits_for_every_member(self, graph):
+        primary = _loaded_store(graph)
+        pool = StorePool(primary, _rehydrator(graph), size=2)
+        first = pool.checkout()
+        second = pool.checkout()
+        with pytest.raises(PoolTimeoutError):
+            with pool.drain(timeout=0.05):
+                pass  # pragma: no cover - enter raises
+        pool.checkin(second)
+        sizes = []
+
+        def do_drain():
+            with pool.drain(timeout=5.0) as members:
+                sizes.append(len(members))
+                for member in members:
+                    pool.checkin(member)
+
+        thread = threading.Thread(target=do_drain)
+        thread.start()
+        pool.checkin(first)
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert sizes == [2]
+        assert pool.stats().idle == 2
+        pool.close()
+
+    def test_failed_drain_returns_collected_members(self, graph):
+        primary = _loaded_store(graph)
+        pool = StorePool(primary, _rehydrator(graph), size=2)
+        replica = pool.checkout()
+        second = pool.checkout()
+        pool.checkin(second)  # one idle, one still out
+        with pytest.raises(PoolTimeoutError):
+            with pool.drain(timeout=0.05):
+                pass  # pragma: no cover - enter raises
+        # The partially-collected member went back on the shelf.
+        assert pool.stats().idle == 1
+        pool.checkin(replica)
+        pool.close()
+
+    def test_drain_seals_the_pool_against_growth(self, graph):
+        pool = StorePool(_loaded_store(graph), _rehydrator(graph), size=4)
+        with pool.drain(timeout=5.0) as members:
+            assert len(members) == 1  # only the primary existed
+            # Capacity would allow growth, but the barrier forbids it: a
+            # fresh reader mid-build would race the writer.
+            with pytest.raises(PoolTimeoutError):
+                pool.checkout(timeout=0.05)
+            for member in members:
+                pool.checkin(member)
+        # Barrier lifted: checkouts (and growth) work again.
+        first = pool.checkout()
+        second = pool.checkout()
+        pool.checkin(first)
+        pool.checkin(second)
+        pool.close()
+
+    def test_close_during_drain_does_not_leak_members(self, graph):
+        primary = _loaded_store(graph)
+        pool = StorePool(primary, _rehydrator(graph), size=2)
+        first = pool.checkout()   # the primary, held by a "query"
+        second = pool.checkout()  # a replica
+        pool.checkin(second)      # one idle for the drain to collect
+        outcomes = []
+
+        def do_drain():
+            try:
+                with pool.drain(timeout=5.0):
+                    pass  # pragma: no cover - close() wins the race
+            except PoolClosedError as exc:
+                outcomes.append(exc)
+
+        thread = threading.Thread(target=do_drain)
+        thread.start()
+        time.sleep(0.05)  # let the drain collect the idle replica
+        pool.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert len(outcomes) == 1
+        pool.checkin(first)
+        # Every member was closed somewhere: nothing lingers in the pool.
+        assert pool.stats().created == 0
+        assert pool.stats().idle == 0
+
+    def test_primary_surviving_failed_quiesce(self, graph):
+        primary = _loaded_store(graph)
+
+        def bad_quiesce():
+            raise RuntimeError("transient lock hiccup")
+
+        primary.quiesce = bad_quiesce  # type: ignore[method-assign]
+        pool = StorePool(primary, _rehydrator(graph), size=2)
+        store = pool.checkout()
+        pool.checkin(store)
+        # A transient quiesce failure must not brick the pool: the primary
+        # goes back on the shelf rather than being closed.
+        assert pool.stats().created == 1
+        assert pool.checkout() is primary
+        pool.checkin(primary)
+        pool.close()
+
+    def test_broken_replica_retired_on_checkin(self, graph):
+        pool = StorePool(_loaded_store(graph), _rehydrator(graph), size=2)
+        first = pool.checkout()  # the primary
+        replica = pool.checkout()
+
+        def bad_quiesce():
+            raise RuntimeError("replica connection died")
+
+        replica.quiesce = bad_quiesce  # type: ignore[method-assign]
+        pool.checkin(replica)
+        assert pool.stats().created == 1
+        assert pool.stats().idle == 0
+        pool.checkin(first)
+        pool.close()
+
+    def test_checkout_after_close_raises(self, graph):
+        pool = StorePool(_loaded_store(graph), _rehydrator(graph), size=2)
+        pool.close()
+        with pytest.raises(PoolClosedError):
+            pool.checkout()
+
+    def test_member_returned_after_close_is_closed(self, graph):
+        pool = StorePool(_loaded_store(graph), _rehydrator(graph), size=2)
+        store = pool.checkout()
+        pool.close()
+        pool.checkin(store)  # must not raise; store is retired
+        assert pool.stats().created == 0
+
+
+class TestCloneCapability:
+    def test_minidb_has_no_clone_fast_path(self, graph):
+        store = _loaded_store(graph)
+        with pytest.raises(StoreCloneUnsupportedError):
+            store.clone()
+        store.close()
+
+    def test_sqlite_in_memory_refuses_to_clone(self, graph):
+        store = SQLiteGraphStore()
+        store.load_graph(graph)
+        with pytest.raises(StoreCloneUnsupportedError):
+            store.clone()
+        store.close()
+
+    def test_sqlite_file_clone_shares_loaded_data(self, graph, tmp_path):
+        path = str(tmp_path / "pool_clone.db")
+        primary = SQLiteGraphStore(path=path)
+        primary.load_graph(graph)
+        clone = primary.clone()
+        # The clone reads the already-loaded tables without a bulk load...
+        assert clone.visited_count() == 0
+        clone.reset_visited()
+        clone.insert_visited([{"nid": 0, "d2s": 0.0, "f": 0}])
+        # ...and its per-query state is private to its own connection.
+        assert clone.visited_count() == 1
+        primary.reset_visited()
+        assert primary.visited_count() == 0
+        clone.close()
+        primary.close()
+
+    def test_pool_prefers_clone_for_file_backed_sqlite(self, graph, tmp_path):
+        primary = SQLiteGraphStore(path=str(tmp_path / "pool_grow.db"))
+        primary.load_graph(graph)
+        pool = StorePool(primary, _rehydrator(graph), size=2)
+        first = pool.checkout()
+        second = pool.checkout()
+        stats = pool.stats()
+        assert stats.replicas_cloned == 1
+        assert stats.replicas_rehydrated == 0
+        pool.checkin(first)
+        pool.checkin(second)
+        pool.close()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Execute the ``python`` code blocks in the documentation.
+
+Documentation that does not run is documentation that rots, so CI extracts
+every fenced ```` ```python ```` block from the given Markdown files and
+executes it.  Blocks within one file share a namespace and run top to
+bottom, so a later block may build on an earlier one.  Blocks whose fence
+info string carries ``no-run`` (```` ```python no-run ````) are skipped —
+use that for skeletons with placeholder bodies.
+
+Usage::
+
+    python tools/check_docs.py README.md docs/*.md
+
+Exits non-zero on the first failing block, printing the file, the block's
+position, and the traceback.  ``src/`` is put on ``sys.path`` so the docs
+run against the checkout without an install step.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+FENCE_RE = re.compile(r"^```(\S*)\s*(.*)$")
+
+
+def extract_blocks(text: str) -> Iterator[Tuple[int, str, bool]]:
+    """Yield ``(start_line, code, runnable)`` for each fenced python block."""
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        match = FENCE_RE.match(lines[index].strip())
+        if match and match.group(1).startswith("python"):
+            info_words = (match.group(1) + " " + match.group(2)).split()
+            runnable = "no-run" not in info_words
+            start = index + 1
+            body: List[str] = []
+            index += 1
+            while index < len(lines) and lines[index].strip() != "```":
+                body.append(lines[index])
+                index += 1
+            yield start, "\n".join(body), runnable
+        index += 1
+
+
+def check_file(path: Path) -> int:
+    """Run every runnable block in ``path``; return the number executed."""
+    namespace: dict = {"__name__": f"docs_snippet_{path.stem}"}
+    executed = 0
+    for start, code, runnable in extract_blocks(path.read_text(encoding="utf-8")):
+        label = f"{path}:{start}"
+        if not runnable:
+            print(f"  skip  {label} (no-run)")
+            continue
+        try:
+            exec(compile(code, label, "exec"), namespace)
+        except Exception:
+            print(f"  FAIL  {label}")
+            traceback.print_exc()
+            raise SystemExit(1)
+        executed += 1
+        print(f"  ok    {label}")
+    return executed
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: check_docs.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    total = 0
+    for name in argv:
+        path = Path(name)
+        print(f"checking {path}")
+        total += check_file(path)
+    if total == 0:
+        print("no runnable python blocks found", file=sys.stderr)
+        return 1
+    print(f"{total} block(s) executed successfully")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
