@@ -37,6 +37,7 @@ identical results — ``RelationalPathFinder(graph)`` is now spelled
 ``service.add_graph(...)`` plus ``service.shortest_path(...)``.
 """
 
+from repro.catalog import Catalog, CatalogEntry
 from repro.core.api import (
     METHODS,
     RelationalPathFinder,
@@ -65,6 +66,7 @@ from repro.graph.generators import (
     random_graph,
     star_graph,
 )
+from repro.graph.fingerprint import fingerprint_graph
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.graph.model import Edge, Graph
 from repro.memory.bidirectional import bidirectional_dijkstra
@@ -81,11 +83,13 @@ from repro.service import (
     unregister_backend,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchResult",
     "BatchStats",
+    "Catalog",
+    "CatalogEntry",
     "Database",
     "Edge",
     "Graph",
@@ -111,6 +115,7 @@ __all__ = [
     "complete_graph",
     "dblp_standin",
     "dijkstra_shortest_path",
+    "fingerprint_graph",
     "googleweb_standin",
     "grid_graph",
     "list_datasets",

@@ -1,0 +1,129 @@
+"""``python -m repro.catalog`` — operate on a session catalog from a shell.
+
+Subcommands::
+
+    python -m repro.catalog list    --catalog PATH
+    python -m repro.catalog inspect --catalog PATH NAME
+    python -m repro.catalog rebuild --catalog PATH NAME [--lthd X]
+    python -m repro.catalog gc      --catalog PATH [--stale]
+
+``list`` prints one line per entry; ``inspect`` dumps an entry's manifest
+JSON; ``rebuild`` re-derives an entry (fingerprint, statistics, SegTable)
+from its database file — the recovery path for stale entries; ``gc``
+drops entries whose database file vanished (and, with ``--stale``, entries
+flagged by a failed fingerprint check).
+
+Exit status is 0 on success, 1 on a catalog error (missing entry,
+unreadable manifest, missing database file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.catalog.catalog import Catalog
+from repro.errors import PersistentCatalogError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.catalog",
+        description="Inspect and maintain a persistent session catalog.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_catalog_arg(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--catalog", required=True,
+                         help="catalog directory (holds manifest.json)")
+
+    list_cmd = subparsers.add_parser(
+        "list", help="one line per cataloged graph")
+    add_catalog_arg(list_cmd)
+
+    inspect_cmd = subparsers.add_parser(
+        "inspect", help="dump one entry's manifest JSON")
+    add_catalog_arg(inspect_cmd)
+    inspect_cmd.add_argument("name", help="cataloged graph name")
+
+    rebuild_cmd = subparsers.add_parser(
+        "rebuild",
+        help="re-derive an entry (fingerprint, statistics, SegTable) "
+             "from its database file")
+    add_catalog_arg(rebuild_cmd)
+    rebuild_cmd.add_argument("name", help="cataloged graph name")
+    rebuild_cmd.add_argument("--lthd", type=float, default=None,
+                             help="SegTable threshold (defaults to the "
+                                  "entry's previous threshold; omit on an "
+                                  "index-less entry to skip the build)")
+    rebuild_cmd.add_argument("--sql-style", default=None,
+                             choices=("nsql", "tsql"),
+                             help="SQL style for the rebuild")
+
+    gc_cmd = subparsers.add_parser(
+        "gc", help="drop entries whose database file is gone")
+    add_catalog_arg(gc_cmd)
+    gc_cmd.add_argument("--stale", action="store_true",
+                        help="also drop entries flagged stale by a failed "
+                             "fingerprint check")
+    return parser
+
+
+def _format_list(catalog: Catalog) -> List[str]:
+    entries = catalog.entries()
+    if not entries:
+        return [f"(catalog at {catalog.path} is empty)"]
+    header = (f"{'name':<20} {'backend':<8} {'nodes':>8} {'edges':>9} "
+              f"{'lthd':>6} {'state':<6} db_path")
+    lines = [header, "-" * len(header)]
+    for name in sorted(entries):
+        entry = entries[name]
+        lthd = "-" if entry.segtable is None else f"{entry.segtable.lthd:g}"
+        state = "stale" if entry.stale else "ok"
+        lines.append(
+            f"{entry.name:<20} {entry.backend:<8} {entry.num_nodes:>8} "
+            f"{entry.num_edges:>9} {lthd:>6} {state:<6} {entry.db_path}"
+        )
+    return lines
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+    try:
+        # Never materialize a catalog from the CLI: a mistyped --catalog
+        # path should error, not silently create an empty directory.
+        catalog = Catalog(args.catalog, create=False)
+        if args.command == "list":
+            for line in _format_list(catalog):
+                print(line)
+        elif args.command == "inspect":
+            entry = catalog.get(args.name)
+            print(json.dumps(entry.to_dict(), indent=2, sort_keys=True))
+        elif args.command == "rebuild":
+            entry = catalog.rebuild(args.name, lthd=args.lthd,
+                                    sql_style=args.sql_style)
+            segments = (0 if entry.segtable is None or entry.segtable.build is None
+                        else entry.segtable.build.encoding_number)
+            print(f"rebuilt {entry.name!r}: {entry.num_nodes} nodes, "
+                  f"{entry.num_edges} edges, fingerprint "
+                  f"{entry.fingerprint[:18]}..., {segments} segments")
+        elif args.command == "gc":
+            removed = catalog.gc(remove_stale=args.stale)
+            if removed:
+                print(f"removed {len(removed)} entr"
+                      f"{'y' if len(removed) == 1 else 'ies'}: "
+                      f"{', '.join(removed)}")
+            else:
+                print("nothing to remove")
+    except PersistentCatalogError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:  # e.g. `... inspect ... | head`
+        return 0
+    return 0
+
+
+__all__ = ["main"]

@@ -117,6 +117,12 @@ class BatchStats:
         cache_hits: queries answered from the shared result cache.
         cache_misses: queries that had to execute and were then cached.
         not_found: queries whose endpoints are not connected.
+        negative_hits: unreachable verdicts answered from the negative
+            result cache instead of re-running the full bidirectional
+            fixpoint (each also counts toward ``not_found``).
+        evictions: entries the shared result cache evicted during this
+            batch, for any reason — LRU capacity, TTL expiry, or the
+            memory-footprint bound.
         total_time: wall-clock seconds for the whole batch.
         per_graph: graph name -> number of queries routed to it.
         per_method: resolved method name -> number of queries.
@@ -134,6 +140,8 @@ class BatchStats:
     cache_hits: int = 0
     cache_misses: int = 0
     not_found: int = 0
+    negative_hits: int = 0
+    evictions: int = 0
     total_time: float = 0.0
     per_graph: Dict[str, int] = field(default_factory=dict)
     per_method: Dict[str, int] = field(default_factory=dict)
@@ -155,6 +163,8 @@ class BatchStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "not_found": self.not_found,
+            "negative_hits": self.negative_hits,
+            "evictions": self.evictions,
             "total_time": self.total_time,
             "hit_rate": self.hit_rate,
             "per_graph": dict(self.per_graph),
@@ -196,3 +206,18 @@ class SegTableBuildStats:
             "total_time": self.total_time,
             "sql_style": self.sql_style,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SegTableBuildStats":
+        """Rebuild from :meth:`as_dict` output (the session catalog persists
+        build statistics so a warm-started session still reports the
+        offline construction cost it is *saving*)."""
+        return cls(
+            lthd=float(data["lthd"]),
+            iterations=int(data.get("iterations", 0)),
+            statements=int(data.get("statements", 0)),
+            out_segments=int(data.get("out_segments", 0)),
+            in_segments=int(data.get("in_segments", 0)),
+            total_time=float(data.get("total_time", 0.0)),
+            sql_style=str(data.get("sql_style", "nsql")),
+        )

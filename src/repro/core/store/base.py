@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.directions import Direction
 from repro.core.stats import QueryStats, SegTableBuildStats
-from repro.errors import StoreCloneUnsupportedError
+from repro.errors import PersistenceUnsupportedError, StoreCloneUnsupportedError
 from repro.graph.model import Graph
 
 
@@ -101,6 +101,66 @@ class GraphStore(ABC):
         raise StoreCloneUnsupportedError(
             f"{type(self).__name__} has no cheap clone path; "
             f"the pool will rehydrate a replica from the hosted graph"
+        )
+
+    # -- persistence capability (session catalog) ---------------------------------
+
+    def supports_persistence(self) -> bool:
+        """Whether *this instance*'s graph data survives process restart in
+        a reattachable form (e.g. a ``db_path``-backed SQLite store, whose
+        tables live in the file; not an in-memory store, and not an engine
+        whose schema catalog is process-local).
+
+        Only persistent stores participate in the session catalog: the
+        catalog records their ``db_path`` so a later
+        ``PathService.open(catalog_path=...)`` reattaches without a bulk
+        ``load_graph``.  The default is ``False``; every other method in
+        this section may then raise :class:`PersistenceUnsupportedError`.
+        """
+        return False
+
+    def has_persistent_tables(self) -> bool:
+        """Whether ``TNodes`` / ``TEdges`` already exist in the backing
+        database (a warm reattach opens the file and finds them; a fresh
+        store over a new file does not have them yet)."""
+        return False
+
+    def has_persistent_segtable(self) -> bool:
+        """Whether ``TOutSegs`` / ``TInSegs`` already exist in the backing
+        database, i.e. a previously built SegTable survived in the file."""
+        return False
+
+    def adopt_segtable(self, lthd: float) -> None:
+        """Mark the segment tables already present in the backing database
+        as this store's live SegTable (sets :attr:`has_segtable` /
+        :attr:`segtable_lthd` without running the offline construction).
+        ``lthd`` comes from the catalog entry — the threshold is *not*
+        recoverable from the tables themselves."""
+        raise self._persistence_unsupported("adopt_segtable")
+
+    def export_graph(self) -> Graph:
+        """Read ``TNodes`` / ``TEdges`` back into an in-memory
+        :class:`~repro.graph.model.Graph` (always directed — an undirected
+        input was stored as two directed edges and round-trips as such).
+
+        This is the warm-attach read path: a ``SELECT`` scan, not the
+        write-side ``load_graph`` (no table creation, no bulk insert, no
+        index build).
+        """
+        raise self._persistence_unsupported("export_graph")
+
+    def content_fingerprint(self) -> str:
+        """Digest of the stored graph content, comparable with
+        :func:`repro.graph.fingerprint.fingerprint_graph` of the graph that
+        was loaded.  The catalog uses it to detect a database file that
+        changed underneath its manifest entry."""
+        raise self._persistence_unsupported("content_fingerprint")
+
+    def _persistence_unsupported(self, operation: str) -> PersistenceUnsupportedError:
+        return PersistenceUnsupportedError(
+            f"{type(self).__name__} does not persist graph data "
+            f"({operation} is unavailable); only db_path-backed stores of a "
+            f"persistence-capable backend can join the session catalog"
         )
 
     # -- graph and index lifecycle ------------------------------------------------

@@ -20,7 +20,12 @@ from repro.core.sqlstyle import NSQL, validate_sql_style
 from repro.core.stats import OPERATOR_E, OPERATOR_F, OPERATOR_M
 from repro.core.store.base import GraphStore, IndexMode
 from repro.core.store.registry import register_backend
-from repro.errors import InvalidQueryError, StoreCloneUnsupportedError
+from repro.errors import (
+    InvalidQueryError,
+    PersistenceUnsupportedError,
+    StoreCloneUnsupportedError,
+)
+from repro.graph.fingerprint import fingerprint_content
 from repro.graph.model import Graph
 
 # SQLite cannot index an expression with parameters, and +inf round-trips
@@ -85,6 +90,65 @@ class SQLiteGraphStore(GraphStore):
         replica.has_segtable = self.has_segtable
         replica.segtable_lthd = self.segtable_lthd
         return replica
+
+    # -------------------------------------------------- persistence (catalog)
+
+    def supports_persistence(self) -> bool:
+        """A file-backed store's tables survive in the file; an in-memory
+        store's do not."""
+        return self.path != ":memory:"
+
+    def _table_exists(self, name: str) -> bool:
+        row = self.connection.execute(
+            "SELECT count(*) FROM sqlite_master WHERE type='table' AND name=?",
+            (name,),
+        ).fetchone()
+        return bool(row[0])
+
+    def has_persistent_tables(self) -> bool:
+        """Whether ``TNodes`` and ``TEdges`` exist in the database file."""
+        return self._table_exists("TNodes") and self._table_exists("TEdges")
+
+    def has_persistent_segtable(self) -> bool:
+        """Whether ``TOutSegs`` and ``TInSegs`` exist in the database file."""
+        return self._table_exists("TOutSegs") and self._table_exists("TInSegs")
+
+    def adopt_segtable(self, lthd: float) -> None:
+        """Point this store at the segment tables already in the file."""
+        if not self.has_persistent_segtable():
+            raise PersistenceUnsupportedError(
+                f"{self.path!r} holds no TOutSegs/TInSegs tables to adopt; "
+                f"build the SegTable before cataloging it"
+            )
+        self.has_segtable = True
+        self.segtable_lthd = lthd
+
+    def export_graph(self) -> Graph:
+        """Read ``TNodes`` / ``TEdges`` back into a directed graph."""
+        self._require_persistent_tables()
+        graph = Graph(directed=True)
+        for (nid,) in self.connection.execute("SELECT nid FROM TNodes"):
+            graph.add_node(int(nid))
+        for fid, tid, cost in self.connection.execute(
+                "SELECT fid, tid, cost FROM TEdges"):
+            graph.add_edge(int(fid), int(tid), float(cost))
+        return graph
+
+    def content_fingerprint(self) -> str:
+        """Digest of the stored node set and edge multiset."""
+        self._require_persistent_tables()
+        nodes = [int(row[0]) for row in
+                 self.connection.execute("SELECT nid FROM TNodes")]
+        edges = self.connection.execute(
+            "SELECT fid, tid, cost FROM TEdges").fetchall()
+        return fingerprint_content(nodes, edges)
+
+    def _require_persistent_tables(self) -> None:
+        if not self.has_persistent_tables():
+            raise PersistenceUnsupportedError(
+                f"{self.path!r} holds no TNodes/TEdges tables; it is not a "
+                f"loaded graph database"
+            )
 
     # ------------------------------------------------------------------ helpers
 

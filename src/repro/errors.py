@@ -165,3 +165,37 @@ class PoolTimeoutError(ConcurrencyError):
 class StoreCloneUnsupportedError(ConcurrencyError):
     """The store cannot produce a cheap reader clone of itself; the pool
     falls back to rehydrating a fresh replica from the hosted graph."""
+
+
+# ---------------------------------------------------------------------------
+# Persistent session catalog
+# ---------------------------------------------------------------------------
+
+class PersistentCatalogError(ServiceError):
+    """Base class for persistent-catalog errors (manifest, warm attach).
+
+    Distinct from :class:`CatalogError`, which belongs to the mini
+    relational engine's *table* catalog.
+    """
+
+
+class ManifestError(PersistentCatalogError):
+    """The on-disk catalog manifest is missing, unreadable, or of an
+    unsupported format version, or an entry references a database file
+    that no longer exists."""
+
+
+class CatalogEntryNotFoundError(PersistentCatalogError):
+    """No catalog entry exists under the requested graph name."""
+
+
+class FingerprintMismatchError(PersistentCatalogError):
+    """The graph content on disk no longer matches the catalog entry's
+    recorded fingerprint.  The entry is marked stale; re-register the graph
+    or run ``python -m repro.catalog rebuild`` to re-derive it from the
+    database file."""
+
+
+class PersistenceUnsupportedError(PersistentCatalogError):
+    """The store backend cannot persist (or re-export) its graph data, so
+    it cannot participate in the session catalog."""

@@ -1,0 +1,63 @@
+"""Content fingerprints of graphs.
+
+The persistent session catalog records, for every registered graph, a
+digest of the graph's *content* — its node set and its multiset of weighted
+edges — so that a warm reattach can detect when the database file changed
+underneath the manifest (new edges, different weights, a different graph
+reusing the path).
+
+The digest is defined over a canonical serialization: node ids in sorted
+order, then ``(fid, tid, cost)`` triples in sorted order, costs rendered
+with :func:`repr` (floats round-trip exactly through both SQLite ``REAL``
+columns and JSON, so the same content always hashes the same, whichever
+side computes it).  Both the in-memory :class:`~repro.graph.model.Graph`
+and a store reading its own ``TNodes`` / ``TEdges`` tables feed this one
+helper, which is what makes their fingerprints comparable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.model import Graph
+
+FINGERPRINT_SCHEME = "sha256"
+
+
+def fingerprint_content(nodes: Iterable[int],
+                        edges: Iterable[Tuple[int, int, float]]) -> str:
+    """Digest a graph given as raw node ids and edge triples.
+
+    Args:
+        nodes: node identifiers, any order (sorted internally).
+        edges: ``(fid, tid, cost)`` triples, any order (sorted internally);
+            parallel edges are kept — they are part of the content.
+
+    Returns:
+        A ``"sha256:<hex>"`` string.
+    """
+    hasher = hashlib.sha256()
+    for nid in sorted(int(nid) for nid in nodes):
+        hasher.update(f"n:{nid}\n".encode("ascii"))
+    triples = sorted((int(fid), int(tid), float(cost))
+                     for fid, tid, cost in edges)
+    for fid, tid, cost in triples:
+        hasher.update(f"e:{fid}:{tid}:{cost!r}\n".encode("ascii"))
+    return f"{FINGERPRINT_SCHEME}:{hasher.hexdigest()}"
+
+
+def fingerprint_graph(graph: "Graph") -> str:
+    """Digest an in-memory :class:`~repro.graph.model.Graph`.
+
+    Matches :meth:`GraphStore.content_fingerprint` for a store loaded with
+    the same graph.
+    """
+    return fingerprint_content(
+        graph.nodes(),
+        ((edge.fid, edge.tid, edge.cost) for edge in graph.edges()),
+    )
+
+
+__all__ = ["FINGERPRINT_SCHEME", "fingerprint_content", "fingerprint_graph"]

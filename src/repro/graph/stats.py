@@ -34,6 +34,38 @@ class GraphStatistics:
     degree_histogram: Dict[int, int] = field(default_factory=dict)
     num_reachable_from_sample: int = 0
 
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form, JSON-serializable (the session catalog persists
+        this so warm-started sessions plan ``method="auto"`` queries without
+        re-scanning the graph)."""
+        return {
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "avg_out_degree": self.avg_out_degree,
+            "max_out_degree": self.max_out_degree,
+            "min_edge_weight": self.min_edge_weight,
+            "max_edge_weight": self.max_edge_weight,
+            "degree_histogram": dict(self.degree_histogram),
+            "num_reachable_from_sample": self.num_reachable_from_sample,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "GraphStatistics":
+        """Rebuild from :meth:`as_dict` output (JSON round-trips turn the
+        histogram's integer keys into strings; they are converted back)."""
+        histogram = {int(degree): int(count) for degree, count
+                     in dict(data.get("degree_histogram", {})).items()}
+        return cls(
+            num_nodes=int(data["num_nodes"]),
+            num_edges=int(data["num_edges"]),
+            avg_out_degree=float(data["avg_out_degree"]),
+            max_out_degree=int(data["max_out_degree"]),
+            min_edge_weight=float(data["min_edge_weight"]),
+            max_edge_weight=float(data["max_edge_weight"]),
+            degree_histogram=histogram,
+            num_reachable_from_sample=int(data.get("num_reachable_from_sample", 0)),
+        )
+
 
 def degree_histogram(graph: Graph) -> Dict[int, int]:
     """Return a mapping from out-degree to the number of nodes having it."""

@@ -20,7 +20,15 @@ and the relational engine underneath:
   connections (cloned or rehydrated per the backend's
   ``supports_concurrent_readers`` capability), identical in-flight
   queries collapse onto one execution, and results stay in input order,
-  identical to serial.
+  identical to serial;
+* the shared :class:`ResultCache` also stores **negative verdicts**
+  (repeated unreachable pairs skip the full search) and evicts by TTL
+  and approximate memory footprint on top of the LRU entry bound;
+* a service bound to a **persistent catalog**
+  (``PathService(catalog_path=...)`` / :meth:`PathService.open`) records
+  every ``db_path``-backed graph and SegTable it builds, and reattaches
+  them warm across processes — no edge reload, no statistics rescan,
+  zero index rebuilds (see :mod:`repro.catalog`).
 
 The legacy ``RelationalPathFinder`` / module-level ``shortest_path`` API in
 :mod:`repro.core.api` remains as a deprecation shim over this layer.
@@ -35,7 +43,12 @@ from repro.core.store.registry import (
     unregister_backend,
 )
 from repro.service.batch import BatchResult, execute_batch, normalize_queries
-from repro.service.cache import CacheStats, InFlightMap, ResultCache
+from repro.service.cache import (
+    CacheStats,
+    InFlightMap,
+    ResultCache,
+    estimate_result_bytes,
+)
 from repro.service.executor import Executor
 from repro.service.pool import PoolStats, StorePool
 from repro.service.planner import (
@@ -70,6 +83,7 @@ __all__ = [
     "available_backends",
     "backend_factory",
     "create_store",
+    "estimate_result_bytes",
     "execute_batch",
     "normalize_queries",
     "plan_query",

@@ -164,6 +164,7 @@ def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
     batch = BatchResult(specs=specs, results=[None] * len(specs),
                         from_cache=[False] * len(specs))
     batch.stats.total = len(specs)
+    evictions_before = service._cache.stats().evictions
 
     plans = [service.plan(spec) for spec in specs]
     for spec, plan in zip(specs, plans):
@@ -191,6 +192,8 @@ def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
                 batch.stats.not_found += 1
             batch.from_cache[index] = batch.stats.cache_hits > hits_before
 
+    batch.stats.evictions = (service._cache.stats().evictions
+                             - evictions_before)
     batch.stats.total_time = time.perf_counter() - start
     return batch
 

@@ -1,11 +1,24 @@
-"""Shared LRU result cache and single-flight map for the service layer.
+"""Shared result cache (positive + negative) and single-flight map.
 
 Batch workloads repeat queries heavily (the paper's evaluation itself
 replays random workloads), so :class:`PathService` memoizes finished
 :class:`~repro.core.path.PathResult` objects keyed by
-``(graph, source, target, method, sql_style)``.  The cache is a plain LRU
-over an :class:`~collections.OrderedDict` with hit/miss/eviction counters
-surfaced through :class:`CacheStats`.
+``(graph, source, target, method, sql_style)``.  The cache is an LRU over
+an :class:`~collections.OrderedDict` with three eviction policies layered
+on top of the entry-count bound:
+
+* **TTL** — entries older than ``ttl_seconds`` are dropped on access (and
+  swept opportunistically on insert), so long-lived services do not serve
+  arbitrarily old answers;
+* **memory footprint** — an approximate per-entry byte estimate
+  (:func:`estimate_result_bytes`) is summed, and the LRU tail is evicted
+  until the total fits ``max_bytes``;
+* **negative results** — unreachable-pair verdicts get their own bounded
+  LRU (``negative_capacity``), so repeated misses skip the full
+  bidirectional fixpoint, which runs to exhaustion precisely when no path
+  exists and is therefore the *most* expensive outcome to recompute.
+
+Hit/miss/eviction counters are surfaced through :class:`CacheStats`.
 
 Both structures here are thread-safe: parallel batch workers share one
 :class:`ResultCache` (every operation runs under an internal lock) and one
@@ -19,6 +32,7 @@ without touching a store.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Hashable, Optional, Tuple
@@ -26,6 +40,23 @@ from typing import Dict, Hashable, Optional, Tuple
 from repro.core.path import PathResult
 
 CacheKey = Tuple[Hashable, ...]
+
+
+def estimate_result_bytes(result: PathResult) -> int:
+    """Approximate the retained-heap cost of caching ``result``.
+
+    Deliberately a cheap model, not ``sys.getsizeof`` recursion: a fixed
+    overhead for the result object and its cache slot, one pointer-plus-int
+    per path hop, and a flat charge for the stats record plus its two
+    timing dicts.  The absolute numbers matter less than being monotone in
+    path length, which is what dominates real footprints.
+    """
+    size = 256 + 28 * len(result.path)
+    stats = result.stats
+    if stats is not None:
+        size += 512 + 64 * (len(stats.time_by_phase)
+                            + len(stats.time_by_operator))
+    return size
 
 
 @dataclass(frozen=True)
@@ -37,6 +68,14 @@ class CacheStats:
     evictions: int
     size: int
     capacity: int
+    negative_hits: int = 0
+    negative_size: int = 0
+    negative_capacity: int = 0
+    ttl_evictions: int = 0
+    memory_evictions: int = 0
+    memory_bytes: int = 0
+    max_bytes: Optional[int] = None
+    ttl_seconds: Optional[float] = None
 
     @property
     def hit_rate(self) -> float:
@@ -45,76 +84,182 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
+class _Entry:
+    """One positive cache slot: the result, its insertion time (for TTL)
+    and its estimated footprint (for the memory bound)."""
+
+    __slots__ = ("result", "inserted_at", "size_bytes")
+
+    def __init__(self, result: PathResult, inserted_at: float,
+                 size_bytes: int) -> None:
+        self.result = result
+        self.inserted_at = inserted_at
+        self.size_bytes = size_bytes
+
+
 class ResultCache:
-    """A bounded LRU mapping of query keys to :class:`PathResult` objects.
+    """A bounded LRU mapping of query keys to :class:`PathResult` objects,
+    with optional TTL and memory-footprint eviction and a sibling negative
+    cache for unreachable-pair verdicts.
 
     Safe to share across threads: lookups, inserts, invalidation, and stats
     snapshots each run under one internal lock.
+
+    Args:
+        capacity: maximum positive entries (``0`` disables positive
+            caching).
+        ttl_seconds: drop entries older than this on access (``None``
+            disables TTL eviction).  Applies to negative entries too.
+        max_bytes: approximate memory budget for positive entries; the LRU
+            tail is evicted until the estimated total fits (``None``
+            disables the bound).
+        negative_capacity: maximum unreachable-pair verdicts (``0``
+            disables negative caching).
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(self, capacity: int = 1024,
+                 ttl_seconds: Optional[float] = None,
+                 max_bytes: Optional[int] = None,
+                 negative_capacity: int = 0) -> None:
         if capacity < 0:
             raise ValueError("cache capacity must be non-negative")
+        if negative_capacity < 0:
+            raise ValueError("negative cache capacity must be non-negative")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("cache TTL must be positive (or None)")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("cache memory bound must be positive (or None)")
         self.capacity = capacity
-        self._entries: "OrderedDict[CacheKey, PathResult]" = OrderedDict()
+        self.ttl_seconds = ttl_seconds
+        self.max_bytes = max_bytes
+        self.negative_capacity = negative_capacity
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        # key -> (verdict message, inserted_at)
+        self._negative: "OrderedDict[CacheKey, Tuple[str, float]]" = OrderedDict()
         self._lock = threading.Lock()
+        self._clock = time.monotonic  # overridable in tests
+        self._bytes = 0
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._negative_hits = 0
+        self._ttl_evictions = 0
+        self._memory_evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
+    # -- positive entries --------------------------------------------------------
+
     def get(self, key: CacheKey) -> Optional[PathResult]:
         """Return the cached result for ``key`` (refreshing its recency) or
-        ``None`` on a miss."""
+        ``None`` on a miss.  An entry past its TTL is evicted and counts as
+        a miss."""
         with self._lock:
-            result = self._entries.get(key)
-            if result is None:
+            entry = self._entries.get(key)
+            if entry is not None and self._expired(entry.inserted_at):
+                self._drop(key, ttl=True)
+                entry = None
+            if entry is None:
                 self._misses += 1
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
-            return result
+            return entry.result
 
     def peek(self, key: CacheKey) -> Optional[PathResult]:
-        """Like :meth:`get` (including the recency refresh) but without
-        touching the hit/miss counters — for re-checks of a key whose
-        lookup was already counted once, so parallel batches report the
-        same hit rate as serial ones."""
+        """Like :meth:`get` (including the recency refresh and TTL check)
+        but without touching the hit/miss counters — for re-checks of a key
+        whose lookup was already counted once, so parallel batches report
+        the same hit rate as serial ones."""
         with self._lock:
-            result = self._entries.get(key)
-            if result is not None:
-                self._entries.move_to_end(key)
-            return result
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            if self._expired(entry.inserted_at):
+                self._drop(key, ttl=True)
+                return None
+            self._entries.move_to_end(key)
+            return entry.result
 
     def put(self, key: CacheKey, result: PathResult) -> None:
-        """Insert ``result``, evicting the least-recently-used entry when
-        the cache is full.  A zero-capacity cache stores nothing."""
+        """Insert ``result``, evicting expired entries, then the
+        least-recently-used entries past the count or memory bound.  A
+        zero-capacity cache stores nothing."""
         if self.capacity == 0:
             return
+        entry = _Entry(result, self._clock(), estimate_result_bytes(result))
         with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-            self._entries[key] = result
+            self._sweep_expired()
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.size_bytes
+            self._entries[key] = entry
+            self._bytes += entry.size_bytes
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                self._drop(next(iter(self._entries)))
+            if self.max_bytes is not None:
+                # Never evict the entry just inserted: an oversized result
+                # simply passes through without poisoning the whole cache.
+                while self._bytes > self.max_bytes and len(self._entries) > 1:
+                    self._drop(next(iter(self._entries)), memory=True)
+
+    # -- negative entries --------------------------------------------------------
+
+    def get_negative(self, key: CacheKey) -> Optional[str]:
+        """Return the cached unreachable-verdict message for ``key``
+        (refreshing its recency), or ``None`` when the pair is not known to
+        be unreachable.  Does not touch the positive hit/miss counters."""
+        with self._lock:
+            cached = self._negative.get(key)
+            if cached is None:
+                return None
+            message, inserted_at = cached
+            if self._expired(inserted_at):
+                del self._negative[key]
+                self._evictions += 1
+                self._ttl_evictions += 1
+                return None
+            self._negative.move_to_end(key)
+            self._negative_hits += 1
+            return message
+
+    def put_negative(self, key: CacheKey, message: str) -> None:
+        """Record that ``key``'s endpoints are not connected.  A
+        zero-capacity negative cache stores nothing."""
+        if self.negative_capacity == 0:
+            return
+        with self._lock:
+            if key in self._negative:
+                self._negative.move_to_end(key)
+            self._negative[key] = (message, self._clock())
+            while len(self._negative) > self.negative_capacity:
+                self._negative.popitem(last=False)
                 self._evictions += 1
 
+    # -- maintenance -------------------------------------------------------------
+
     def invalidate_graph(self, graph: str) -> int:
-        """Drop every entry belonging to ``graph`` (its first key field);
-        returns how many were dropped."""
+        """Drop every entry belonging to ``graph`` (its first key field),
+        negative verdicts included; returns how many were dropped."""
         with self._lock:
             stale = [key for key in self._entries if key and key[0] == graph]
             for key in stale:
-                del self._entries[key]
-            return len(stale)
+                self._bytes -= self._entries.pop(key).size_bytes
+            stale_negative = [key for key in self._negative
+                              if key and key[0] == graph]
+            for key in stale_negative:
+                del self._negative[key]
+            return len(stale) + len(stale_negative)
 
     def clear(self) -> None:
-        """Drop all entries (counters are kept)."""
+        """Drop all entries, negative verdicts included (counters are
+        kept)."""
         with self._lock:
             self._entries.clear()
+            self._negative.clear()
+            self._bytes = 0
 
     def stats(self) -> CacheStats:
         """Current counters as an immutable :class:`CacheStats`."""
@@ -122,7 +267,45 @@ class ResultCache:
             return CacheStats(hits=self._hits, misses=self._misses,
                               evictions=self._evictions,
                               size=len(self._entries),
-                              capacity=self.capacity)
+                              capacity=self.capacity,
+                              negative_hits=self._negative_hits,
+                              negative_size=len(self._negative),
+                              negative_capacity=self.negative_capacity,
+                              ttl_evictions=self._ttl_evictions,
+                              memory_evictions=self._memory_evictions,
+                              memory_bytes=self._bytes,
+                              max_bytes=self.max_bytes,
+                              ttl_seconds=self.ttl_seconds)
+
+    # -- internals (call with the lock held) -------------------------------------
+
+    def _expired(self, inserted_at: float) -> bool:
+        return (self.ttl_seconds is not None
+                and self._clock() - inserted_at > self.ttl_seconds)
+
+    def _drop(self, key: CacheKey, ttl: bool = False,
+              memory: bool = False) -> None:
+        self._bytes -= self._entries.pop(key).size_bytes
+        self._evictions += 1
+        if ttl:
+            self._ttl_evictions += 1
+        if memory:
+            self._memory_evictions += 1
+
+    def _sweep_expired(self) -> None:
+        if self.ttl_seconds is None:
+            return
+        expired = [key for key, entry in self._entries.items()
+                   if self._expired(entry.inserted_at)]
+        for key in expired:
+            self._drop(key, ttl=True)
+        expired_negative = [key for key, (_, inserted_at)
+                            in self._negative.items()
+                            if self._expired(inserted_at)]
+        for key in expired_negative:
+            del self._negative[key]
+            self._evictions += 1
+            self._ttl_evictions += 1
 
 
 class Flight:
@@ -187,4 +370,5 @@ class InFlightMap:
             return self._flights.pop(key)
 
 
-__all__ = ["CacheKey", "CacheStats", "Flight", "InFlightMap", "ResultCache"]
+__all__ = ["CacheKey", "CacheStats", "Flight", "InFlightMap", "ResultCache",
+           "estimate_result_bytes"]

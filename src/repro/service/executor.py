@@ -123,6 +123,13 @@ class Executor:
                     batch.from_cache[index] = True
                     batch.results[index] = copied
                 return
+            verdict = service._cache.get_negative(key)
+            if verdict is not None:
+                # Known-unreachable pair: skip the store entirely (the
+                # serial path does the same inside service._execute).
+                with self._lock:
+                    batch.stats.negative_hits += 1
+                raise PathNotFoundError(verdict)
             flight, leader = self._inflight.lease(key)
             if not leader:
                 result = flight.wait()  # re-raises the leader's error
@@ -151,6 +158,8 @@ class Executor:
                 plan, checkout_timeout=self._checkout_timeout)
         except BaseException as exc:
             if key is not None:
+                if isinstance(exc, PathNotFoundError):
+                    service._cache.put_negative(key, str(exc))
                 self._inflight.fail(key, exc)
             # Serial parity: unreachable pairs still ran a full search and
             # count as executed.  Pool failures (timeout, closed) happen

@@ -13,14 +13,38 @@ want and the service decides *how* to run it::
         result = service.shortest_path(0, 42, graph="social")
         batch = service.shortest_path_many([(0, 42), (3, 99)],
                                            graph="social")
+
+A service bound to a **persistent catalog** survives the process: every
+``db_path``-backed graph it hosts (and every SegTable it builds) is
+recorded in the catalog's manifest, and a later warm start reattaches all
+of it without reloading edges or re-running the offline index expansion::
+
+    service = PathService(catalog_path="catalog/")
+    service.add_graph("social", graph, backend="sqlite",
+                      db_path="catalog/social.db")
+    service.build_segtable("social", lthd=5)
+    service.close()
+
+    warm = PathService.open(catalog_path="catalog/")   # no reload, no rebuild
+    assert warm.segtable_stats("social") is not None
 """
 
 from __future__ import annotations
 
+import os
 import time
 from collections import defaultdict
 from dataclasses import dataclass, replace
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+    Union,
+)
 
 from repro.core.directions import BACKWARD_DIRECTION, FORWARD_DIRECTION
 from repro.core.path import PathResult
@@ -31,13 +55,23 @@ from repro.core.store.base import GraphStore, IndexMode
 from repro.core.store.registry import create_store
 from repro.errors import (
     DuplicateGraphError,
+    FingerprintMismatchError,
     InvalidQueryError,
+    ManifestError,
     NodeNotFoundError,
+    PathNotFoundError,
+    PersistentCatalogError,
     ServiceError,
     UnknownGraphError,
 )
+from repro.graph.fingerprint import fingerprint_graph
 from repro.graph.model import Graph
 from repro.graph.stats import GraphStatistics, compute_statistics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; the catalog package is
+    # imported lazily at runtime (it pulls in repro.core, which imports this
+    # module while initializing).
+    from repro.catalog.catalog import Catalog
 from repro.memory.bidirectional import bidirectional_dijkstra as _memory_bidirectional
 from repro.memory.dijkstra import dijkstra_shortest_path as _memory_dijkstra
 from repro.service.cache import CacheStats, ResultCache
@@ -94,6 +128,7 @@ class _GraphHost:
                                  List[Dict[str, object]]]] = None
     _segtable_key: Optional[Tuple[Hashable, ...]] = None
     _statistics: Optional[GraphStatistics] = None
+    _fingerprint: Optional[str] = None
 
     @property
     def statistics(self) -> GraphStatistics:
@@ -101,6 +136,14 @@ class _GraphHost:
         if self._statistics is None:
             self._statistics = compute_statistics(self.graph)
         return self._statistics
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the hosted graph, computed once (warm
+        attaches restore it from the catalog entry instead)."""
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint_graph(self.graph)
+        return self._fingerprint
 
 
 class PathService:
@@ -110,15 +153,212 @@ class PathService:
         default_backend: registry name used when :meth:`add_graph` does not
             specify one.
         cache_size: capacity of the shared LRU result cache (``0`` disables
-            result caching entirely).
+            result caching entirely, negative caching included).
+        cache_ttl: optional seconds after which cached results (positive
+            and negative) expire.
+        cache_max_bytes: optional approximate memory bound for the result
+            cache; the LRU tail is evicted until the estimate fits.
+        negative_cache_size: capacity of the unreachable-pair verdict cache
+            (``0`` disables negative caching; repeated misses then re-run
+            the full search every time).
+        catalog_path: optional persistent-catalog directory.  When bound,
+            every ``db_path``-backed graph added to (and every SegTable
+            built by) this service is recorded durably, and
+            :meth:`attach_graph` / :meth:`PathService.open` can warm-start
+            from it.
     """
 
     def __init__(self, default_backend: str = "minidb",
-                 cache_size: int = 1024) -> None:
+                 cache_size: int = 1024, *,
+                 cache_ttl: Optional[float] = None,
+                 cache_max_bytes: Optional[int] = None,
+                 negative_cache_size: int = 1024,
+                 catalog_path: Optional[str] = None) -> None:
         self.default_backend = default_backend
         self._hosts: Dict[str, _GraphHost] = {}
-        self._cache = ResultCache(cache_size)
+        self._cache = ResultCache(cache_size, ttl_seconds=cache_ttl,
+                                  max_bytes=cache_max_bytes,
+                                  negative_capacity=negative_cache_size)
+        self._catalog: Optional["Catalog"] = None
+        if catalog_path is not None:
+            from repro.catalog.catalog import Catalog
+            self._catalog = Catalog(catalog_path)
+        self._segtable_builds = 0
         self._closed = False
+
+    # -- warm start --------------------------------------------------------------
+
+    @classmethod
+    def open(cls, catalog_path: str, *, strict: bool = True,
+             **kwargs: object) -> "PathService":
+        """Warm-start a service from a persistent catalog.
+
+        Every cataloged graph is reattached: its database file is opened
+        (no edge reload), its planner statistics are rehydrated from the
+        manifest, and its persisted SegTable — if built — is adopted
+        without re-running the offline expansion.
+
+        Args:
+            catalog_path: the catalog directory (see
+                :class:`repro.catalog.Catalog`).
+            strict: raise on the first entry that fails to attach (stale
+                fingerprint, missing file).  With ``strict=False`` such
+                entries are skipped and the rest of the catalog loads.
+            **kwargs: forwarded to the constructor (``default_backend``,
+                cache knobs, ...).
+
+        Raises:
+            PersistentCatalogError: a manifest problem, or — in strict
+                mode — any entry that cannot be attached.
+        """
+        service = cls(catalog_path=catalog_path, **kwargs)  # type: ignore[arg-type]
+        try:
+            service.attach_all(strict=strict)
+        except BaseException:
+            service.close()
+            raise
+        return service
+
+    @property
+    def catalog(self) -> Optional["Catalog"]:
+        """The bound persistent catalog, or ``None``."""
+        return self._catalog
+
+    @property
+    def segtable_builds(self) -> int:
+        """How many SegTable constructions actually ran in this process —
+        memoized returns and warm-started (persisted) tables do not count.
+        The warm-start benchmark asserts this stays zero after a reattach.
+        """
+        return self._segtable_builds
+
+    def attach_all(self, strict: bool = True) -> Tuple[str, ...]:
+        """Attach every cataloged graph not already hosted; returns the
+        names attached (see :meth:`open` for the ``strict`` contract)."""
+        catalog = self._require_catalog()
+        attached: List[str] = []
+        for name in catalog.names():
+            if name in self._hosts:
+                continue
+            try:
+                self.attach_graph(name)
+            except PersistentCatalogError:
+                if strict:
+                    raise
+                continue
+            attached.append(name)
+        return tuple(attached)
+
+    def attach_graph(self, name: str, concurrency: int = 1) -> str:
+        """Reattach one cataloged graph without reloading it.
+
+        The entry's database file is opened through the backend registry,
+        its content fingerprint verified against the manifest, the graph
+        read back (a ``SELECT`` scan — no table creation, no bulk insert,
+        no index build), statistics rehydrated, and any persisted SegTable
+        adopted as-is.
+
+        Args:
+            name: the cataloged graph name.
+            concurrency: store-pool capacity, as in :meth:`add_graph`.
+
+        Raises:
+            CatalogEntryNotFoundError: ``name`` is not cataloged.
+            ManifestError: the database file is missing or holds no graph.
+            FingerprintMismatchError: the file's content no longer matches
+                the manifest (the entry is marked stale; re-register the
+                graph or ``python -m repro.catalog rebuild`` it).
+            DuplicateGraphError: ``name`` is already hosted.
+        """
+        if self._closed:
+            raise ServiceError("this PathService is closed; create a new one")
+        catalog = self._require_catalog()
+        if name in self._hosts:
+            raise DuplicateGraphError(
+                f"graph {name!r} is already hosted; drop_graph() it first"
+            )
+        entry = catalog.get(name)
+        rebuild_hint = (f"re-register the graph or run `python -m "
+                        f"repro.catalog rebuild --catalog {catalog.path} "
+                        f"{name}`")
+        if entry.stale:
+            raise FingerprintMismatchError(
+                f"catalog entry {name!r} is stale (a previous attach found "
+                f"the database changed underneath it); {rebuild_hint}"
+            )
+        db_path = catalog.resolve_db_path(entry)
+        if not os.path.exists(db_path):
+            raise ManifestError(
+                f"database file {db_path!r} for cataloged graph {name!r} "
+                f"is missing; `python -m repro.catalog gc` drops the entry"
+            )
+        store = create_store(entry.backend, path=db_path,
+                             buffer_capacity=entry.buffer_capacity)
+        try:
+            if not (store.supports_persistence()
+                    and store.has_persistent_tables()):
+                raise ManifestError(
+                    f"store {entry.backend!r} at {db_path!r} holds no "
+                    f"persisted graph tables; the catalog entry does not "
+                    f"match a loaded graph database"
+                )
+            actual = store.content_fingerprint()
+            if actual != entry.fingerprint:
+                catalog.mark_stale(name)
+                raise FingerprintMismatchError(
+                    f"graph {name!r} changed on disk: the database "
+                    f"fingerprint no longer matches the catalog entry "
+                    f"(expected {entry.fingerprint[:18]}..., found "
+                    f"{actual[:18]}...); the entry is now marked stale — "
+                    f"{rebuild_hint}"
+                )
+            index_mode = IndexMode.validate(entry.index_mode)
+            if hasattr(store, "index_mode"):
+                store.index_mode = index_mode
+            graph = store.export_graph()
+            host = _GraphHost(name=name, graph=graph, store=store,
+                              backend=entry.backend, index_mode=index_mode,
+                              buffer_capacity=entry.buffer_capacity)
+            host._fingerprint = entry.fingerprint
+            if entry.statistics is not None:
+                host._statistics = entry.statistics
+            seg = entry.segtable
+            if seg is not None:
+                if store.has_persistent_segtable():
+                    store.adopt_segtable(seg.lthd)
+                    host.segtable_stats = seg.build or SegTableBuildStats(
+                        lthd=seg.lthd, sql_style=seg.sql_style)
+                    host._segtable_key = self._segtable_memo_key(
+                        host, seg.lthd, seg.sql_style,
+                        IndexMode.validate(seg.index_mode))
+                    # As in build_segtable: backends without a clone()
+                    # fast path need the segment rows captured so pool
+                    # rehydration can replay them into replicas.
+                    if not store.supports_clone():
+                        host.segment_rows = (
+                            store.seg_rows(FORWARD_DIRECTION),
+                            store.seg_rows(BACKWARD_DIRECTION),
+                        )
+                else:
+                    # The segment tables vanished (dropped externally);
+                    # treat the index as unbuilt rather than failing the
+                    # whole attach, and say so in the manifest.
+                    catalog.set_segtable(name, None)
+        except Exception:
+            store.close()
+            raise
+        host.pool = StorePool(store, self._rehydrator(host),
+                              size=concurrency)
+        self._hosts[name] = host
+        return name
+
+    def _require_catalog(self) -> "Catalog":
+        if self._catalog is None:
+            raise ServiceError(
+                "this PathService has no catalog bound; construct it with "
+                "catalog_path=... (or use PathService.open)"
+            )
+        return self._catalog
 
     # -- graph lifecycle ---------------------------------------------------------
 
@@ -127,7 +367,8 @@ class PathService:
                   buffer_capacity: int = 256,
                   index_mode: str = IndexMode.CLUSTERED,
                   db_path: Optional[str] = None,
-                  concurrency: int = 1) -> str:
+                  concurrency: int = 1,
+                  persist: bool = True) -> str:
         """Host ``graph`` under ``name``, loading it into a fresh store.
 
         Args:
@@ -144,6 +385,12 @@ class PathService:
                 grows the pool on demand anyway.  Backends whose store class
                 does not set ``supports_concurrent_readers`` are clamped
                 to 1 regardless.
+            persist: when this service is bound to a catalog and the store
+                persists (a ``db_path``-backed graph on a
+                persistence-capable backend), record the graph in the
+                catalog so later sessions can warm-start it.  ``False``
+                opts this graph out; graphs whose store cannot persist are
+                skipped either way.
 
         Returns:
             The graph name, for chaining into a query call.
@@ -173,6 +420,17 @@ class PathService:
         host.pool = StorePool(store, self._rehydrator(host),
                               size=concurrency)
         self._hosts[name] = host
+        if (persist and self._catalog is not None and db_path is not None
+                and store.supports_persistence()):
+            from repro.catalog.manifest import CatalogEntry
+            self._catalog.put(CatalogEntry(
+                name=name, backend=backend,
+                db_path=self._catalog.normalize_db_path(db_path),
+                fingerprint=host.fingerprint, directed=graph.directed,
+                index_mode=index_mode, buffer_capacity=buffer_capacity,
+                num_nodes=graph.num_nodes, num_edges=graph.num_edges,
+                statistics=host.statistics,
+            ))
         return name
 
     def _rehydrator(self, host: _GraphHost):
@@ -237,14 +495,23 @@ class PathService:
                        force: bool = False) -> SegTableBuildStats:
         """Build the SegTable index for a hosted graph, memoized.
 
-        Rebuilding with the same ``(lthd, sql_style, index_mode)`` returns
-        the previous :class:`SegTableBuildStats` without touching the store;
-        pass ``force=True`` (or different parameters) to rebuild.
+        Rebuilding with the same parameters returns the previous
+        :class:`SegTableBuildStats` without touching the store; pass
+        ``force=True`` (or different parameters) to rebuild.  The memo key
+        is ``(graph name, lthd, sql_style, index_mode, content
+        fingerprint)`` — keying on the graph's *content* means a graph
+        re-registered under a reused name (or reattached from a catalog
+        whose file changed) can never be served a stale memoized table.
+
+        On a catalog-bound service the finished build is persisted:
+        metadata and construction statistics go into the graph's manifest
+        entry, and a later warm start adopts the materialized tables
+        instead of running this construction again.
         """
         host = self._host(graph)
         validate_sql_style(sql_style)
         mode = IndexMode.validate(index_mode or host.index_mode)
-        key = (lthd, sql_style, mode)
+        key = self._segtable_memo_key(host, lthd, sql_style, mode)
         if not force and host._segtable_key == key:
             assert host.segtable_stats is not None
             return host.segtable_stats
@@ -260,6 +527,7 @@ class PathService:
                 host.segtable_stats = _build_segtable(primary, lthd,
                                                       sql_style=sql_style,
                                                       index_mode=mode)
+                self._segtable_builds += 1
                 host._segtable_key = key
                 # Capture the finished segments for pool rehydration — only
                 # needed by backends without a clone() fast path (a cloning
@@ -276,7 +544,21 @@ class PathService:
                 host.pool.reset()
                 for member in members:
                     host.pool.checkin(member)
+        if (self._catalog is not None and host.name in self._catalog
+                and primary.supports_persistence()):
+            from repro.catalog.manifest import SegTableRecord
+            self._catalog.set_segtable(host.name, SegTableRecord(
+                lthd=lthd, sql_style=sql_style, index_mode=mode,
+                build=host.segtable_stats, built_at=time.time(),
+            ))
         return host.segtable_stats
+
+    @staticmethod
+    def _segtable_memo_key(host: _GraphHost, lthd: float, sql_style: str,
+                           mode: str) -> Tuple[Hashable, ...]:
+        """Memo key of one SegTable build: name, parameters, and the
+        graph's content fingerprint (never the name alone)."""
+        return (host.name, lthd, sql_style, mode, host.fingerprint)
 
     def segtable_stats(self, graph: str = DEFAULT_GRAPH
                        ) -> Optional[SegTableBuildStats]:
@@ -410,7 +692,8 @@ class PathService:
 
     def _execute(self, plan: QueryPlan, use_cache: bool = True,
                  batch_stats: Optional[BatchStats] = None) -> PathResult:
-        """Run a planned query, consulting and feeding the result cache."""
+        """Run a planned query, consulting and feeding the result cache
+        (positive and negative)."""
         key = self._cache_key(plan) if use_cache else None
         if key is not None:
             cached = self._cache.get(key)
@@ -418,8 +701,20 @@ class PathService:
                 if batch_stats is not None:
                     batch_stats.cache_hits += 1
                 return self._copy_result(cached)
+            verdict = self._cache.get_negative(key)
+            if verdict is not None:
+                # A remembered unreachable pair: skip the full bidirectional
+                # fixpoint (the most expensive outcome to recompute — it
+                # runs to exhaustion precisely because no path exists).
+                if batch_stats is not None:
+                    batch_stats.negative_hits += 1
+                raise PathNotFoundError(verdict)
         try:
             result = self._run(plan)
+        except PathNotFoundError as exc:
+            if key is not None:
+                self._cache.put_negative(key, str(exc))
+            raise
         finally:
             # Unreachable pairs still ran a full search against the store.
             if batch_stats is not None:

@@ -201,10 +201,23 @@ class TestBatchStatsAccounting:
         with PathService() as service:
             service.add_graph("default", graph)
             batch = service.shortest_path_many([(0, 9), (0, 9)])
-            # Each unreachable query ran a full search; none were cached.
+            # The first unreachable query ran a full search; the repeat was
+            # answered from the negative result cache without executing.
+            assert batch.stats.executed == 1
+            assert batch.stats.not_found == 2
+            assert batch.stats.negative_hits == 1
+            assert batch.stats.cache_misses == 0
+
+    def test_unreachable_reruns_without_negative_cache(self):
+        graph = path_graph(3)
+        graph.add_node(9)
+        with PathService(negative_cache_size=0) as service:
+            service.add_graph("default", graph)
+            batch = service.shortest_path_many([(0, 9), (0, 9)])
+            # Negative caching disabled: each repeat re-runs the search.
             assert batch.stats.executed == 2
             assert batch.stats.not_found == 2
-            assert batch.stats.cache_misses == 0
+            assert batch.stats.negative_hits == 0
 
     def test_dict_query_bad_fields_raise_invalid_query(self):
         with PathService() as service:
