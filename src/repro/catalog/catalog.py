@@ -11,12 +11,17 @@ measures in Figure 9.
 
 Every mutator persists immediately, and — so that two services bound to
 the same catalog cannot erase each other's registrations — every mutation
-first re-reads the manifest from disk, applies its change to the fresh
-copy, and atomically replaces the file.  The on-disk document is the
-source of truth; the in-memory copy is just the latest parse of it.  (A
-simultaneous save by two processes still lasts-writer-wins for the *one*
-entry both touched; there is no cross-process file lock.)  The class
-itself is locked for concurrent threads of one service.
+runs a **merge-on-write** cycle: re-read the manifest from disk, apply
+this one change to the fresh copy, and atomically replace the file.  The
+on-disk document is the source of truth; the in-memory copy is just the
+latest parse of it.  The whole cycle holds an advisory file lock
+(``.manifest.lock`` in the catalog directory, via ``flock``), so the
+read-modify-write is exclusive across *every* writer sharing the
+directory — other threads, other :class:`Catalog` handles, and other
+processes — which is exactly the guarantee the shard router's rebalance
+leans on when it rewrites two manifests.  (On platforms without
+``fcntl`` the lock degrades to the in-process mutex only.)  The class
+itself is additionally locked for concurrent threads of one service.
 """
 
 from __future__ import annotations
@@ -24,7 +29,13 @@ from __future__ import annotations
 import os
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+try:  # POSIX advisory locking; absent on some platforms (e.g. Windows)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.catalog.manifest import (
     CatalogEntry,
@@ -38,6 +49,9 @@ from repro.core.segtable import build_segtable as _build_segtable
 from repro.core.store.registry import create_store
 from repro.errors import CatalogEntryNotFoundError, ManifestError
 from repro.graph.stats import compute_statistics
+
+LOCK_NAME = ".manifest.lock"
+"""Advisory lock file guarding the manifest's merge-on-write cycle."""
 
 
 class Catalog:
@@ -69,11 +83,32 @@ class Catalog:
                 )
             os.makedirs(self.path, exist_ok=True)
         self.manifest_path = os.path.join(self.path, MANIFEST_NAME)
+        self.lock_path = os.path.join(self.path, LOCK_NAME)
         self._lock = threading.Lock()
         if os.path.exists(self.manifest_path):
             self._manifest = load_manifest(self.manifest_path)
         else:
             self._manifest = Manifest()
+
+    @contextmanager
+    def _mutate(self) -> Iterator[None]:
+        """Exclusive merge-on-write window: the in-process mutex plus the
+        advisory file lock, with the manifest re-read once both are held.
+        Every mutator's read-modify-write runs inside this window, so no
+        concurrent writer — thread, handle, or process — can have its
+        registration erased by a stale document replay."""
+        with self._lock:
+            if fcntl is None:  # pragma: no cover - non-POSIX fallback
+                self._refresh()
+                yield
+                return
+            with open(self.lock_path, "a+b") as lock_handle:
+                fcntl.flock(lock_handle, fcntl.LOCK_EX)
+                try:
+                    self._refresh()
+                    yield
+                finally:
+                    fcntl.flock(lock_handle, fcntl.LOCK_UN)
 
     # -- reading -----------------------------------------------------------------
 
@@ -138,8 +173,7 @@ class Catalog:
 
     def put(self, entry: CatalogEntry) -> None:
         """Insert or replace ``entry`` and persist the manifest."""
-        with self._lock:
-            self._refresh()
+        with self._mutate():
             self._manifest.entries[entry.name] = entry
             self._save()
 
@@ -149,8 +183,7 @@ class Catalog:
         Raises:
             CatalogEntryNotFoundError: when ``name`` is not cataloged.
         """
-        with self._lock:
-            self._refresh()
+        with self._mutate():
             if name not in self._manifest.entries:
                 raise CatalogEntryNotFoundError(
                     f"graph {name!r} is not in the catalog at {self.path!r}"
@@ -161,8 +194,7 @@ class Catalog:
     def mark_stale(self, name: str) -> None:
         """Flag ``name`` as stale (fingerprint mismatch) and persist, so
         every later attach fails fast until the entry is rebuilt."""
-        with self._lock:
-            self._refresh()
+        with self._mutate():
             entry = self._manifest.entries.get(name)
             if entry is None:  # raced with a remove; nothing to mark
                 return
@@ -176,14 +208,33 @@ class Catalog:
         Raises:
             CatalogEntryNotFoundError: when ``name`` is not cataloged.
         """
-        with self._lock:
-            self._refresh()
+        with self._mutate():
             entry = self._manifest.entries.get(name)
             if entry is None:
                 raise CatalogEntryNotFoundError(
                     f"graph {name!r} is not in the catalog at {self.path!r}"
                 )
             self._manifest.entries[name] = entry.touched(segtable=record)
+            self._save()
+
+    def set_shard(self, name: str, shard: Optional[str]) -> None:
+        """Stamp (or clear, with ``None``) the shard-ownership record on
+        ``name``'s entry and persist.  A no-op when the record already
+        matches, so routers re-opening an unchanged topology never rewrite
+        the manifest.
+
+        Raises:
+            CatalogEntryNotFoundError: when ``name`` is not cataloged.
+        """
+        with self._mutate():
+            entry = self._manifest.entries.get(name)
+            if entry is None:
+                raise CatalogEntryNotFoundError(
+                    f"graph {name!r} is not in the catalog at {self.path!r}"
+                )
+            if entry.shard == shard:
+                return
+            self._manifest.entries[name] = entry.touched(shard=shard)
             self._save()
 
     def _refresh(self) -> None:
@@ -211,8 +262,7 @@ class Catalog:
         ``remove_stale=True``, entries flagged stale by a failed
         fingerprint check).  Returns the removed names."""
         removed: List[str] = []
-        with self._lock:
-            self._refresh()
+        with self._mutate():
             for name, entry in list(self._manifest.entries.items()):
                 missing = not os.path.exists(self.resolve_db_path(entry))
                 if missing or (remove_stale and entry.stale):

@@ -6,15 +6,20 @@ Subcommands::
     python -m repro.catalog inspect --catalog PATH NAME
     python -m repro.catalog rebuild --catalog PATH NAME [--lthd X]
     python -m repro.catalog gc      --catalog PATH [--stale]
+    python -m repro.catalog shards  --catalog PATH [--catalog PATH ...]
 
 ``list`` prints one line per entry; ``inspect`` dumps an entry's manifest
 JSON; ``rebuild`` re-derives an entry (fingerprint, statistics, SegTable)
 from its database file — the recovery path for stale entries; ``gc``
 drops entries whose database file vanished (and, with ``--stale``, entries
-flagged by a failed fingerprint check).
+flagged by a failed fingerprint check); ``shards`` treats each given
+catalog as one shard and prints the graph → shard routing table a
+:class:`repro.shard.ShardRouter` would derive, without opening any
+service — conflicting ownership (same graph name, different content
+fingerprints) is reported and exits non-zero.
 
 Exit status is 0 on success, 1 on a catalog error (missing entry,
-unreadable manifest, missing database file).
+unreadable manifest, missing database file) or a routing conflict.
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.catalog.catalog import Catalog
-from repro.errors import PersistentCatalogError
+from repro.errors import PersistentCatalogError, ShardError
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -68,7 +73,55 @@ def _build_parser() -> argparse.ArgumentParser:
     gc_cmd.add_argument("--stale", action="store_true",
                         help="also drop entries flagged stale by a failed "
                              "fingerprint check")
+
+    shards_cmd = subparsers.add_parser(
+        "shards",
+        help="print the graph -> shard routing table derived from one "
+             "catalog per shard")
+    shards_cmd.add_argument("--catalog", action="append", required=True,
+                            dest="catalogs", metavar="PATH",
+                            help="a shard's catalog directory (repeat once "
+                                 "per shard; the shard is named after the "
+                                 "directory, or use --name)")
+    shards_cmd.add_argument("--name", action="append", dest="names",
+                            metavar="NAME",
+                            help="explicit shard names matching --catalog "
+                                 "positionally (needed when two catalog "
+                                 "directories share a basename)")
     return parser
+
+
+def _shards_table(catalog_paths: Sequence[str],
+                  names: Optional[Sequence[str]]) -> List[str]:
+    """Build and render the routing table for the ``shards`` subcommand."""
+    # Imported lazily: the shard package depends on this package, and the
+    # routing reader works on manifests alone (no service is opened).
+    from repro.shard.routing import (
+        format_routing_table,
+        routing_table_from_catalogs,
+    )
+    from repro.shard.spec import default_shard_name
+
+    if names is None:
+        names = [default_shard_name(path) for path in catalog_paths]
+    elif len(names) != len(catalog_paths):
+        raise ShardError(
+            f"got {len(names)} --name values for {len(catalog_paths)} "
+            f"--catalog paths"
+        )
+    if len(set(names)) != len(names):
+        raise ShardError(
+            f"duplicate shard names {tuple(names)}; pass --name once per "
+            f"--catalog to disambiguate"
+        )
+    catalogs = [(name, Catalog(path, create=False))
+                for name, path in zip(names, catalog_paths)]
+    table = routing_table_from_catalogs(catalogs)
+    lines = format_routing_table(
+        table, title=f"{len(table)} graph(s) across {len(catalogs)} shard(s)")
+    for shard, owned in table.by_shard().items():
+        lines.append(f"  {shard}: {', '.join(owned)}")
+    return lines
 
 
 def _format_list(catalog: Catalog) -> List[str]:
@@ -93,6 +146,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit status."""
     args = _build_parser().parse_args(argv)
     try:
+        if args.command == "shards":
+            for line in _shards_table(args.catalogs, args.names):
+                print(line)
+            return 0
         # Never materialize a catalog from the CLI: a mistyped --catalog
         # path should error, not silently create an empty directory.
         catalog = Catalog(args.catalog, create=False)
@@ -118,7 +175,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                       f"{', '.join(removed)}")
             else:
                 print("nothing to remove")
-    except PersistentCatalogError as exc:
+    except (PersistentCatalogError, ShardError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except BrokenPipeError:  # e.g. `... inspect ... | head`

@@ -17,9 +17,13 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
+
+_TEMP_COUNTER = 0
+_TEMP_COUNTER_LOCK = threading.Lock()
 
 from repro.core.stats import SegTableBuildStats
 from repro.errors import ManifestError
@@ -102,6 +106,11 @@ class CatalogEntry:
         statistics: serialized planner statistics, so ``method="auto"``
             and ``explain()`` work immediately after a warm attach.
         segtable: SegTable metadata, ``None`` while unbuilt.
+        shard: ownership record — the name of the shard that owns this
+            graph, stamped by :class:`repro.shard.ShardRouter` when it
+            adopts the catalog as a routing table (``None`` for graphs no
+            router has claimed).  A rebalance (``ShardRouter.move``)
+            rewrites it along with the entry's new home manifest.
         stale: set when a fingerprint check failed; stale entries refuse
             to attach until rebuilt or re-registered.
         created_at / updated_at: UNIX timestamps.
@@ -118,6 +127,7 @@ class CatalogEntry:
     num_edges: int = 0
     statistics: Optional[GraphStatistics] = None
     segtable: Optional[SegTableRecord] = None
+    shard: Optional[str] = None
     stale: bool = False
     created_at: float = field(default_factory=time.time)
     updated_at: float = field(default_factory=time.time)
@@ -137,6 +147,7 @@ class CatalogEntry:
             else self.statistics.as_dict(),
             "segtable": None if self.segtable is None
             else self.segtable.to_dict(),
+            "shard": self.shard,
             "stale": self.stale,
             "created_at": self.created_at,
             "updated_at": self.updated_at,
@@ -160,6 +171,8 @@ class CatalogEntry:
             else GraphStatistics.from_dict(statistics),
             segtable=None if segtable is None
             else SegTableRecord.from_dict(segtable),
+            shard=None if data.get("shard") is None
+            else str(data["shard"]),
             stale=bool(data.get("stale", False)),
             created_at=float(data.get("created_at", 0.0)),
             updated_at=float(data.get("updated_at", 0.0)),
@@ -229,10 +242,21 @@ def load_manifest(path: str) -> Manifest:
 
 def save_manifest(manifest: Manifest, path: str) -> None:
     """Atomically write ``manifest`` to ``path`` (temp file + rename), so a
-    crash mid-save never corrupts the previous document."""
+    crash mid-save never corrupts the previous document.
+
+    The temp name is unique per *writer* — pid, thread, and a counter —
+    not just per process: two catalog handles flushing from different
+    threads of one process must never scribble into the same temp file
+    (the first ``os.replace`` would steal the second writer's bytes).
+    """
     directory = os.path.dirname(path) or "."
     os.makedirs(directory, exist_ok=True)
-    temp_path = f"{path}.tmp.{os.getpid()}"
+    with _TEMP_COUNTER_LOCK:
+        global _TEMP_COUNTER
+        _TEMP_COUNTER += 1
+        serial = _TEMP_COUNTER
+    temp_path = (f"{path}.tmp.{os.getpid()}."
+                 f"{threading.get_ident()}.{serial}")
     body = json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n"
     try:
         with open(temp_path, "w", encoding="utf-8") as handle:

@@ -155,6 +155,36 @@ class BatchStats:
         """Fraction of the batch served from the result cache."""
         return self.cache_hits / self.total if self.total else 0.0
 
+    def merge(self, other: "BatchStats") -> "BatchStats":
+        """Fold ``other``'s counters into this object (and return it).
+
+        Used by the shard router to roll per-shard batch statistics into
+        one aggregate: counts and per-graph/per-method maps add up;
+        ``queue_time`` / ``execute_time`` sum (they are already summed
+        across workers, so across shards they stay "total seconds of
+        work"); ``total_time`` also sums and therefore reads as *serial*
+        seconds — the router reports the scatter-gather wall clock
+        separately; ``concurrency`` takes the maximum, the widest pool any
+        shard ran with.
+        """
+        self.total += other.total
+        self.executed += other.executed
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.not_found += other.not_found
+        self.negative_hits += other.negative_hits
+        self.evictions += other.evictions
+        self.total_time += other.total_time
+        self.single_flight_hits += other.single_flight_hits
+        self.queue_time += other.queue_time
+        self.execute_time += other.execute_time
+        self.concurrency = max(self.concurrency, other.concurrency)
+        for graph, count in other.per_graph.items():
+            self.per_graph[graph] = self.per_graph.get(graph, 0) + count
+        for method, count in other.per_method.items():
+            self.per_method[method] = self.per_method.get(method, 0) + count
+        return self
+
     def as_dict(self) -> Dict[str, object]:
         """Return a plain-dict summary (used by workload reports)."""
         return {

@@ -156,6 +156,33 @@ class GraphStore(ABC):
         changed underneath its manifest entry."""
         raise self._persistence_unsupported("content_fingerprint")
 
+    def supports_relocation(self) -> bool:
+        """Whether *this instance*'s backing database can be copied to a
+        new location wholesale via :meth:`export_database` — graph tables,
+        indexes, and any materialized SegTable included.
+
+        This is the capability the shard router's rebalance rides on: a
+        relocatable store lets ``ShardRouter.move`` ship a graph (and its
+        already-built SegTable) to another shard's catalog directory
+        without re-running the offline construction.  The default is
+        ``False``.
+        """
+        return False
+
+    def export_database(self, dest_path: str) -> None:
+        """Copy the backing database to ``dest_path`` as a consistent
+        snapshot (for SQLite, via the online backup API, so concurrent
+        readers of the source file are safe).  The copy is byte-equivalent
+        in content: opening it yields the same tables, the same
+        fingerprint, and the same SegTable relations, ready for
+        :meth:`adopt_segtable`.
+
+        Raises:
+            PersistenceUnsupportedError: when the store is not relocatable
+                (in-memory, or a backend without durable files).
+        """
+        raise self._persistence_unsupported("export_database")
+
     def _persistence_unsupported(self, operation: str) -> PersistenceUnsupportedError:
         return PersistenceUnsupportedError(
             f"{type(self).__name__} does not persist graph data "

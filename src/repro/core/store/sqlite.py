@@ -143,6 +143,31 @@ class SQLiteGraphStore(GraphStore):
             "SELECT fid, tid, cost FROM TEdges").fetchall()
         return fingerprint_content(nodes, edges)
 
+    def supports_relocation(self) -> bool:
+        """A file-backed database can be snapshotted to a new file."""
+        return self.path != ":memory:"
+
+    def export_database(self, dest_path: str) -> None:
+        """Snapshot the whole database file to ``dest_path`` with SQLite's
+        online backup API — consistent even while other connections hold
+        the source file open, and it carries every relation (graph tables,
+        indexes, SegTable) so the copy warm-attaches without any rebuild."""
+        if not self.supports_relocation():
+            raise PersistenceUnsupportedError(
+                "an in-memory SQLite store has no database file to "
+                "relocate; only db_path-backed stores can export_database"
+            )
+        self._require_persistent_tables()
+        # Flush this connection's implicit transaction first: backup()
+        # copies committed state.
+        self.connection.commit()
+        dest = sqlite3.connect(dest_path)
+        try:
+            self.connection.backup(dest)
+            dest.commit()
+        finally:
+            dest.close()
+
     def _require_persistent_tables(self) -> None:
         if not self.has_persistent_tables():
             raise PersistenceUnsupportedError(

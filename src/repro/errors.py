@@ -199,3 +199,27 @@ class FingerprintMismatchError(PersistentCatalogError):
 class PersistenceUnsupportedError(PersistentCatalogError):
     """The store backend cannot persist (or re-export) its graph data, so
     it cannot participate in the session catalog."""
+
+
+# ---------------------------------------------------------------------------
+# Shard router (cross-service sharding)
+# ---------------------------------------------------------------------------
+
+class ShardError(ServiceError):
+    """Base class for shard-router errors (routing, specs, rebalancing)."""
+
+
+class ShardConflictError(ShardError):
+    """Two shards claim ownership of the same graph name with *different*
+    content fingerprints.  The router refuses to open (or to route) until
+    one of the conflicting catalog entries is removed or rebuilt —
+    silently picking a shard would answer queries against the wrong graph.
+
+    Identical fingerprints are not a conflict: they are replicas, and the
+    router deterministically routes to the first shard that lists one.
+    """
+
+
+class UnknownShardError(ShardError):
+    """A shard name is not part of the router (or a graph name is routed
+    to no shard at all)."""

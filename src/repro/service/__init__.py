@@ -28,7 +28,10 @@ and the relational engine underneath:
   (``PathService(catalog_path=...)`` / :meth:`PathService.open`) records
   every ``db_path``-backed graph and SegTable it builds, and reattaches
   them warm across processes — no edge reload, no statistics rescan,
-  zero index rebuilds (see :mod:`repro.catalog`).
+  zero index rebuilds (see :mod:`repro.catalog`);
+* a service opened as one shard of a :class:`repro.shard.ShardRouter`
+  carries its shard name as ``shard_id``, appended to every cache and
+  single-flight key so entries stay disjoint across shards.
 
 The legacy ``RelationalPathFinder`` / module-level ``shortest_path`` API in
 :mod:`repro.core.api` remains as a deprecation shim over this layer.

@@ -6,6 +6,12 @@
 against each graph's already-open store, answers duplicates from the
 service's LRU result cache, and reports aggregate
 :class:`~repro.core.stats.BatchStats`.
+
+This is also the per-shard execution unit of the shard router: a
+scatter-gather batch (:meth:`repro.shard.ShardRouter.shortest_path_many`)
+slices its queries by owning shard and runs each slice through this very
+path on the shard's service, then merges the per-slice ``BatchStats``
+into a :class:`~repro.shard.stats.RouterStats`.
 """
 
 from __future__ import annotations
@@ -18,7 +24,7 @@ from repro.core.path import PathResult
 from repro.core.sqlstyle import NSQL
 from repro.core.stats import BatchStats
 from repro.errors import InvalidQueryError, PathNotFoundError
-from repro.service.planner import QuerySpec
+from repro.service.planner import QueryPlan, QuerySpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.session import BatchQuery, PathService
@@ -121,7 +127,9 @@ def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
                   sql_style: str = NSQL,
                   raise_on_unreachable: bool = False,
                   concurrency: int = 1,
-                  checkout_timeout: Optional[float] = None) -> BatchResult:
+                  checkout_timeout: Optional[float] = None,
+                  plans: Optional[Sequence["QueryPlan"]] = None
+                  ) -> BatchResult:
     """Answer ``queries`` against ``service`` and aggregate statistics.
 
     Queries are planned up front (so malformed specs fail before any work)
@@ -149,6 +157,11 @@ def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
         concurrency: worker-thread count (``1`` = serial).
         checkout_timeout: parallel batches only — per-query bound, in
             seconds, on waiting for a pooled store connection.
+        plans: pre-computed :class:`QueryPlan` objects, one per
+            normalized query in order (``plans[i]`` must plan
+            ``queries[i]``).  The shard router passes the plans from its
+            fail-fast validation pass so a scattered slice is not
+            planned twice; omit to plan here.
 
     Raises:
         UnknownGraphError, NodeNotFoundError, InvalidQueryError: on the
@@ -166,7 +179,13 @@ def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
     batch.stats.total = len(specs)
     evictions_before = service._cache.stats().evictions
 
-    plans = [service.plan(spec) for spec in specs]
+    if plans is None:
+        plans = [service.plan(spec) for spec in specs]
+    elif len(plans) != len(specs):
+        raise InvalidQueryError(
+            f"got {len(plans)} pre-computed plans for {len(specs)} "
+            f"queries; pass one plan per query, in order"
+        )
     for spec, plan in zip(specs, plans):
         batch.stats.per_graph[spec.graph] = (
             batch.stats.per_graph.get(spec.graph, 0) + 1

@@ -3,7 +3,9 @@
 Batch workloads repeat queries heavily (the paper's evaluation itself
 replays random workloads), so :class:`PathService` memoizes finished
 :class:`~repro.core.path.PathResult` objects keyed by
-``(graph, source, target, method, sql_style)``.  The cache is an LRU over
+``(graph, source, target, method, sql_style, shard_id)`` — the trailing
+shard identity (``None`` on unsharded services) keeps keys disjoint across
+the shards of a :class:`repro.shard.ShardRouter`.  The cache is an LRU over
 an :class:`~collections.OrderedDict` with three eviction policies layered
 on top of the entry-count bound:
 

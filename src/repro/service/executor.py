@@ -15,7 +15,9 @@ planned batch across a worker-thread pool:
   executing* collapse onto one leader via
   :class:`~repro.service.cache.InFlightMap`; followers receive the
   leader's result without touching a store (the LRU cache only helps once
-  a result is finished);
+  a result is finished).  Flight keys are the service's cache keys, so
+  they carry the hosting shard's identity (``shard_id``) and can never
+  collide across the shards of a :class:`repro.shard.ShardRouter`;
 * **timings** — waiting-for-a-store seconds and executing seconds are
   summed into the batch's extended
   :class:`~repro.core.stats.BatchStats` (``queue_time`` /

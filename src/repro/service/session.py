@@ -166,6 +166,13 @@ class PathService:
             built by) this service is recorded durably, and
             :meth:`attach_graph` / :meth:`PathService.open` can warm-start
             from it.
+        shard_id: optional identity of the shard this service embodies
+            (set by :class:`repro.shard.ShardRouter`).  It is appended to
+            every result-cache and single-flight key, so cached entries —
+            and in-flight executions — can never cross-talk between shards
+            that host same-named graphs, even if their caches are merged
+            or compared externally.  ``None`` (the default) keeps the
+            unsharded key shape.
     """
 
     def __init__(self, default_backend: str = "minidb",
@@ -173,8 +180,10 @@ class PathService:
                  cache_ttl: Optional[float] = None,
                  cache_max_bytes: Optional[int] = None,
                  negative_cache_size: int = 1024,
-                 catalog_path: Optional[str] = None) -> None:
+                 catalog_path: Optional[str] = None,
+                 shard_id: Optional[str] = None) -> None:
         self.default_backend = default_backend
+        self.shard_id = shard_id
         self._hosts: Dict[str, _GraphHost] = {}
         self._cache = ResultCache(cache_size, ttl_seconds=cache_ttl,
                                   max_bytes=cache_max_bytes,
@@ -682,13 +691,20 @@ class PathService:
                 )
 
     def _cache_key(self, plan: QueryPlan) -> Optional[Tuple[Hashable, ...]]:
+        """Result-cache (and single-flight) key of a planned query.
+
+        The graph name stays first — :meth:`ResultCache.invalidate_graph`
+        matches on it — and the hosting shard's identity is appended last,
+        making every cached result and in-flight lease shard-aware (see
+        the ``shard_id`` constructor argument).
+        """
         if self._cache.capacity == 0:
             return None  # caching disabled; don't report phantom misses
         spec = plan.spec
         if spec.max_iterations is not None:
             return None  # capped runs may return partial work; never cache
         return (spec.graph, spec.source, spec.target, plan.method,
-                spec.sql_style)
+                spec.sql_style, self.shard_id)
 
     def _execute(self, plan: QueryPlan, use_cache: bool = True,
                  batch_stats: Optional[BatchStats] = None) -> PathResult:

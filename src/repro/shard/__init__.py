@@ -1,0 +1,67 @@
+"""Catalog-driven sharding: many services, one query surface.
+
+The paper's SegTable makes single-graph queries fast on one node; this
+package scales the *service* across nodes' worth of graphs.  A
+:class:`ShardRouter` partitions named graphs over multiple
+:class:`~repro.service.session.PathService` instances using each shard's
+persistent-catalog manifest (PR 3) as its routing table:
+
+* :class:`~repro.shard.spec.ShardSpec` names a shard and its catalog; the
+  **transport seam** (:class:`~repro.shard.spec.ShardTransport`,
+  :func:`~repro.shard.spec.register_transport`) keeps the router agnostic
+  about whether a shard is in-process (today) or remote (a later PR);
+* :mod:`repro.shard.routing` derives the graph → shard
+  :class:`~repro.shard.routing.RoutingTable` from manifests alone,
+  resolving same-fingerprint replicas deterministically and **refusing**
+  same-name/different-fingerprint conflicts
+  (:class:`~repro.errors.ShardConflictError`);
+* :meth:`ShardRouter.shortest_path` routes transparently;
+  :meth:`ShardRouter.shortest_path_many` **scatter-gathers** — slices a
+  mixed-graph batch by owner, fans slices out concurrently through each
+  shard's executor/pool, and merges answers in input order with per-shard
+  :class:`~repro.core.stats.BatchStats` rolled into a
+  :class:`~repro.shard.stats.RouterStats`;
+* :meth:`ShardRouter.move` rebalances: the database file (SegTable
+  included) is snapshotted into the target catalog via the store
+  relocation capability and warm-attached with zero index rebuilds.
+
+``python -m repro.catalog shards --catalog A --catalog B`` prints the
+routing table offline.  See ``docs/sharding.md``.
+"""
+
+from repro.shard.router import ScatterResult, ShardRouter
+from repro.shard.routing import (
+    Route,
+    RoutingTable,
+    build_routing_table,
+    format_routing_table,
+    routing_table_from_catalogs,
+)
+from repro.shard.spec import (
+    INPROCESS_TRANSPORT,
+    InProcessTransport,
+    ShardSpec,
+    ShardTransport,
+    available_transports,
+    default_shard_name,
+    register_transport,
+)
+from repro.shard.stats import RouterStats
+
+__all__ = [
+    "INPROCESS_TRANSPORT",
+    "InProcessTransport",
+    "Route",
+    "RouterStats",
+    "RoutingTable",
+    "ScatterResult",
+    "ShardRouter",
+    "ShardSpec",
+    "ShardTransport",
+    "available_transports",
+    "build_routing_table",
+    "default_shard_name",
+    "format_routing_table",
+    "register_transport",
+    "routing_table_from_catalogs",
+]

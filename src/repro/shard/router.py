@@ -1,0 +1,512 @@
+"""The :class:`ShardRouter`: one query surface over many shards.
+
+A router partitions named graphs across multiple
+:class:`~repro.service.session.PathService` instances — the *shards* —
+using each shard's catalog manifest as its routing table::
+
+    router = ShardRouter.open(catalog_paths=["catalogs/a", "catalogs/b"])
+    router.shortest_path(0, 42, graph="social")          # routed to its owner
+    scatter = router.shortest_path_many(
+        [("social", 0, 42), ("roads", 3, 99)], concurrency=4)
+
+Single queries route transparently to the owning shard.  Batches are
+**scatter-gather**: the router splits a mixed-graph batch by owning shard,
+fans the slices out concurrently — each through the shard service's
+existing executor/pool machinery — and merges the answers back in input
+order, with every shard's :class:`~repro.core.stats.BatchStats` kept (and
+rolled up) in a :class:`~repro.shard.stats.RouterStats`.
+
+Rebalancing is :meth:`ShardRouter.move`: the graph's database file — with
+its already-built SegTable inside — is snapshotted into the target shard's
+catalog via the store's relocation capability, the two manifests are
+rewritten (each write is atomic; the ordering makes a crash mid-move
+resolve as a benign replica, never a conflict), and the target shard
+warm-attaches the graph with **zero** SegTable reconstructions.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.core.path import PathResult
+from repro.core.sqlstyle import NSQL
+from repro.core.store.registry import create_store
+from repro.errors import (
+    PathNotFoundError,
+    ShardError,
+    UnknownShardError,
+)
+from repro.service.batch import execute_batch, normalize_queries
+from repro.service.planner import QueryPlan, QuerySpec
+from repro.shard.routing import (
+    Route,
+    RoutingTable,
+    routing_table_from_catalogs,
+)
+from repro.shard.spec import ShardSpec, ShardTransport, default_shard_name
+from repro.shard.stats import RouterStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.batch import BatchResult
+    from repro.service.session import BatchQuery, PathService
+
+DEFAULT_GRAPH = "default"
+
+
+@dataclass
+class ScatterResult:
+    """Results of one scatter-gather batch, merged back in input order.
+
+    Mirrors :class:`~repro.service.batch.BatchResult` (iteration,
+    indexing, ``distances()``, ``found()``) and adds the per-query shard
+    assignment plus router-level statistics.
+
+    Attributes:
+        specs: the normalized query specs, in input order.
+        results: one entry per spec (``None`` marks an unreachable pair).
+        from_cache: per spec, whether the owning shard answered from its
+            result cache (single-flight piggybacks included).
+        shard_of: per spec, the shard that answered it.
+        stats: the :class:`RouterStats` of this scatter-gather.
+    """
+
+    specs: List[QuerySpec] = field(default_factory=list)
+    results: List[Optional[PathResult]] = field(default_factory=list)
+    from_cache: List[bool] = field(default_factory=list)
+    shard_of: List[str] = field(default_factory=list)
+    stats: RouterStats = field(default_factory=RouterStats)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> Optional[PathResult]:
+        return self.results[index]
+
+    def distances(self) -> List[Optional[float]]:
+        """Distances in input order (``None`` for unreachable pairs)."""
+        return [None if result is None else result.distance
+                for result in self.results]
+
+    def found(self) -> List[PathResult]:
+        """Only the successful results (input order preserved)."""
+        return [result for result in self.results if result is not None]
+
+
+class ShardRouter:
+    """Routes queries over named graphs to the shards that own them.
+
+    Construct through :meth:`open`.  The router owns its shard services:
+    :meth:`close` (or the context manager) shuts every one of them down.
+    """
+
+    def __init__(self, transports: Sequence[ShardTransport],
+                 table: RoutingTable) -> None:
+        self._transports: Dict[str, ShardTransport] = {
+            transport.spec.name: transport for transport in transports}
+        self._table = table
+        self._closed = False
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def open(cls, catalog_paths: Optional[Sequence[str]] = None, *,
+             specs: Optional[Sequence[ShardSpec]] = None,
+             names: Optional[Sequence[str]] = None,
+             strict: bool = True,
+             stamp_ownership: bool = True,
+             **service_options: object) -> "ShardRouter":
+        """Open one shard per catalog and build the routing table.
+
+        Args:
+            catalog_paths: one catalog directory per shard; each shard's
+                service is warm-started from it (``PathService.open``).
+                Shard names default to the catalog directories' basenames.
+            specs: full :class:`ShardSpec` objects instead of
+                ``catalog_paths`` (exactly one of the two is required).
+            names: explicit shard names matching ``catalog_paths``
+                positionally — required when two catalog directories share
+                a basename.
+            strict: forwarded to every shard's warm start; ``False`` skips
+                entries that fail to attach instead of raising.
+            stamp_ownership: write each owned entry's shard name into its
+                manifest (the durable ownership record).  Stamping is
+                skipped when the record already matches.
+            **service_options: forwarded to every shard service
+                constructor (cache knobs, ``default_backend``, ...).
+
+        Raises:
+            ShardError: no shards, duplicate shard names, or both/neither
+                of ``catalog_paths`` and ``specs`` given.
+            ShardConflictError: two shards list the same graph name with
+                different content fingerprints.
+            PersistentCatalogError: a shard catalog failed to load (or, in
+                strict mode, an entry failed to attach).
+        """
+        if (catalog_paths is None) == (specs is None):
+            raise ShardError(
+                "pass exactly one of catalog_paths=[...] or specs=[...]"
+            )
+        if specs is None:
+            assert catalog_paths is not None
+            if names is None:
+                names = [default_shard_name(path) for path in catalog_paths]
+            elif len(names) != len(catalog_paths):
+                raise ShardError(
+                    f"got {len(names)} shard names for "
+                    f"{len(catalog_paths)} catalog paths"
+                )
+            specs = [ShardSpec(name=name, catalog_path=path,
+                               service_options=dict(service_options))
+                     for name, path in zip(names, catalog_paths)]
+        else:
+            if names is not None:
+                raise ShardError(
+                    "names=[...] applies to catalog_paths; set each "
+                    "ShardSpec's name when opening from specs"
+                )
+            if service_options:
+                raise ShardError(
+                    "service options go inside each "
+                    "ShardSpec.service_options when opening from specs"
+                )
+        if not specs:
+            raise ShardError("a shard router needs at least one shard")
+        seen: Dict[str, str] = {}
+        for spec in specs:
+            if spec.name in seen:
+                raise ShardError(
+                    f"duplicate shard name {spec.name!r} (catalogs "
+                    f"{seen[spec.name]!r} and {spec.catalog_path!r}); pass "
+                    f"names=[...] to disambiguate"
+                )
+            seen[spec.name] = spec.catalog_path
+        transports: List[ShardTransport] = []
+        try:
+            for spec in specs:
+                transports.append(spec.open(strict=strict))
+            table = routing_table_from_catalogs(
+                [(transport.spec.name, transport.service.catalog)
+                 for transport in transports])
+            # Routes must point at graphs the owning service actually
+            # hosts: with strict=False a warm start skips stale/missing
+            # entries, and routing to a skipped entry would raise a
+            # misleading "not hosted" error mid-batch instead of the
+            # clean "not routed" one up front.  (With strict=True every
+            # entry attached or the open already raised, so this drops
+            # nothing.)
+            for name, route in list(table.routes.items()):
+                owner_service = next(
+                    transport.service for transport in transports
+                    if transport.spec.name == route.shard)
+                if name not in owner_service.graphs():
+                    del table.routes[name]
+        except BaseException:
+            for transport in transports:
+                transport.close()
+            raise
+        router = cls(transports, table)
+        if stamp_ownership:
+            router._stamp_ownership()
+        return router
+
+    def _stamp_ownership(self) -> None:
+        """Record each route's owner in the owning catalog's manifest (a
+        no-op per entry when the record is already correct)."""
+        for route in self._table.routes.values():
+            catalog = self._transports[route.shard].service.catalog
+            assert catalog is not None  # shard services are catalog-bound
+            catalog.set_shard(route.graph, route.shard)
+
+    # -- topology ----------------------------------------------------------------
+
+    def shards(self) -> Tuple[str, ...]:
+        """Shard names, in spec order."""
+        return tuple(self._transports)
+
+    def graphs(self) -> Tuple[str, ...]:
+        """All routed graph names, sorted."""
+        return self._table.graphs()
+
+    def owner(self, graph: str) -> str:
+        """Name of the shard owning ``graph``."""
+        return self._table.owner(graph)
+
+    def routing_table(self) -> RoutingTable:
+        """The live routing table (treat as read-only)."""
+        return self._table
+
+    def service(self, shard: str) -> "PathService":
+        """The :class:`PathService` behind one shard (for inspection —
+        ``pool_stats``, ``cache_info`` — not for bypassing the router)."""
+        return self._shard(shard).service
+
+    # -- queries -----------------------------------------------------------------
+
+    def shortest_path(self, source: int, target: int, graph: str,
+                      method: str = "auto", sql_style: str = NSQL,
+                      max_iterations: Optional[int] = None,
+                      use_cache: bool = True) -> PathResult:
+        """Answer one query, routed transparently to ``graph``'s owner.
+
+        Raises:
+            UnknownGraphError: when no shard owns ``graph``.
+            (plus everything :meth:`PathService.shortest_path` raises)
+        """
+        return self._service_for(graph).shortest_path(
+            source, target, graph=graph, method=method,
+            sql_style=sql_style, max_iterations=max_iterations,
+            use_cache=use_cache)
+
+    def explain(self, source: int, target: int, graph: str,
+                method: str = "auto", sql_style: str = NSQL) -> QueryPlan:
+        """The plan ``graph``'s owning shard would execute."""
+        return self._service_for(graph).explain(
+            source, target, graph=graph, method=method, sql_style=sql_style)
+
+    def shortest_path_many(self, queries: Sequence["BatchQuery"],
+                           graph: Optional[str] = None,
+                           method: str = "auto", sql_style: str = NSQL,
+                           raise_on_unreachable: bool = False,
+                           concurrency: int = 1,
+                           checkout_timeout: Optional[float] = None
+                           ) -> ScatterResult:
+        """Scatter a mixed-graph batch across shards and gather in order.
+
+        The batch is normalized and validated up front (unknown graphs,
+        unknown nodes, and malformed specs fail before any shard does any
+        work), split by owning shard, and each non-empty slice runs as one
+        ordinary :meth:`PathService.shortest_path_many` call on its shard
+        — concurrently across shards, and with ``concurrency=N`` worker
+        threads *inside* each shard on top.  ``results[i]`` always answers
+        ``queries[i]``.
+
+        Args:
+            queries: the batch, in any of the forms
+                :func:`~repro.service.batch.normalize_queries` accepts.
+            graph: default graph for queries that do not name one.
+            method / sql_style: batch-level defaults, as in the service.
+            raise_on_unreachable: after the gather, raise
+                :class:`PathNotFoundError` for the unreachable pair with
+                the smallest input index instead of recording ``None``.
+            concurrency: per-shard worker-thread count (``1`` = each shard
+                executes its slice serially).
+            checkout_timeout: per-query bound on waiting for a pooled
+                store connection inside each shard.
+
+        Raises:
+            UnknownGraphError, NodeNotFoundError, InvalidQueryError: on
+                the first malformed query, before anything executes.
+            PathNotFoundError: with ``raise_on_unreachable=True``, the
+                deterministic first (by input index) unreachable pair.
+        """
+        start = time.perf_counter()
+        specs = normalize_queries(queries, graph=graph or DEFAULT_GRAPH,
+                                  method=method, sql_style=sql_style)
+        scatter = ScatterResult(
+            specs=specs,
+            results=[None] * len(specs),
+            from_cache=[False] * len(specs),
+            shard_of=[""] * len(specs),
+            stats=RouterStats(total=len(specs)),
+        )
+        # Fail-fast validation on the router thread: resolve every owner
+        # and plan every spec before a single shard executes anything —
+        # the same "malformed queries fail before any work" contract the
+        # serial batch gives.  The plans are handed to each slice so the
+        # shards do not plan the batch a second time.
+        groups: Dict[str, List[int]] = {}
+        plans: List[QueryPlan] = []
+        for index, spec in enumerate(specs):
+            shard = self._table.owner(spec.graph)
+            service = self._shard(shard).service
+            plans.append(service.plan(spec))
+            scatter.shard_of[index] = shard
+            groups.setdefault(shard, []).append(index)
+        if not groups:
+            scatter.stats.total_time = time.perf_counter() - start
+            return scatter
+
+        def run_slice(shard: str, indices: List[int]) -> "BatchResult":
+            service = self._shard(shard).service
+            return execute_batch(
+                service,
+                [specs[i] for i in indices],
+                raise_on_unreachable=False,
+                concurrency=concurrency,
+                checkout_timeout=checkout_timeout,
+                plans=[plans[i] for i in indices])
+
+        errors: Dict[int, BaseException] = {}
+        with ThreadPoolExecutor(
+                max_workers=len(groups),
+                thread_name_prefix="repro-router") as pool:
+            futures = {pool.submit(run_slice, shard, indices):
+                       (shard, indices)
+                       for shard, indices in groups.items()}
+            wait(list(futures))
+        for future, (shard, indices) in futures.items():
+            try:
+                batch = future.result()
+            except BaseException as exc:
+                # Surfaced deterministically below: the failing shard
+                # holding the smallest input index wins.
+                errors[indices[0]] = exc
+                continue
+            scatter.stats.record(shard, batch.stats)
+            for local, global_index in enumerate(indices):
+                scatter.results[global_index] = batch.results[local]
+                scatter.from_cache[global_index] = batch.from_cache[local]
+        if errors:
+            raise errors[min(errors)]
+        scatter.stats.total_time = time.perf_counter() - start
+        if raise_on_unreachable:
+            for index, result in enumerate(scatter.results):
+                if result is None:
+                    spec = specs[index]
+                    raise PathNotFoundError(
+                        f"no path from {spec.source} to {spec.target} in "
+                        f"graph {spec.graph!r} (batch index {index}, shard "
+                        f"{scatter.shard_of[index]!r})"
+                    )
+        return scatter
+
+    # -- rebalancing -------------------------------------------------------------
+
+    def move(self, graph: str, shard: str) -> Route:
+        """Rebalance: hand ``graph`` (and its built SegTable) to ``shard``.
+
+        The graph's database file is snapshotted into the target shard's
+        catalog directory through the store's relocation capability
+        (:meth:`GraphStore.export_database` — for SQLite, the online
+        backup API), so the SegTable inside migrates as-is.  Then the
+        manifests are rewritten: the entry is written into the target
+        manifest *first* and removed from the source manifest second —
+        each write is atomic (temp file + rename), and a crash between the
+        two leaves the graph listed by both shards with identical
+        fingerprints, which the next :meth:`open` resolves as a benign
+        replica rather than a conflict.  Finally the target shard
+        warm-attaches the graph — adopting the migrated SegTable, never
+        rebuilding it — and the routing table is updated in place.
+
+        Moving a graph is not concurrency-safe against in-flight batches
+        that touch it: quiesce those first.
+
+        Args:
+            graph: a routed graph name.
+            shard: the receiving shard.  Moving a graph onto its current
+                owner is a no-op.
+
+        Returns:
+            The graph's new :class:`Route`.
+
+        Raises:
+            UnknownGraphError: ``graph`` is not routed.
+            UnknownShardError: ``shard`` is not part of this router.
+            ShardError: the entry is stale, the backend cannot relocate
+                its database, or the target already holds a database file
+                of the same name.
+        """
+        route = self._table.route(graph)
+        target = self._shard(shard)
+        if route.shard == shard:
+            return route
+        source = self._shard(route.shard)
+        source_catalog = source.service.catalog
+        target_catalog = target.service.catalog
+        assert source_catalog is not None and target_catalog is not None
+        entry = source_catalog.get(graph)
+        if entry.stale:
+            raise ShardError(
+                f"cannot move stale graph {graph!r}; rebuild it first "
+                f"(python -m repro.catalog rebuild --catalog "
+                f"{source_catalog.path} {graph})"
+            )
+        source_db = source_catalog.resolve_db_path(entry)
+        # A relative db_path lives inside the source catalog directory and
+        # must physically move; an absolute one is shared storage both
+        # shards can reach, so only the manifests change.
+        relocating = not os.path.isabs(entry.db_path)
+        if relocating:
+            dest_db = os.path.join(target_catalog.path,
+                                   os.path.basename(entry.db_path))
+            if os.path.exists(dest_db):
+                raise ShardError(
+                    f"target shard {shard!r} already holds a database "
+                    f"file named {os.path.basename(entry.db_path)!r}; "
+                    f"remove it (or gc the target catalog) before moving"
+                )
+            # Snapshot BEFORE detaching anything: the backup runs safely
+            # under the source service's open readers, so a capability
+            # refusal or a failed copy aborts the move with the graph
+            # still fully hosted and routed on its current shard.
+            store = create_store(entry.backend, path=source_db,
+                                 buffer_capacity=entry.buffer_capacity)
+            try:
+                if not store.supports_relocation():
+                    raise ShardError(
+                        f"backend {entry.backend!r} cannot relocate its "
+                        f"database; graph {graph!r} stays on shard "
+                        f"{route.shard!r}"
+                    )
+                store.export_database(dest_db)
+            finally:
+                store.close()
+        else:
+            dest_db = entry.db_path
+        # Only now detach from the source service: its pool connections
+        # hold the file open, and a moved graph must stop being
+        # answerable by the old owner.
+        if graph in source.service.graphs():
+            source.service.drop_graph(graph)
+        target_catalog.put(entry.touched(
+            db_path=target_catalog.normalize_db_path(dest_db),
+            shard=shard))
+        source_catalog.remove(graph)
+        target.service.attach_graph(graph)
+        if relocating:
+            os.remove(source_db)
+        moved = Route(graph=graph, shard=shard,
+                      fingerprint=entry.fingerprint,
+                      stale=False, replicas=route.replicas)
+        self._table.routes[graph] = moved
+        return moved
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every shard service."""
+        if self._closed:
+            return
+        self._closed = True
+        for transport in self._transports.values():
+            transport.close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _shard(self, name: str) -> ShardTransport:
+        transport = self._transports.get(name)
+        if transport is None:
+            raise UnknownShardError(
+                f"shard {name!r} is not part of this router; shards: "
+                f"{tuple(self._transports)}"
+            )
+        return transport
+
+    def _service_for(self, graph: str) -> "PathService":
+        return self._shard(self._table.owner(graph)).service
+
+
+__all__ = ["DEFAULT_GRAPH", "ScatterResult", "ShardRouter"]

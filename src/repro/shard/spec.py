@@ -1,0 +1,151 @@
+"""Shard descriptions and the transport seam.
+
+A :class:`ShardSpec` names one shard and points at the catalog whose
+manifest is that shard's routing-table contribution.  *How* the shard's
+service is reached is the **transport**: today the only transport is
+``"inprocess"`` — the router warm-starts a
+:class:`~repro.service.session.PathService` right here via
+``PathService.open`` — but the seam is explicit so a later PR can register
+a remote transport (same :class:`ShardTransport` surface over a wire
+protocol) without touching the router.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, TYPE_CHECKING
+
+from repro.errors import ShardError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.session import PathService
+
+INPROCESS_TRANSPORT = "inprocess"
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a :class:`~repro.shard.router.ShardRouter`.
+
+    Attributes:
+        name: router-unique shard name; it is stamped into the owned
+            catalog entries as the manifest ownership record and appended
+            to the shard service's cache keys (``shard_id``).
+        catalog_path: the shard's catalog directory — its manifest is the
+            slice of the routing table this shard contributes.
+        transport: how the shard's service is reached; only
+            ``"inprocess"`` is registered today (see
+            :func:`register_transport`).
+        service_options: extra keyword arguments for the shard service
+            (cache knobs, ``default_backend``, ...), applied by the
+            transport when it opens the service.
+    """
+
+    name: str
+    catalog_path: str
+    transport: str = INPROCESS_TRANSPORT
+    service_options: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise ShardError(
+                f"shard name {self.name!r} is invalid; use a non-empty "
+                f"name without path separators"
+            )
+        if self.transport not in _TRANSPORTS:
+            raise ShardError(
+                f"unknown shard transport {self.transport!r}; registered "
+                f"transports: {tuple(sorted(_TRANSPORTS))}"
+            )
+
+    def open(self, strict: bool = True) -> "ShardTransport":
+        """Connect this shard through its transport (see
+        :meth:`ShardTransport.connect`)."""
+        return _TRANSPORTS[self.transport](self, strict)
+
+
+class ShardTransport(ABC):
+    """A connected shard: the router talks to every shard through this
+    surface only, so in-process and (future) remote shards are
+    interchangeable."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self.spec = spec
+
+    @property
+    @abstractmethod
+    def service(self) -> "PathService":
+        """The shard's query service."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release the shard's resources."""
+
+
+class InProcessTransport(ShardTransport):
+    """The zero-copy transport: the shard *is* a warm-started
+    :class:`PathService` in this process, opened from the spec's catalog
+    with the shard name as its cache-key ``shard_id``."""
+
+    def __init__(self, spec: ShardSpec, strict: bool = True) -> None:
+        super().__init__(spec)
+        from repro.service.session import PathService
+        self._service = PathService.open(
+            spec.catalog_path, strict=strict, shard_id=spec.name,
+            **spec.service_options)  # type: ignore[arg-type]
+
+    @property
+    def service(self) -> "PathService":
+        return self._service
+
+    def close(self) -> None:
+        self._service.close()
+
+
+TransportFactory = Callable[[ShardSpec, bool], ShardTransport]
+
+_TRANSPORTS: Dict[str, TransportFactory] = {}
+
+
+def register_transport(name: str, factory: TransportFactory,
+                       replace: bool = False) -> None:
+    """Register a shard transport under ``name``.
+
+    The factory is called as ``factory(spec, strict)`` and must return a
+    connected :class:`ShardTransport`.  Registering an existing name
+    raises unless ``replace=True``.
+    """
+    if name in _TRANSPORTS and not replace:
+        raise ShardError(
+            f"shard transport {name!r} is already registered; pass "
+            f"replace=True to overwrite it deliberately"
+        )
+    _TRANSPORTS[name] = factory
+
+
+def available_transports() -> tuple:
+    """Names of the registered shard transports, sorted."""
+    return tuple(sorted(_TRANSPORTS))
+
+
+register_transport(INPROCESS_TRANSPORT, InProcessTransport)
+
+
+def default_shard_name(catalog_path: str) -> str:
+    """The default name of the shard at ``catalog_path``: the catalog
+    directory's basename (trailing separators ignored)."""
+    normalized = os.path.normpath(os.path.abspath(catalog_path))
+    return os.path.basename(normalized) or normalized
+
+
+__all__ = [
+    "INPROCESS_TRANSPORT",
+    "InProcessTransport",
+    "ShardSpec",
+    "ShardTransport",
+    "available_transports",
+    "default_shard_name",
+    "register_transport",
+]

@@ -1,0 +1,84 @@
+"""Aggregate statistics of one scatter-gather batch.
+
+Each shard executes its slice of the batch as an ordinary
+:meth:`PathService.shortest_path_many` call and reports
+:class:`~repro.core.stats.BatchStats`; :class:`RouterStats` keeps every
+per-shard record *and* the rollup, because the two answer different
+questions — "which shard is slow?" needs the per-shard view, "what did the
+batch cost?" needs the merged one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.stats import BatchStats
+
+
+@dataclass
+class RouterStats:
+    """Counters of one :meth:`ShardRouter.shortest_path_many` call.
+
+    Attributes:
+        total: number of queries in the batch.
+        shards_touched: how many shards received a non-empty slice.
+        total_time: wall-clock seconds of the whole scatter-gather —
+            shards run concurrently, so this is normally well below the
+            sum of per-shard ``total_time``.
+        per_shard: shard name → that shard's :class:`BatchStats`.
+        not_found: unreachable pairs across all shards.
+    """
+
+    total: int = 0
+    shards_touched: int = 0
+    total_time: float = 0.0
+    per_shard: Dict[str, BatchStats] = field(default_factory=dict)
+
+    def record(self, shard: str, stats: BatchStats) -> None:
+        """Attach one shard's batch statistics."""
+        self.per_shard[shard] = stats
+        self.shards_touched = len(self.per_shard)
+
+    def rollup(self) -> BatchStats:
+        """Merge every per-shard record into one fresh
+        :class:`BatchStats` (see :meth:`BatchStats.merge` for the
+        summation semantics); its ``total_time`` is replaced by the
+        router's scatter-gather wall clock."""
+        merged = BatchStats()
+        for stats in self.per_shard.values():
+            merged.merge(stats)
+        merged.total_time = self.total_time
+        return merged
+
+    @property
+    def executed(self) -> int:
+        """Queries that actually ran against a store, across shards."""
+        return sum(stats.executed for stats in self.per_shard.values())
+
+    @property
+    def cache_hits(self) -> int:
+        """Result-cache hits across shards."""
+        return sum(stats.cache_hits for stats in self.per_shard.values())
+
+    @property
+    def not_found(self) -> int:
+        """Unreachable pairs across shards."""
+        return sum(stats.not_found for stats in self.per_shard.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict summary (used by the scatter benchmark's JSON)."""
+        return {
+            "total": self.total,
+            "shards_touched": self.shards_touched,
+            "total_time": self.total_time,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "not_found": self.not_found,
+            "per_shard": {shard: stats.as_dict()
+                          for shard, stats in sorted(self.per_shard.items())},
+            "rollup": self.rollup().as_dict(),
+        }
+
+
+__all__ = ["RouterStats"]

@@ -10,7 +10,13 @@ use that for skeletons with placeholder bodies.
 
 Usage::
 
-    python tools/check_docs.py README.md docs/*.md
+    python tools/check_docs.py                 # README.md + every docs/*.md
+    python tools/check_docs.py README.md docs/catalog.md   # explicit subset
+
+With no arguments the checker **auto-discovers** the documentation set —
+``README.md`` plus every ``docs/*.md``, sorted — so adding a document can
+never silently leave it unchecked (CI used to carry a hand-maintained file
+list that new docs had to remember to join).
 
 Exits non-zero on the first failing block, printing the file, the block's
 position, and the traceback.  ``src/`` is put on ``sys.path`` so the docs
@@ -70,13 +76,32 @@ def check_file(path: Path) -> int:
     return executed
 
 
+def discover_docs() -> List[Path]:
+    """The default documentation set: the README plus every ``docs/*.md``,
+    sorted for a stable check order."""
+    candidates = [REPO_ROOT / "README.md"]
+    candidates.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in candidates if path.is_file()]
+
+
 def main(argv: List[str]) -> int:
-    if not argv:
-        print("usage: check_docs.py FILE.md [FILE.md ...]", file=sys.stderr)
-        return 2
+    if argv:
+        paths = [Path(name) for name in argv]
+        missing = [path for path in paths if not path.is_file()]
+        if missing:
+            print(f"no such file(s): {', '.join(map(str, missing))}",
+                  file=sys.stderr)
+            return 2
+    else:
+        paths = discover_docs()
+        if not paths:
+            print("no README.md or docs/*.md found to check", file=sys.stderr)
+            return 2
+        print(f"auto-discovered {len(paths)} file(s): "
+              + ", ".join(path.relative_to(REPO_ROOT).as_posix()
+                          for path in paths))
     total = 0
-    for name in argv:
-        path = Path(name)
+    for path in paths:
         print(f"checking {path}")
         total += check_file(path)
     if total == 0:
