@@ -64,7 +64,13 @@ class FEMSpec:
 
 @dataclass
 class FEMRunStats:
-    """Counters collected by :class:`FEMSearch.run`."""
+    """Counters collected by :class:`FEMSearch.run`.
+
+    ``frontier_sizes`` stays empty unless the search was constructed with
+    ``track_frontier_sizes=True`` — on a long search the per-iteration
+    list grows without bound, so callers that want the full frontier
+    history opt in.
+    """
 
     iterations: int = 0
     frontier_rows: int = 0
@@ -74,11 +80,21 @@ class FEMRunStats:
 
 
 class FEMSearch:
-    """Driver that repeatedly applies F, E and M until termination."""
+    """Driver that repeatedly applies F, E and M until termination.
 
-    def __init__(self, visited: Table, spec: FEMSpec) -> None:
+    Args:
+        visited: the table holding ``A^k``.
+        spec: the three operators plus termination rules.
+        track_frontier_sizes: record every iteration's frontier size in
+            :attr:`FEMRunStats.frontier_sizes` (off by default — the list
+            grows one entry per iteration, unbounded on long searches).
+    """
+
+    def __init__(self, visited: Table, spec: FEMSpec,
+                 track_frontier_sizes: bool = False) -> None:
         self.visited = visited
         self.spec = spec
+        self.track_frontier_sizes = track_frontier_sizes
         self.stats = FEMRunStats()
 
     def run(self) -> FEMRunStats:
@@ -92,7 +108,8 @@ class FEMSearch:
         self.visited.insert_many(initial_rows)
         for iteration in range(1, self.spec.max_iterations + 1):
             frontier = list(self.spec.select_frontier(self.visited, iteration))
-            self.stats.frontier_sizes.append(len(frontier))
+            if self.track_frontier_sizes:
+                self.stats.frontier_sizes.append(len(frontier))
             if not frontier:
                 break
             self.stats.frontier_rows += len(frontier)
@@ -112,6 +129,15 @@ class FEMSearch:
         return list(self.visited.scan())
 
 
-def iterate_rows(rows: Iterable[Row]) -> List[Row]:
-    """Materialize an iterable of rows (small helper used by FEM specs)."""
-    return [dict(row) for row in rows]
+def iterate_rows(rows: Iterable[Row], copy: bool = False) -> List[Row]:
+    """Materialize an iterable of rows (small helper used by FEM specs).
+
+    By default the rows are materialized **without** copying — one dict
+    per row per call was pure overhead on the expansion hot path.  Pass
+    ``copy=True`` when the caller mutates the returned rows and the
+    source rows must stay pristine (e.g. rows scanned straight out of a
+    live table).
+    """
+    if copy:
+        return [dict(row) for row in rows]
+    return list(rows)

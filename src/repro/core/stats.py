@@ -50,6 +50,11 @@ class QueryStats:
     buffer_misses: int = 0
     io_reads: int = 0
     io_writes: int = 0
+    predicted_seconds: Optional[float] = None
+    """The planner cost model's prediction for this query (set by the
+    service on executed queries; ``None`` when the plan never consulted
+    the model).  Comparing it with ``total_time`` is how the feedback
+    loop — and the planner regret benchmark — measure mispricing."""
 
     def record_statement(self) -> None:
         """Count one SQL statement issued against the store."""
@@ -102,6 +107,7 @@ class QueryStats:
             "buffer_misses": self.buffer_misses,
             "io_reads": self.io_reads,
             "io_writes": self.io_writes,
+            "predicted_seconds": self.predicted_seconds,
         }
 
 

@@ -13,7 +13,7 @@ The SQL strings below mirror Listings 2–4 of the paper.
 from __future__ import annotations
 
 import sqlite3
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.directions import Direction, INFINITY
 from repro.core.sqlstyle import NSQL, validate_sql_style
@@ -31,6 +31,10 @@ from repro.graph.model import Graph
 # SQLite cannot index an expression with parameters, and +inf round-trips
 # fine as a REAL, so infinity is stored directly.
 _INF = INFINITY
+
+# A memoized statement shape: one SQL text, or the TSQL triple
+# (create-candidates, update, insert).
+_SQLText = TypeVar("_SQLText", str, Tuple[str, str, str])
 
 
 class SQLiteGraphStore(GraphStore):
@@ -53,14 +57,34 @@ class SQLiteGraphStore(GraphStore):
         # check_same_thread=False: the store pool hands a connection to one
         # worker thread at a time; serialized handoff is safe, sqlite's
         # same-thread assertion is stricter than we need.
-        self.connection = sqlite3.connect(path, check_same_thread=False)
+        # cached_statements: the FEM hot loop re-executes a handful of
+        # statement shapes thousands of times; a roomy prepared-statement
+        # cache keeps sqlite from ever re-compiling them.
+        self.connection = sqlite3.connect(path, check_same_thread=False,
+                                          cached_statements=256)
         self.connection.execute("PRAGMA journal_mode = MEMORY")
         self.connection.execute("PRAGMA synchronous = OFF")
         self.connection.execute("PRAGMA temp_store = MEMORY")
         self.index_mode = IndexMode.CLUSTERED
+        # SQL-text memo for the per-query hot loop: the F/E/M statement
+        # texts depend only on (direction, frontier mode, relation,
+        # pruning, sql style), so each shape is composed once per
+        # connection and reused across every FEM iteration — sqlite's
+        # prepared-statement cache then hits on the identical text instead
+        # of parsing a freshly formatted string each iteration.
+        self._sql_cache: Dict[Tuple[Hashable, ...], "_SQLText"] = {}
         # Every connection gets its private TVisited up front, so reader
         # clones can answer queries without a load_graph() call.
         self._create_visited_table()
+
+    def _cached_sql(self, key: Tuple[Hashable, ...],
+                    build: Callable[[], "_SQLText"]) -> "_SQLText":
+        """Memoize one statement shape's SQL text (or tuple of texts)."""
+        cached = self._sql_cache.get(key)
+        if cached is None:
+            cached = build()
+            self._sql_cache[key] = cached
+        return cached
 
     def supports_clone(self) -> bool:
         """File-backed stores clone cheaply; in-memory ones cannot."""
@@ -301,20 +325,20 @@ class SQLiteGraphStore(GraphStore):
 
     def top1_min_unfinalized(self, direction: Direction) -> Optional[int]:
         """Listing 2(2)."""
-        dist, flag = direction.dist_col, direction.flag_col
-        row = self._execute(
-            f"SELECT nid FROM TVisited WHERE {flag} = 0 AND {dist} < ? "
-            f"ORDER BY {dist} LIMIT 1",
-            (_INF,),
-        ).fetchone()
+        sql = self._cached_sql(("top1", direction.is_forward), lambda: (
+            f"SELECT nid FROM TVisited WHERE {direction.flag_col} = 0 AND "
+            f"{direction.dist_col} < ? ORDER BY {direction.dist_col} LIMIT 1"
+        ))
+        row = self._execute(sql, (_INF,)).fetchone()
         return None if row is None else int(row[0])
 
     def min_unfinalized_distance(self, direction: Direction) -> Optional[float]:
         """Listing 4(4)."""
-        dist, flag = direction.dist_col, direction.flag_col
-        row = self._execute(
-            f"SELECT min({dist}) FROM TVisited WHERE {flag} = 0",
-        ).fetchone()
+        sql = self._cached_sql(("min_unfin", direction.is_forward), lambda: (
+            f"SELECT min({direction.dist_col}) FROM TVisited "
+            f"WHERE {direction.flag_col} = 0"
+        ))
+        row = self._execute(sql).fetchone()
         value = row[0]
         if value is None or value >= _INF:
             return None
@@ -322,11 +346,11 @@ class SQLiteGraphStore(GraphStore):
 
     def count_unfinalized(self, direction: Direction) -> int:
         """Candidate frontier size."""
-        dist, flag = direction.dist_col, direction.flag_col
-        row = self._execute(
-            f"SELECT count(*) FROM TVisited WHERE {flag} = 0 AND {dist} < ?",
-            (_INF,),
-        ).fetchone()
+        sql = self._cached_sql(("count_unfin", direction.is_forward), lambda: (
+            f"SELECT count(*) FROM TVisited WHERE {direction.flag_col} = 0 "
+            f"AND {direction.dist_col} < ?"
+        ))
+        row = self._execute(sql, (_INF,)).fetchone()
         return int(row[0])
 
     def min_total_cost(self) -> float:
@@ -345,11 +369,11 @@ class SQLiteGraphStore(GraphStore):
 
     def is_finalized(self, nid: int, direction: Direction) -> bool:
         """Listing 3(1)."""
-        flag = direction.flag_col
-        row = self._execute(
-            f"SELECT 1 FROM TVisited WHERE nid = ? AND {flag} = 1",
-            (nid,),
-        ).fetchone()
+        sql = self._cached_sql(("is_final", direction.is_forward), lambda: (
+            f"SELECT 1 FROM TVisited WHERE nid = ? AND "
+            f"{direction.flag_col} = 1"
+        ))
+        row = self._execute(sql, (nid,)).fetchone()
         return row is not None
 
     def visited_count(self) -> int:
@@ -370,32 +394,35 @@ class SQLiteGraphStore(GraphStore):
 
     def finalize_node(self, nid: int, direction: Direction) -> None:
         """Listing 3(2)."""
+        sql = self._cached_sql(("final_node", direction.is_forward), lambda: (
+            f"UPDATE TVisited SET {direction.flag_col} = 1 WHERE nid = ?"
+        ))
         with self.stats.operator(OPERATOR_F):
-            self._execute(
-                f"UPDATE TVisited SET {direction.flag_col} = 1 WHERE nid = ?",
-                (nid,),
-            )
+            self._execute(sql, (nid,))
 
     def select_frontier_set(self, direction: Direction, max_distance: float) -> int:
         """Listing 4(1)."""
-        dist, flag = direction.dist_col, direction.flag_col
-        with self.stats.operator(OPERATOR_F):
-            self._execute(
-                f"""
+        def build() -> str:
+            dist, flag = direction.dist_col, direction.flag_col
+            return f"""
                 UPDATE TVisited SET {flag} = 2
                 WHERE {flag} = 0 AND {dist} < ?
                   AND ({dist} <= ? OR {dist} = (
                         SELECT min({dist}) FROM TVisited WHERE {flag} = 0))
-                """,
-                (_INF, max_distance),
-            )
+            """
+        sql = self._cached_sql(("sel_frontier", direction.is_forward), build)
+        with self.stats.operator(OPERATOR_F):
+            self._execute(sql, (_INF, max_distance))
             return self._changes()
 
     def finalize_frontier(self, direction: Direction) -> int:
         """Listing 4(3)."""
-        flag = direction.flag_col
+        sql = self._cached_sql(("final_frontier", direction.is_forward),
+                               lambda: (f"UPDATE TVisited SET "
+                                        f"{direction.flag_col} = 1 WHERE "
+                                        f"{direction.flag_col} = 2"))
         with self.stats.operator(OPERATOR_F):
-            self._execute(f"UPDATE TVisited SET {flag} = 1 WHERE {flag} = 2")
+            self._execute(sql)
             return self._changes()
 
     # ------------------------------------------------------------------- E + M operators
@@ -404,25 +431,40 @@ class SQLiteGraphStore(GraphStore):
                use_segtable: bool = False,
                prune_lb: Optional[float] = None,
                prune_min_cost: Optional[float] = None) -> int:
-        """The combined E- and M-operator (Listing 2(3)+(4) / Listing 4(2))."""
+        """The combined E- and M-operator (Listing 2(3)+(4) / Listing 4(2)).
+
+        The statement text depends only on the expansion *shape* —
+        direction, node- vs. set-frontier, relation, pruning, SQL style —
+        so it is composed once per shape and cached; every FEM iteration
+        after the first re-executes the identical text with fresh
+        parameters (and sqlite reuses the prepared statement).
+        """
         if use_segtable and not self.has_segtable:
             raise InvalidQueryError("SegTable expansion requested but no SegTable loaded")
-        candidate_sql, parameters = self._candidate_sql(
-            direction, mid, use_segtable, prune_lb, prune_min_cost
-        )
-        if validate_sql_style(self.sql_style) == NSQL:
-            affected = self._expand_nsql(direction, candidate_sql, parameters)
+        node_mode = mid is not None
+        pruned = prune_lb is not None and prune_min_cost is not None
+        parameters: List[object] = []
+        if node_mode:
+            parameters.append(mid)
+        parameters.append(_INF)
+        if pruned:
+            parameters.extend([prune_lb, prune_min_cost])
+        style = validate_sql_style(self.sql_style)
+        shape = (direction.is_forward, node_mode, use_segtable, pruned)
+        if style == NSQL:
+            affected = self._expand_nsql(direction, shape, parameters)
         else:
-            affected = self._expand_tsql(direction, candidate_sql, parameters)
+            affected = self._expand_tsql(direction, shape, parameters)
         self.stats.affected_rows += affected
         return affected
 
-    def _candidate_sql(self, direction: Direction, mid: Optional[int],
-                       use_segtable: bool, prune_lb: Optional[float],
-                       prune_min_cost: Optional[float]) -> tuple:
-        """Build the inner SELECT producing (nid, cost, pred) candidates."""
+    def _candidate_sql_text(self, direction: Direction, node_mode: bool,
+                            use_segtable: bool, pruned: bool) -> str:
+        """Compose the inner SELECT producing (nid, cost, pred) candidates.
+
+        Parameter slots, in order: ``[mid?] [inf] [prune_lb prune_min]?``.
+        """
         dist, flag = direction.dist_col, direction.flag_col
-        parameters: List[object] = []
         if use_segtable:
             relation, key_col, other_col = direction.seg_table, "fid", "tid"
             pred_expr = "e.pid"
@@ -430,61 +472,59 @@ class SQLiteGraphStore(GraphStore):
             relation = "TEdges"
             key_col, other_col = direction.edge_key, direction.edge_other
             pred_expr = "q.nid"
-        if mid is not None:
-            frontier_clause = "q.nid = ?"
-            parameters.append(mid)
-        else:
-            frontier_clause = f"q.{flag} = 2"
-        parameters.append(_INF)
-        prune_clause = ""
-        if prune_lb is not None and prune_min_cost is not None:
-            prune_clause = f"AND q.{dist} + e.cost + ? <= ?"
-            parameters.extend([prune_lb, prune_min_cost])
-        sql = f"""
+        frontier_clause = "q.nid = ?" if node_mode else f"q.{flag} = 2"
+        prune_clause = (f"AND q.{dist} + e.cost + ? <= ?" if pruned else "")
+        return f"""
             SELECT e.{other_col} AS nid, q.{dist} + e.cost AS cost, {pred_expr} AS pred
             FROM TVisited q JOIN {relation} e ON q.nid = e.{key_col}
             WHERE {frontier_clause} AND q.{dist} < ? {prune_clause}
         """
-        return sql, parameters
 
-    def _expand_nsql(self, direction: Direction, candidate_sql: str,
+    def _expand_nsql(self, direction: Direction,
+                     shape: Tuple[Hashable, ...],
                      parameters: List[object]) -> int:
         """Window-function dedup + UPSERT (the MERGE equivalent)."""
-        dist, pred, flag = direction.dist_col, direction.pred_col, direction.flag_col
-        other_dist = "d2t" if direction.is_forward else "d2s"
-        other_pred = "p2t" if direction.is_forward else "p2s"
-        other_flag = "b" if direction.is_forward else "f"
-        sql = f"""
-            INSERT INTO TVisited (nid, {dist}, {pred}, {flag},
-                                  {other_dist}, {other_pred}, {other_flag})
-            SELECT nid, cost, pred, 0, ?, NULL, 0 FROM (
-                SELECT nid, cost, pred,
-                       row_number() OVER (PARTITION BY nid ORDER BY cost) AS rownum
-                FROM ({candidate_sql})
-            ) WHERE rownum = 1
-            ON CONFLICT(nid) DO UPDATE SET
-                {dist} = excluded.{dist},
-                {pred} = excluded.{pred},
-                {flag} = 0
-            WHERE TVisited.{dist} > excluded.{dist}
-        """
+        def build() -> str:
+            candidate_sql = self._candidate_sql_text(direction, *shape[1:])
+            dist, pred, flag = (direction.dist_col, direction.pred_col,
+                                direction.flag_col)
+            other_dist = "d2t" if direction.is_forward else "d2s"
+            other_pred = "p2t" if direction.is_forward else "p2s"
+            other_flag = "b" if direction.is_forward else "f"
+            return f"""
+                INSERT INTO TVisited (nid, {dist}, {pred}, {flag},
+                                      {other_dist}, {other_pred}, {other_flag})
+                SELECT nid, cost, pred, 0, ?, NULL, 0 FROM (
+                    SELECT nid, cost, pred,
+                           row_number() OVER (PARTITION BY nid ORDER BY cost) AS rownum
+                    FROM ({candidate_sql})
+                ) WHERE rownum = 1
+                ON CONFLICT(nid) DO UPDATE SET
+                    {dist} = excluded.{dist},
+                    {pred} = excluded.{pred},
+                    {flag} = 0
+                WHERE TVisited.{dist} > excluded.{dist}
+            """
+
+        sql = self._cached_sql(("expand", NSQL) + shape, build)
         # The window-function join (E) and the upsert (M) run as one combined
         # statement; its time is attributed to the E-operator, which dominates.
         with self.stats.operator(OPERATOR_E):
             self._execute(sql, [_INF] + parameters)
             return self._changes()
 
-    def _expand_tsql(self, direction: Direction, candidate_sql: str,
+    def _expand_tsql(self, direction: Direction,
+                     shape: Tuple[Hashable, ...],
                      parameters: List[object]) -> int:
         """GROUP BY + join dedup, then UPDATE followed by INSERT ... NOT EXISTS."""
-        dist, pred, flag = direction.dist_col, direction.pred_col, direction.flag_col
-        other_dist = "d2t" if direction.is_forward else "d2s"
-        other_pred = "p2t" if direction.is_forward else "p2s"
-        other_flag = "b" if direction.is_forward else "f"
-        with self.stats.operator(OPERATOR_E):
-            self._execute_unlogged("DROP TABLE IF EXISTS tmp_expanded")
-            self._execute(
-                f"""
+        def build() -> Tuple[str, str, str]:
+            candidate_sql = self._candidate_sql_text(direction, *shape[1:])
+            dist, pred, flag = (direction.dist_col, direction.pred_col,
+                                direction.flag_col)
+            other_dist = "d2t" if direction.is_forward else "d2s"
+            other_pred = "p2t" if direction.is_forward else "p2s"
+            other_flag = "b" if direction.is_forward else "f"
+            create = f"""
                 CREATE TEMP TABLE tmp_expanded AS
                 SELECT cand.nid AS nid, cand.cost AS cost, min(cand.pred) AS pred
                 FROM ({candidate_sql}) cand
@@ -494,30 +534,32 @@ class SQLiteGraphStore(GraphStore):
                     GROUP BY nid
                 ) agg ON cand.nid = agg.nid AND cand.cost = agg.mincost
                 GROUP BY cand.nid, cand.cost
-                """,
-                parameters + parameters,
-            )
-        with self.stats.operator(OPERATOR_M):
-            self._execute(
-                f"""
+            """
+            update = f"""
                 UPDATE TVisited SET
                     {dist} = (SELECT cost FROM tmp_expanded t WHERE t.nid = TVisited.nid),
                     {pred} = (SELECT pred FROM tmp_expanded t WHERE t.nid = TVisited.nid),
                     {flag} = 0
                 WHERE EXISTS (SELECT 1 FROM tmp_expanded t
                               WHERE t.nid = TVisited.nid AND t.cost < TVisited.{dist})
-                """
-            )
-            updated = self._changes()
-            self._execute(
-                f"""
+            """
+            insert = f"""
                 INSERT INTO TVisited (nid, {dist}, {pred}, {flag},
                                       {other_dist}, {other_pred}, {other_flag})
                 SELECT nid, cost, pred, 0, ?, NULL, 0 FROM tmp_expanded t
                 WHERE NOT EXISTS (SELECT 1 FROM TVisited v WHERE v.nid = t.nid)
-                """,
-                (_INF,),
-            )
+            """
+            return create, update, insert
+
+        create, update, insert = self._cached_sql(("expand", "tsql") + shape,
+                                                  build)
+        with self.stats.operator(OPERATOR_E):
+            self._execute_unlogged("DROP TABLE IF EXISTS tmp_expanded")
+            self._execute(create, parameters + parameters)
+        with self.stats.operator(OPERATOR_M):
+            self._execute(update)
+            updated = self._changes()
+            self._execute(insert, (_INF,))
             inserted = self._changes()
             self._execute_unlogged("DROP TABLE IF EXISTS tmp_expanded")
         return updated + inserted
@@ -526,18 +568,20 @@ class SQLiteGraphStore(GraphStore):
 
     def get_link(self, nid: int, direction: Direction) -> Optional[int]:
         """Listing 3(3)."""
-        row = self._execute(
-            f"SELECT {direction.pred_col} FROM TVisited WHERE nid = ?", (nid,)
-        ).fetchone()
+        sql = self._cached_sql(("get_link", direction.is_forward), lambda: (
+            f"SELECT {direction.pred_col} FROM TVisited WHERE nid = ?"
+        ))
+        row = self._execute(sql, (nid,)).fetchone()
         if row is None or row[0] is None:
             return None
         return int(row[0])
 
     def get_distance(self, nid: int, direction: Direction) -> Optional[float]:
         """Distance of ``nid`` in ``direction`` or ``None``."""
-        row = self._execute(
-            f"SELECT {direction.dist_col} FROM TVisited WHERE nid = ?", (nid,)
-        ).fetchone()
+        sql = self._cached_sql(("get_dist", direction.is_forward), lambda: (
+            f"SELECT {direction.dist_col} FROM TVisited WHERE nid = ?"
+        ))
+        row = self._execute(sql, (nid,)).fetchone()
         if row is None or row[0] is None or row[0] >= _INF:
             return None
         return float(row[0])

@@ -9,9 +9,14 @@ and the relational engine underneath:
   :func:`available_backends`) makes graph stores pluggable by name;
 * :class:`PathService` (alias :class:`Session`) hosts multiple named
   graphs, manages store lifecycle and memoizes SegTable builds;
-* the **planner** resolves ``method="auto"`` into DJ/BDJ/BSDJ/BSEG from
-  graph statistics, and :meth:`PathService.explain` returns the chosen
-  :class:`QueryPlan` with its predicted FEM iteration shape;
+* the **planner** resolves ``method="auto"`` into DJ/BDJ/BSDJ/BSEG with a
+  **calibrated cost model** (:mod:`repro.service.costmodel`): per-backend
+  unit costs measured by :mod:`repro.service.calibrate`, persisted in the
+  catalog manifest, corrected by runtime feedback from every executed
+  query, and stabilized by plan hysteresis; the same model drives
+  ``build_segtable(lthd="auto")``, and :meth:`PathService.explain`
+  returns the chosen :class:`QueryPlan` with its per-method cost
+  breakdown and predicted FEM iteration shape;
 * :meth:`PathService.shortest_path_many` executes batches grouped per
   graph behind a shared LRU result cache and reports
   :class:`~repro.core.stats.BatchStats`;
@@ -52,6 +57,14 @@ from repro.service.cache import (
     ResultCache,
     estimate_result_bytes,
 )
+from repro.service.calibrate import calibrate_profile
+from repro.service.costmodel import (
+    CostEstimate,
+    CostModel,
+    CostProfile,
+    default_profile,
+    host_fingerprint,
+)
 from repro.service.executor import Executor
 from repro.service.pool import PoolStats, StorePool
 from repro.service.planner import (
@@ -70,6 +83,9 @@ __all__ = [
     "BatchResult",
     "BatchStats",
     "CacheStats",
+    "CostEstimate",
+    "CostModel",
+    "CostProfile",
     "DEFAULT_GRAPH",
     "Executor",
     "InFlightMap",
@@ -85,8 +101,11 @@ __all__ = [
     "Session",
     "available_backends",
     "backend_factory",
+    "calibrate_profile",
     "create_store",
+    "default_profile",
     "estimate_result_bytes",
+    "host_fingerprint",
     "execute_batch",
     "normalize_queries",
     "plan_query",

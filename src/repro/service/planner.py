@@ -2,19 +2,18 @@
 
 The planner turns a declarative :class:`QuerySpec` into an executable
 :class:`QueryPlan`: it validates the method name, and — for
-``method="auto"`` — picks among the paper's algorithms from the hosted
-graph's statistics:
-
-* ``BSEG`` whenever the graph's SegTable index is available (the paper's
-  Table 3 shows it dominating the other methods once built);
-* ``DJ`` on graphs small enough that bidirectional bookkeeping costs more
-  than it saves;
-* ``BSDJ`` on large or heavy-tailed graphs, where set-at-a-time expansion
-  amortizes the per-statement overhead over wide frontiers (Table 2);
-* ``BDJ`` otherwise.
+``method="auto"`` — prices every eligible method (DJ, BDJ, BSDJ, plus
+BSEG when the graph's SegTable is built) with the **calibrated cost
+model** (:mod:`repro.service.costmodel`) and picks the cheapest.  The
+model combines the graph's statistics with per-backend unit costs
+measured by :mod:`repro.service.calibrate`; an uncalibrated session plans
+from the built-in default profile, and runtime feedback
+(:meth:`~repro.service.costmodel.CostModel.observe`) keeps correcting
+either under real traffic.
 
 The plan also predicts the FEM iteration shape (frontier mode, operator
-sequence and an order-of-magnitude iteration estimate), which
+sequence and an order-of-magnitude iteration estimate) and — when planned
+through a cost model — carries the per-method cost breakdown, which
 :meth:`PathService.explain` surfaces without running the query.
 """
 
@@ -37,9 +36,11 @@ from repro.core.stats import (
     PHASE_PATH_EXPANSION,
     PHASE_PATH_RECOVERY,
     PHASE_STATISTICS,
+    SegTableBuildStats,
 )
 from repro.errors import InvalidQueryError
 from repro.graph.stats import GraphStatistics
+from repro.service.costmodel import AUTO_CANDIDATES, CostEstimate, CostModel
 
 RELATIONAL_METHODS: Dict[str, Callable[..., PathResult]] = {
     "DJ": dijkstra_single_direction,
@@ -55,14 +56,6 @@ METHODS = tuple(RELATIONAL_METHODS) + MEMORY_METHODS
 """All supported method names."""
 
 AUTO_METHOD = "AUTO"
-
-# Planner thresholds: below SMALL_GRAPH_NODES a single-direction scan beats
-# the bidirectional bookkeeping; past LARGE_GRAPH_NODES (or with skewed /
-# dense degrees) wide frontiers favour set-at-a-time expansion.
-SMALL_GRAPH_NODES = 64
-LARGE_GRAPH_NODES = 1_000
-DENSE_AVG_DEGREE = 2.5
-SKEWED_DEGREE_RATIO = 8.0
 
 # Frontier modes (the two expansion shapes of Listings 2 and 4).
 NODE_AT_A_TIME = "node-at-a-time"
@@ -123,6 +116,12 @@ class QueryPlan:
         estimated_iterations: order-of-magnitude FEM iteration estimate
             derived from the graph statistics (not a promise); ``None``
             when the plan was made without computing statistics.
+        cost_breakdown: per-method :class:`~repro.service.costmodel.CostEstimate`
+            map the cost model scored this plan against (``None`` when the
+            plan never consulted the model — explicit methods on the hot
+            path).
+        predicted_seconds: the model's prediction for the chosen method
+            (feeds the runtime feedback loop and regret reporting).
     """
 
     spec: QuerySpec
@@ -135,6 +134,8 @@ class QueryPlan:
                                PHASE_PATH_RECOVERY)
     operators_per_iteration: Tuple[str, ...] = (OPERATOR_F, OPERATOR_E, OPERATOR_M)
     estimated_iterations: Optional[int] = None
+    cost_breakdown: Optional[Dict[str, CostEstimate]] = None
+    predicted_seconds: Optional[float] = None
 
     def describe(self) -> str:
         """Human-readable plan summary (what ``explain()`` prints)."""
@@ -150,14 +151,34 @@ class QueryPlan:
             f"phases: {' -> '.join(self.phases)}",
             "iteration: " + " -> ".join(self.operators_per_iteration) + expectation,
         ]
+        if self.cost_breakdown:
+            lines.append("costs:")
+            for estimate in sorted(self.cost_breakdown.values(),
+                                   key=lambda e: e.seconds):
+                marker = "->" if estimate.method == self.method else "  "
+                eligibility = "" if estimate.eligible else "  (no SegTable)"
+                lines.append(
+                    f"  {marker} {estimate.method:<4} "
+                    f"~{estimate.seconds * 1e3:.3g} ms  "
+                    f"({estimate.iterations} iters, "
+                    f"{estimate.statements} stmts, "
+                    f"{estimate.rows} rows){eligibility}"
+                )
         return "\n".join(lines)
 
 
 StatsSource = Union[GraphStatistics, Callable[[], GraphStatistics]]
 
+# Module-level fallback for callers that plan without a service (tests,
+# scripts): an uncalibrated model over the default profile.
+_DEFAULT_MODEL = CostModel()
+
 
 def plan_query(spec: QuerySpec, stats: StatsSource,
-               has_segtable: bool, estimate: bool = False) -> QueryPlan:
+               has_segtable: bool, estimate: bool = False,
+               cost_model: Optional[CostModel] = None,
+               segtable_lthd: Optional[float] = None,
+               segtable: Optional[SegTableBuildStats] = None) -> QueryPlan:
     """Resolve ``spec`` into a :class:`QueryPlan`.
 
     Args:
@@ -168,9 +189,16 @@ def plan_query(spec: QuerySpec, stats: StatsSource,
             resolution or ``estimate=True``), keeping explicit-method
             planning free of the O(V+E) statistics scan.
         has_segtable: whether that graph's store has a SegTable built.
-        estimate: fill :attr:`QueryPlan.estimated_iterations` even for
-            explicit methods (``explain()`` wants it; the query hot path
-            does not).
+        estimate: fill :attr:`QueryPlan.estimated_iterations` (and, for
+            explicit methods, the cost breakdown) — ``explain()`` wants
+            them; the query hot path does not.
+        cost_model: the :class:`~repro.service.costmodel.CostModel` that
+            prices ``"auto"`` (the service passes its per-backend model;
+            direct callers get the default-profile model).
+        segtable_lthd: threshold of the built SegTable, if any (sharpens
+            the BSEG estimate).
+        segtable: the SegTable's build statistics, if known (its measured
+            segment count beats the analytic fan-out estimate).
 
     Raises:
         InvalidQueryError: for unknown methods, or an explicit ``BSEG``
@@ -186,9 +214,13 @@ def plan_query(spec: QuerySpec, stats: StatsSource,
             resolved = stats()  # type: ignore[operator]
         return resolved
 
+    model = cost_model if cost_model is not None else _DEFAULT_MODEL
+    breakdown: Optional[Dict[str, CostEstimate]] = None
     method = normalize_method(spec.method)
     if method == AUTO_METHOD:
-        method, reason = _choose_method(_stats(), has_segtable)
+        method, reason, breakdown = model.choose(
+            _stats(), has_segtable,
+            segtable_lthd=segtable_lthd, segtable=segtable)
     elif method == "BSEG" and not has_segtable:
         raise InvalidQueryError(
             "BSEG requires a SegTable; build one with build_segtable() first"
@@ -196,28 +228,26 @@ def plan_query(spec: QuerySpec, stats: StatsSource,
     else:
         reason = "method requested explicitly"
     plan = _shape_plan(spec, method, reason)
-    if estimate or resolved is not None:
-        plan.estimated_iterations = _estimate_iterations(method, _stats())
-    return plan
-
-
-def _choose_method(stats: GraphStatistics,
-                   has_segtable: bool) -> Tuple[str, str]:
-    if has_segtable:
-        return "BSEG", "SegTable index is available; segment expansion dominates"
-    if stats.num_nodes <= SMALL_GRAPH_NODES:
-        return "DJ", (
-            f"graph has only {stats.num_nodes} nodes "
-            f"(<= {SMALL_GRAPH_NODES}); single-direction search is cheapest"
+    # Only methods the model prices get a breakdown attached — explain()
+    # of e.g. BBFS must not render a cost table that omits the method
+    # actually planned.
+    priceable = method in AUTO_CANDIDATES or method == "BSEG"
+    if breakdown is None and estimate and priceable:
+        breakdown = model.breakdown(_stats(), has_segtable,
+                                    segtable_lthd=segtable_lthd,
+                                    segtable=segtable)
+    if breakdown is not None:
+        plan.cost_breakdown = breakdown
+        chosen = breakdown.get(method)
+        if chosen is not None:
+            plan.predicted_seconds = chosen.seconds
+    if estimate:
+        chosen = (breakdown or {}).get(method)
+        plan.estimated_iterations = (
+            chosen.iterations if chosen is not None
+            else _estimate_iterations(method, _stats())
         )
-    skewed = (stats.avg_out_degree > 0 and
-              stats.max_out_degree >= SKEWED_DEGREE_RATIO * stats.avg_out_degree)
-    if (stats.num_nodes >= LARGE_GRAPH_NODES
-            or stats.avg_out_degree >= DENSE_AVG_DEGREE or skewed):
-        shape = ("heavy-tailed degree distribution" if skewed
-                 else "large or dense graph")
-        return "BSDJ", f"{shape}; set-at-a-time expansion amortizes statements"
-    return "BDJ", "moderate graph; bidirectional search halves the explored ball"
+    return plan
 
 
 def _shape_plan(spec: QuerySpec, method: str, reason: str) -> QueryPlan:

@@ -75,6 +75,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only; the catalog package is
 from repro.memory.bidirectional import bidirectional_dijkstra as _memory_bidirectional
 from repro.memory.dijkstra import dijkstra_shortest_path as _memory_dijkstra
 from repro.service.cache import CacheStats, ResultCache
+from repro.service.costmodel import CostModel, CostProfile, host_fingerprint
 from repro.service.pool import PoolStats, StorePool
 from repro.service.planner import (
     MEMORY_METHODS,
@@ -193,6 +194,8 @@ class PathService:
             from repro.catalog.catalog import Catalog
             self._catalog = Catalog(catalog_path)
         self._segtable_builds = 0
+        self._cost_models: Dict[str, CostModel] = {}
+        self._calibrations_run = 0
         self._closed = False
 
     # -- warm start --------------------------------------------------------------
@@ -498,11 +501,16 @@ class PathService:
 
     # -- SegTable management -----------------------------------------------------
 
-    def build_segtable(self, graph: str = DEFAULT_GRAPH, *, lthd: float,
+    def build_segtable(self, graph: str = DEFAULT_GRAPH, *,
+                       lthd: Union[float, str],
                        sql_style: str = NSQL,
                        index_mode: Optional[str] = None,
                        force: bool = False) -> SegTableBuildStats:
         """Build the SegTable index for a hosted graph, memoized.
+
+        ``lthd="auto"`` picks the threshold with the cost model: predicted
+        BSEG online cost traded against predicted construction cost/size
+        (see :meth:`recommend_lthd` for the per-candidate predictions).
 
         Rebuilding with the same parameters returns the previous
         :class:`SegTableBuildStats` without touching the store; pass
@@ -518,6 +526,12 @@ class PathService:
         instead of running this construction again.
         """
         host = self._host(graph)
+        if isinstance(lthd, str):
+            if lthd.lower() != "auto":
+                raise InvalidQueryError(
+                    f"lthd must be a positive number or 'auto', got {lthd!r}"
+                )
+            lthd, _ = self.recommend_lthd(graph)
         validate_sql_style(sql_style)
         mode = IndexMode.validate(index_mode or host.index_mode)
         key = self._segtable_memo_key(host, lthd, sql_style, mode)
@@ -574,6 +588,119 @@ class PathService:
         """Build statistics of the graph's SegTable (``None`` if unbuilt)."""
         return self._host(graph).segtable_stats
 
+    # -- cost model / calibration ------------------------------------------------
+
+    def cost_model(self, backend: Optional[str] = None) -> CostModel:
+        """The :class:`CostModel` pricing ``method="auto"`` for ``backend``
+        (the service default when ``None``).
+
+        Resolution order: a model already live in this session; a
+        calibration profile persisted in the bound catalog for this
+        backend **and this host** (warm starts reattach a calibrated
+        planner with zero re-probing); otherwise the built-in default
+        profile.  The same object keeps receiving runtime feedback.
+        """
+        backend = (backend or self.default_backend).lower()
+        model = self._cost_models.get(backend)
+        if model is not None:
+            return model
+        profile: Optional[CostProfile] = None
+        if self._catalog is not None:
+            record = self._catalog.get_calibration(backend)
+            if record is not None and record.profile.host == host_fingerprint():
+                # Clone: the live model keeps mutating under runtime
+                # feedback, and the record the catalog hands out must not.
+                profile = record.profile.clone()
+        if profile is None:
+            from repro.service.costmodel import default_profile
+            profile = default_profile(backend)
+        model = CostModel(profile)
+        self._cost_models[backend] = model
+        return model
+
+    def calibrate(self, backend: Optional[str] = None, *,
+                  persist: bool = True,
+                  **probe_options: object) -> Dict[str, CostProfile]:
+        """Measure unit costs for one or more backends and adopt them.
+
+        Args:
+            backend: a backend name, or ``None`` to calibrate every
+                backend this session currently hosts graphs on (falling
+                back to the service default when nothing is hosted yet).
+            persist: record each profile in the bound catalog (if any), so
+                later sessions warm-start the calibrated planner without
+                re-probing.
+            **probe_options: forwarded to
+                :func:`repro.service.calibrate.calibrate_profile`
+                (``seed``, ``probe_nodes``, ``queries_per_method``, ...).
+
+        Returns:
+            Backend name -> the measured :class:`CostProfile`.
+        """
+        from repro.service.calibrate import calibrate_profile
+        if backend is not None:
+            backends = [backend.lower()]
+        else:
+            backends = sorted({host.backend for host in self._hosts.values()}
+                              or {self.default_backend.lower()})
+        profiles: Dict[str, CostProfile] = {}
+        for name in backends:
+            profile = calibrate_profile(name, **probe_options)  # type: ignore[arg-type]
+            self._calibrations_run += 1
+            self._cost_models[name] = CostModel(profile)
+            profiles[name] = profile
+            if persist and self._catalog is not None:
+                from repro.catalog.manifest import CalibrationRecord
+                # Persist a snapshot, not the live profile: concurrent
+                # query feedback mutates method_bias, and serialization
+                # must not race (or drift from) the measured numbers.
+                self._catalog.set_calibration(CalibrationRecord(
+                    backend=name, profile=profile.clone(),
+                    calibrated_at=profile.calibrated_at))
+        return profiles
+
+    @property
+    def calibrations_run(self) -> int:
+        """How many calibration probes actually ran in this process —
+        profiles reattached from the catalog do not count.  The planner
+        benchmark asserts this stays zero after a warm start."""
+        return self._calibrations_run
+
+    def recommend_lthd(self, graph: str = DEFAULT_GRAPH,
+                       amortize_queries: int = 500
+                       ) -> Tuple[float, List[Dict[str, float]]]:
+        """Cost-driven SegTable threshold for a hosted graph.
+
+        Trades the predicted BSEG online cost against the predicted
+        construction cost amortized over ``amortize_queries`` queries
+        (Figure 7's trade-off, automated).  Returns ``(lthd, predictions)``
+        where ``predictions`` holds one row per candidate threshold.
+        """
+        host = self._host(graph)
+        model = self.cost_model(host.backend)
+        return model.choose_lthd(host.statistics,
+                                 amortize_queries=amortize_queries)
+
+    def _observe(self, plan: QueryPlan, host: _GraphHost,
+                 executed_seconds: float) -> None:
+        """Feed one executed query back into the backend's cost model.
+
+        Only relational, uncapped queries train the model; and when an
+        explicit-method query never computed the graph's statistics, the
+        sample is dropped rather than paying the O(V+E) scan on the hot
+        path (auto queries always have statistics by construction).
+        """
+        if plan.method in MEMORY_METHODS:
+            return
+        if plan.spec.max_iterations is not None:
+            return  # capped runs may stop early; their times are not real
+        if host._statistics is None:
+            return
+        self.cost_model(host.backend).observe(
+            plan.method, host.statistics, executed_seconds,
+            segtable_lthd=host.store.segtable_lthd,
+            segtable=host.segtable_stats)
+
     # -- planning ----------------------------------------------------------------
 
     def plan(self, spec: QuerySpec, estimate: bool = False) -> QueryPlan:
@@ -581,12 +708,17 @@ class PathService:
 
         Statistics are computed lazily: explicit-method plans skip the
         O(V+E) graph-statistics scan unless ``estimate=True``.
+        ``method="auto"`` is priced by the backend's (possibly calibrated)
+        cost model; the chosen plan carries the per-method breakdown.
         """
         host = self._host(spec.graph)
         self._check_nodes(host, spec.source, spec.target)
         validate_sql_style(spec.sql_style)
         return plan_query(spec, lambda: host.statistics,
-                          host.store.has_segtable, estimate=estimate)
+                          host.store.has_segtable, estimate=estimate,
+                          cost_model=self.cost_model(host.backend),
+                          segtable_lthd=host.store.segtable_lthd,
+                          segtable=host.segtable_stats)
 
     def explain(self, source: int, target: int, graph: str = DEFAULT_GRAPH,
                 method: str = "auto", sql_style: str = NSQL) -> QueryPlan:
@@ -787,6 +919,11 @@ class PathService:
                                sql_style=spec.sql_style,
                                max_iterations=spec.max_iterations)
             executed = time.perf_counter() - start
+        # Close the planner's loop: every relational execution is a free
+        # calibration sample for this backend's cost model.
+        self._observe(plan, host, executed)
+        if result.stats is not None:
+            result.stats.predicted_seconds = plan.predicted_seconds
         return result, lease.queue_seconds, executed
 
 

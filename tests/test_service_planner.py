@@ -34,9 +34,10 @@ class TestNormalizeMethod:
 
 
 class TestPlanQuery:
-    def _plan(self, graph, method="auto", has_segtable=False):
+    def _plan(self, graph, method="auto", has_segtable=False, estimate=False):
         spec = QuerySpec(source=0, target=1, method=method)
-        return plan_query(spec, compute_statistics(graph), has_segtable)
+        return plan_query(spec, compute_statistics(graph), has_segtable,
+                          estimate=estimate)
 
     def test_explicit_method_passthrough(self):
         plan = self._plan(grid_graph(3, 3, seed=1), method="bdj")
@@ -74,8 +75,16 @@ class TestPlanQuery:
         for method in METHODS:
             if method == "BSEG":
                 continue
-            plan = self._plan(grid_graph(4, 4, seed=5), method=method)
+            plan = self._plan(grid_graph(4, 4, seed=5), method=method,
+                              estimate=True)
             assert plan.estimated_iterations >= 1
+
+    def test_explicit_method_skips_estimate_even_with_eager_stats(self):
+        """The hot-path regression fix: eagerly-passed statistics must not
+        trigger the iteration estimate unless estimate=True was asked."""
+        plan = self._plan(grid_graph(4, 4, seed=5), method="BDJ")
+        assert plan.estimated_iterations is None
+        assert plan.cost_breakdown is None
 
     def test_describe_mentions_method_and_operators(self):
         plan = self._plan(power_law_graph(120, edges_per_node=2, seed=3))
@@ -83,6 +92,23 @@ class TestPlanQuery:
         assert "BSDJ" in text
         assert "F -> E -> M" in text
         assert "reason:" in text
+
+    def test_auto_plan_carries_cost_breakdown(self):
+        plan = self._plan(power_law_graph(120, edges_per_node=2, seed=3))
+        assert plan.cost_breakdown is not None
+        assert plan.predicted_seconds is not None
+        assert set(plan.cost_breakdown) == {"DJ", "BDJ", "BSDJ", "BSEG"}
+        assert not plan.cost_breakdown["BSEG"].eligible  # no SegTable built
+        assert plan.cost_breakdown[plan.method].seconds == plan.predicted_seconds
+        assert "costs:" in self._plan(
+            power_law_graph(120, edges_per_node=2, seed=3),
+            estimate=True).describe()
+
+    def test_explain_estimate_prices_explicit_methods(self):
+        plan = self._plan(grid_graph(4, 4, seed=5), method="BDJ",
+                          estimate=True)
+        assert plan.cost_breakdown is not None
+        assert plan.cost_breakdown["BDJ"].seconds > 0
 
 
 class TestServiceExplain:
