@@ -1,0 +1,250 @@
+"""Networked scatter-gather — a mixed local/remote router vs. a monolith.
+
+Not a figure from the paper: this benchmark gates the PR-6 serve layer.
+It boots a real two-shard networked topology on localhost (ephemeral
+ports, fully hermetic):
+
+* **shard A** runs behind a :class:`~repro.serve.ShardServer` — an HTTP
+  process boundary speaking the serve wire protocol — and is attached
+  over the ``"remote"`` transport;
+* **shard B** is an ordinary in-process catalog shard;
+
+then the same mixed-graph batch runs against a single monolithic
+:class:`PathService` and through the router.  The hard gates, all
+timing-free so they hold on any runner:
+
+1. the mixed local/remote scatter-gather merge is **bit-identical** to
+   the monolith at every concurrency level;
+2. killing the replicated graph's owning server **mid-workload** still
+   completes the batch via replica failover with **zero wrong answers**
+   (and the detour is visible in the router stats);
+3. remote per-shard latency (wall/queue/execute seconds over the wire)
+   is reported into ``benchmarks/results/remote_scatter.json`` for the
+   consolidated ``bench-results`` CI artifact.
+"""
+
+import json
+import os
+import random
+
+from repro.bench.harness import (
+    RESULTS_DIR,
+    format_table,
+    paper_reference,
+    scaled,
+    write_report,
+)
+from repro.graph.generators import power_law_graph
+from repro.serve import ShardServer
+from repro.service import PathService
+from repro.shard import ShardRouter
+
+NUM_QUERIES = 48
+LTHD = 3.0
+CONCURRENCY_LEVELS = (1, 4)
+
+GRAPH_SPECS = (
+    ("alpha", "remote", 300, 37),
+    ("beta", "remote", 240, 41),
+    ("gamma", "local", 280, 43),
+)
+"""(name, hosting side, size, seed) for the three benchmark graphs.
+``alpha`` is additionally replicated onto the local shard, so the
+failover leg has somewhere to go when its owning server dies."""
+
+
+def _graphs():
+    return {name: power_law_graph(scaled(size), edges_per_node=2, seed=seed)
+            for name, _, size, seed in GRAPH_SPECS}
+
+
+def _batch_queries(graphs, count, seed=13):
+    rng = random.Random(seed)
+    names = sorted(graphs)
+    queries = []
+    for _ in range(count):
+        name = rng.choice(names)
+        nodes = sorted(graphs[name].nodes())
+        queries.append((name, rng.choice(nodes), rng.choice(nodes)))
+    return queries
+
+
+def _shapes(results):
+    return [(None if r is None else (r.distance, tuple(r.path)))
+            for r in results]
+
+
+def _seed_catalog(catalog_path, names, graphs):
+    with PathService(catalog_path=catalog_path, cache_size=0) as service:
+        for name in names:
+            service.add_graph(
+                name, graphs[name], backend="sqlite",
+                db_path=os.path.join(catalog_path, f"{name}.db"))
+            service.build_segtable(name, lthd=LTHD)
+
+
+def run_experiment(tmp_dir):
+    graphs = _graphs()
+    queries = _batch_queries(graphs, NUM_QUERIES)
+    remote_catalog = os.path.join(tmp_dir, "remote-shard")
+    local_catalog = os.path.join(tmp_dir, "local-shard")
+    _seed_catalog(remote_catalog, ("alpha", "beta"), graphs)
+    # alpha is replicated on the local shard (identical content, so
+    # identical fingerprint): the failover target.
+    _seed_catalog(local_catalog, ("gamma", "alpha"), graphs)
+
+    # -- monolith baseline --------------------------------------------------------
+    baseline_shapes = None
+    monolith_rows = []
+    with PathService(cache_size=0) as service:
+        for name, _, _, _ in GRAPH_SPECS:
+            service.add_graph(name, graphs[name], backend="sqlite",
+                              db_path=os.path.join(tmp_dir, f"mono-{name}.db"))
+            service.build_segtable(name, lthd=LTHD)
+        for level in CONCURRENCY_LEVELS:
+            batch = service.shortest_path_many(queries, concurrency=level)
+            shapes = _shapes(batch.results)
+            if baseline_shapes is None:
+                baseline_shapes = shapes
+            assert shapes == baseline_shapes
+            monolith_rows.append({
+                "session": "monolith", "concurrency": level,
+                "wall_s": round(batch.stats.total_time, 4),
+                "executed": batch.stats.executed,
+                "identical": True,
+            })
+
+    # -- networked router: one remote shard behind HTTP, one local ----------------
+    router_rows = []
+    per_shard = {}
+    identical = True
+    remote_service = PathService.open(remote_catalog, cache_size=0,
+                                      shard_id="remote-shard")
+    server = ShardServer(remote_service, port=0, own_service=True).start()
+    remote_name = f"{server.host}:{server.port}"
+    failover = {}
+    try:
+        with ShardRouter.open([server.url, local_catalog],
+                              names=[remote_name, "local"],
+                              remote_retries=0, cache_size=0) as router:
+            assert len(router.shards()) == 2
+            assert router.owner("alpha") == remote_name
+            assert router.owner("gamma") == "local"
+            for level in CONCURRENCY_LEVELS:
+                scatter = router.shortest_path_many(queries,
+                                                    concurrency=level)
+                level_identical = _shapes(scatter.results) == baseline_shapes
+                identical = identical and level_identical
+                assert level_identical, (
+                    f"networked router concurrency={level} diverged from "
+                    f"the monolith"
+                )
+                router_rows.append({
+                    "session": "remote-router", "concurrency": level,
+                    "wall_s": round(scatter.stats.total_time, 4),
+                    "executed": scatter.stats.executed,
+                    "identical": level_identical,
+                })
+                per_shard[f"concurrency_{level}"] = {
+                    shard: {
+                        "transport": ("remote" if shard == remote_name
+                                      else "inprocess"),
+                        "wall_s": round(stats.total_time, 4),
+                        "queue_s": round(stats.queue_time, 4),
+                        "execute_s": round(stats.execute_time, 4),
+                        "queries": stats.total,
+                        "executed": stats.executed,
+                    }
+                    for shard, stats in sorted(
+                        scatter.stats.per_shard.items())
+                }
+
+            # -- failover leg: kill the owner mid-workload --------------------
+            alpha_queries = [q for q in queries if q[0] == "alpha"]
+            expected_alpha = [
+                shape for query, shape in zip(queries, baseline_shapes)
+                if query[0] == "alpha"]
+            server.close()  # alpha's owning server dies
+            rescued = router.shortest_path_many(alpha_queries)
+            wrong = sum(1 for got, want in zip(_shapes(rescued.results),
+                                              expected_alpha)
+                        if got != want)
+            failover = {
+                "killed_shard": remote_name,
+                "rescue_shard": "local",
+                "queries": len(alpha_queries),
+                "wrong_answers": wrong,
+                "failovers": rescued.stats.failovers,
+                "transport_errors": rescued.stats.transport_errors,
+                "answered_by": sorted(set(rescued.shard_of)),
+            }
+            assert wrong == 0, (
+                f"failover produced {wrong} wrong answers"
+            )
+            assert set(rescued.shard_of) == {"local"}
+            assert rescued.stats.per_shard_errors.get(remote_name, 0) >= 1
+            router_rows.append({
+                "session": "failover", "concurrency": 1,
+                "wall_s": round(rescued.stats.total_time, 4),
+                "executed": rescued.stats.executed,
+                "identical": wrong == 0,
+            })
+    finally:
+        server.close()
+
+    summary = {
+        "shards": [remote_name, "local"],
+        "num_shards": 2,
+        "remote_shards": [remote_name],
+        "identical": identical,
+        "per_shard_latency": per_shard,
+        "failover": failover,
+    }
+    return monolith_rows + router_rows, summary
+
+
+def _write_json(rows, summary):
+    payload = {
+        "benchmark": "remote_scatter",
+        "backend": "sqlite (one shard behind HTTP on an ephemeral port)",
+        "num_queries": NUM_QUERIES,
+        "lthd": LTHD,
+        "concurrency_levels": list(CONCURRENCY_LEVELS),
+        "sessions": rows,
+        **summary,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / "remote_scatter.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path, payload
+
+
+def test_remote_scatter_matches_monolith(benchmark, tmp_path):
+    rows, summary = benchmark.pedantic(
+        run_experiment, args=(str(tmp_path),), rounds=1, iterations=1)
+    _, payload = _write_json(rows, summary)
+    write_report(
+        "remote_scatter",
+        paper_reference(
+            "Not in the paper — PR-6 networked shard serving",
+            [
+                "One shard served over HTTP/JSON on an ephemeral localhost "
+                "port, one in-process shard, one router over both",
+                "Mixed local/remote scatter-gather is bit-identical to a "
+                "monolithic service at every concurrency level (asserted)",
+                "Killing the replicated graph's owning server mid-workload "
+                "completes the batch via replica failover with zero wrong "
+                "answers (asserted)",
+                "Per-shard latency (remote transport included) reported "
+                "into the consolidated bench-results artifact",
+            ],
+        ),
+        format_table(rows, title="Reproduced (48-query mixed batch)"),
+    )
+    # Hard gates, timing-free so they hold on any runner.
+    assert payload["num_shards"] >= 2
+    assert payload["remote_shards"], "at least one shard must be networked"
+    assert payload["identical"]
+    assert payload["failover"]["wrong_answers"] == 0
+    assert payload["failover"]["transport_errors"] >= 1
+    assert payload["per_shard_latency"], "per-shard latency must be reported"

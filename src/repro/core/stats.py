@@ -110,6 +110,38 @@ class QueryStats:
             "predicted_seconds": self.predicted_seconds,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "QueryStats":
+        """Rebuild from :meth:`as_dict` output (the serve wire protocol
+        ships query statistics across processes, so remote results report
+        the same per-phase/per-operator breakdowns as local ones)."""
+        stats = cls(
+            method=str(data.get("method", "")),
+            sql_style=str(data.get("sql_style", "nsql")),
+            expansions=int(data.get("expansions", 0)),
+            expansions_forward=int(data.get("expansions_forward", 0)),
+            expansions_backward=int(data.get("expansions_backward", 0)),
+            statements=int(data.get("statements", 0)),
+            affected_rows=int(data.get("affected_rows", 0)),
+            visited_nodes=int(data.get("visited_nodes", 0)),
+            found=bool(data.get("found", False)),
+            path_edges=int(data.get("path_edges", 0)),
+            total_time=float(data.get("total_time", 0.0)),
+            buffer_hits=int(data.get("buffer_hits", 0)),
+            buffer_misses=int(data.get("buffer_misses", 0)),
+            io_reads=int(data.get("io_reads", 0)),
+            io_writes=int(data.get("io_writes", 0)),
+        )
+        distance = data.get("distance")
+        stats.distance = None if distance is None else float(distance)
+        predicted = data.get("predicted_seconds")
+        stats.predicted_seconds = None if predicted is None else float(predicted)
+        for label, seconds in dict(data.get("time_by_phase", {})).items():
+            stats.time_by_phase[str(label)] = float(seconds)
+        for label, seconds in dict(data.get("time_by_operator", {})).items():
+            stats.time_by_operator[str(label)] = float(seconds)
+        return stats
+
 
 @dataclass
 class BatchStats:
@@ -210,6 +242,31 @@ class BatchStats:
             "queue_time": self.queue_time,
             "execute_time": self.execute_time,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BatchStats":
+        """Rebuild from :meth:`as_dict` output (a remote shard reports its
+        slice's batch counters over the wire; the router folds them into
+        :class:`~repro.shard.stats.RouterStats` exactly like a local
+        shard's)."""
+        return cls(
+            total=int(data.get("total", 0)),
+            executed=int(data.get("executed", 0)),
+            cache_hits=int(data.get("cache_hits", 0)),
+            cache_misses=int(data.get("cache_misses", 0)),
+            not_found=int(data.get("not_found", 0)),
+            negative_hits=int(data.get("negative_hits", 0)),
+            evictions=int(data.get("evictions", 0)),
+            total_time=float(data.get("total_time", 0.0)),
+            per_graph={str(graph): int(count) for graph, count
+                       in dict(data.get("per_graph", {})).items()},
+            per_method={str(method): int(count) for method, count
+                        in dict(data.get("per_method", {})).items()},
+            concurrency=int(data.get("concurrency", 1)),
+            single_flight_hits=int(data.get("single_flight_hits", 0)),
+            queue_time=float(data.get("queue_time", 0.0)),
+            execute_time=float(data.get("execute_time", 0.0)),
+        )
 
 
 @dataclass

@@ -223,3 +223,19 @@ class ShardConflictError(ShardError):
 class UnknownShardError(ShardError):
     """A shard name is not part of the router (or a graph name is routed
     to no shard at all)."""
+
+
+class ShardUnavailableError(ShardError):
+    """A shard could not be reached over its transport: connection refused,
+    request timeout, or the server died mid-request.  Raised only for
+    *transport-level* failures — query errors (unknown graph, unreachable
+    pair, ...) propagate as themselves — so the router knows the query may
+    be retried verbatim on an identical-fingerprint replica."""
+
+
+class RemoteProtocolError(ShardError):
+    """A remote shard answered, but with a payload this client cannot
+    interpret: malformed JSON, a missing field, or an error type that does
+    not map back onto the :mod:`repro.errors` hierarchy.  Distinct from
+    :class:`ShardUnavailableError` because retrying will not help — the
+    two ends disagree about the protocol."""

@@ -1,0 +1,75 @@
+"""``python -m repro.serve`` — run one shard server.
+
+Warm-starts a :class:`~repro.service.session.PathService` from a
+persistent catalog and serves it over HTTP/JSON until interrupted::
+
+    python -m repro.serve --catalog catalogs/a --port 8155
+
+The bound URL is printed on stdout as soon as the server listens (with
+``--port 0`` that is the only way to learn the ephemeral port), so a
+supervisor script can scrape it::
+
+    serving shard 'a' (graphs: alpha, beta) at http://127.0.0.1:8155
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.serve.server import ShardServer
+from repro.service.session import PathService
+from repro.shard.spec import default_shard_name
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve one warm-started PathService over HTTP/JSON.")
+    parser.add_argument("--catalog", required=True,
+                        help="catalog directory to warm-start from")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8155,
+                        help="bind port; 0 picks an ephemeral one "
+                             "(default: 8155)")
+    parser.add_argument("--shard-id", default=None,
+                        help="shard identity stamped into cache keys "
+                             "(default: the catalog directory's basename)")
+    parser.add_argument("--no-strict", action="store_true",
+                        help="skip catalog entries that fail to attach "
+                             "instead of refusing to start")
+    parser.add_argument("--cache-size", type=int, default=1024,
+                        help="result-cache capacity (default: 1024)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every request to stderr")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    shard_id = args.shard_id or default_shard_name(args.catalog)
+    service = PathService.open(
+        args.catalog, strict=not args.no_strict, shard_id=shard_id,
+        cache_size=args.cache_size)
+    server = ShardServer(service, host=args.host, port=args.port,
+                         own_service=True, quiet=not args.verbose)
+    graphs = ", ".join(service.graphs()) or "(none)"
+    server.start()
+    print(f"serving shard {shard_id!r} (graphs: {graphs}) at {server.url}",
+          flush=True)
+    try:
+        # start() already serves on a daemon thread; park the main thread
+        # so Ctrl-C lands here and shuts down cleanly.
+        import threading
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

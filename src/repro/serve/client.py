@@ -1,0 +1,250 @@
+"""The shard client: typed calls against one shard server.
+
+Stdlib :mod:`urllib.request` under the hood; every public method decodes
+the response envelope back into the library's own objects (results carry
+full :class:`~repro.core.stats.QueryStats`, errors re-raise as their
+original :mod:`repro.errors` type).  Failure taxonomy:
+
+* connection refused / reset, timeouts, and the server dying mid-request
+  raise :class:`~repro.errors.ShardUnavailableError` — the one error the
+  router may retry verbatim on an identical-fingerprint replica;
+* a reachable server answering garbage (bad JSON, wrong envelope, wrong
+  protocol version) raises :class:`~repro.errors.RemoteProtocolError` —
+  retrying cannot help;
+* a clean library error (unknown graph, unreachable pair, ...) re-raises
+  as that library error, exactly like a local call.
+
+Transient transport failures are retried ``retries`` times with a short
+exponential backoff before :class:`ShardUnavailableError` escapes — but
+only for *idempotent* requests; ``calibrate`` and ``stamp`` are attempted
+once.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.manifest import CatalogEntry
+from repro.core.path import PathResult
+from repro.core.stats import BatchStats
+from repro.errors import RemoteProtocolError, ShardUnavailableError
+from repro.serve import protocol
+from repro.service.costmodel import CostProfile
+from repro.service.planner import QueryPlan, QuerySpec
+
+DEFAULT_TIMEOUT = 30.0
+DEFAULT_RETRIES = 2
+BACKOFF_SECONDS = 0.05
+"""First retry delay; doubles per attempt (0.05, 0.1, ...)."""
+
+
+class ShardClient:
+    """A typed HTTP client for one shard server.
+
+    Thread-safe: every request opens its own connection, so scatter
+    threads may share one client.  ``timeout`` bounds each request
+    end-to-end (connect + response); a slow shard that exceeds it raises
+    :class:`ShardUnavailableError`, which is what lets the router fail
+    over instead of hanging a batch.
+    """
+
+    def __init__(self, url: str, *, timeout: float = DEFAULT_TIMEOUT,
+                 retries: int = DEFAULT_RETRIES) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+        self.retries = max(0, retries)
+
+    # -- wire plumbing -----------------------------------------------------------
+
+    def _request_once(self, path: str,
+                      body: Optional[Dict[str, object]]) -> Dict[str, object]:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.url + path, data=data,
+            headers={"Content-Type": "application/json"},
+            method="GET" if data is None else "POST")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                raw = response.read()
+        except urllib.error.HTTPError as exc:
+            # The server answered with an error envelope: decode it below
+            # like any other payload (400/500 carry the same shape).
+            raw = exc.read()
+        except (urllib.error.URLError, ConnectionError, socket.timeout,
+                TimeoutError, OSError) as exc:
+            raise ShardUnavailableError(
+                f"shard at {self.url} is unreachable ({path}): {exc}"
+            ) from exc
+        try:
+            envelope = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise RemoteProtocolError(
+                f"shard at {self.url} answered non-JSON on {path}: {exc}"
+            ) from exc
+        if not isinstance(envelope, dict) or "ok" not in envelope:
+            raise RemoteProtocolError(
+                f"shard at {self.url} answered a malformed envelope on "
+                f"{path}: {envelope!r}"
+            )
+        version = envelope.get("protocol")
+        if version != protocol.PROTOCOL_VERSION:
+            raise RemoteProtocolError(
+                f"shard at {self.url} speaks protocol {version!r}; this "
+                f"client speaks {protocol.PROTOCOL_VERSION}"
+            )
+        if not envelope["ok"]:
+            raise protocol.error_from_dict(envelope.get("error", {}))
+        data_out = envelope.get("data")
+        if not isinstance(data_out, dict):
+            raise RemoteProtocolError(
+                f"shard at {self.url} answered ok without a data object "
+                f"on {path}"
+            )
+        return data_out
+
+    def _request(self, path: str, body: Optional[Dict[str, object]] = None,
+                 *, idempotent: bool = True) -> Dict[str, object]:
+        attempts = (1 + self.retries) if idempotent else 1
+        delay = BACKOFF_SECONDS
+        last: Optional[ShardUnavailableError] = None
+        for attempt in range(attempts):
+            try:
+                return self._request_once(path, body)
+            except ShardUnavailableError as exc:
+                last = exc
+                if attempt + 1 < attempts:
+                    time.sleep(delay)
+                    delay *= 2
+        assert last is not None
+        raise last
+
+    # -- typed operations --------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """Liveness probe; raises :class:`ShardUnavailableError` when the
+        server is down (no retries — health checks must answer fast)."""
+        return self._request_once("/health", None)
+
+    def routing_entries(self) -> Dict[str, CatalogEntry]:
+        """The server catalog's manifest entries."""
+        data = self._request("/routing")
+        try:
+            return {str(name): CatalogEntry.from_dict(raw)
+                    for name, raw in dict(data["entries"]).items()}
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RemoteProtocolError(
+                f"shard at {self.url} answered malformed routing entries "
+                f"({exc})"
+            ) from exc
+
+    def stats(self) -> Dict[str, object]:
+        """The server's cache counters and hosted graph list."""
+        return self._request("/stats")
+
+    def stamp_ownership(self, graph: str, shard: str) -> None:
+        """Record ``shard`` as ``graph``'s owner in the server's manifest."""
+        self._request("/stamp", {"graph": graph, "shard": shard},
+                      idempotent=False)
+
+    def shortest_path(self, spec: QuerySpec,
+                      use_cache: bool = True) -> PathResult:
+        """Answer one query on the remote shard."""
+        data = self._request("/shortest_path",
+                             {"spec": protocol.spec_to_dict(spec),
+                              "use_cache": use_cache})
+        return protocol.result_from_dict(self._field(data, "result"))
+
+    def explain(self, spec: QuerySpec) -> QueryPlan:
+        """The plan the remote shard would execute."""
+        data = self._request("/explain",
+                             {"spec": protocol.spec_to_dict(spec)})
+        return protocol.plan_from_dict(self._field(data, "plan"))
+
+    def plan_many(self, specs: Sequence[QuerySpec]) -> List[QueryPlan]:
+        """Plan (= validate) a batch slice in one round trip."""
+        data = self._request("/plan_many",
+                             {"specs": protocol.specs_to_list(specs)})
+        plans = data.get("plans")
+        if not isinstance(plans, list) or len(plans) != len(specs):
+            raise RemoteProtocolError(
+                f"shard at {self.url} answered {0 if not isinstance(plans, list) else len(plans)} "
+                f"plans for {len(specs)} specs"
+            )
+        return [protocol.plan_from_dict(plan) for plan in plans]
+
+    def execute(self, specs: Sequence[QuerySpec], *,
+                concurrency: int = 1,
+                checkout_timeout: Optional[float] = None
+                ) -> Tuple[List[Optional[PathResult]], List[bool], BatchStats]:
+        """Execute a batch slice; returns (results, from_cache, stats).
+
+        Safe to retry: execution is read-only and result caching makes a
+        replay answer from cache.
+        """
+        data = self._request("/execute", {
+            "specs": protocol.specs_to_list(specs),
+            "concurrency": concurrency,
+            "checkout_timeout": checkout_timeout,
+        })
+        raw_results = data.get("results")
+        raw_cached = data.get("from_cache")
+        if (not isinstance(raw_results, list)
+                or not isinstance(raw_cached, list)
+                or len(raw_results) != len(specs)
+                or len(raw_cached) != len(specs)):
+            raise RemoteProtocolError(
+                f"shard at {self.url} answered a misaligned batch "
+                f"(asked {len(specs)} specs)"
+            )
+        results = protocol.results_from_list(raw_results)
+        try:
+            stats = BatchStats.from_dict(dict(self._field(data, "stats")))
+        except (TypeError, ValueError) as exc:
+            raise RemoteProtocolError(
+                f"shard at {self.url} answered malformed batch stats "
+                f"({exc})"
+            ) from exc
+        return results, [bool(flag) for flag in raw_cached], stats
+
+    def calibrate(self, backend: Optional[str] = None, *,
+                  persist: bool = True,
+                  **probe_options: object) -> Dict[str, CostProfile]:
+        """Calibrate the remote shard's planner cost model (no retries —
+        probing is expensive and not idempotent on the server's catalog)."""
+        data = self._request("/calibrate", {
+            "backend": backend,
+            "persist": persist,
+            "probe_options": dict(probe_options),
+        }, idempotent=False)
+        try:
+            return {str(name): CostProfile.from_dict(dict(raw))
+                    for name, raw in dict(self._field(data, "profiles")).items()}
+        except (TypeError, ValueError) as exc:
+            raise RemoteProtocolError(
+                f"shard at {self.url} answered malformed cost profiles "
+                f"({exc})"
+            ) from exc
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _field(self, data: Dict[str, object], name: str) -> Dict[str, object]:
+        value = data.get(name)
+        if not isinstance(value, dict):
+            raise RemoteProtocolError(
+                f"shard at {self.url} answered without the {name!r} field"
+            )
+        return value
+
+
+__all__ = [
+    "BACKOFF_SECONDS",
+    "DEFAULT_RETRIES",
+    "DEFAULT_TIMEOUT",
+    "ShardClient",
+]

@@ -1,0 +1,298 @@
+"""The shard server: one warm-started :class:`PathService` over HTTP/JSON.
+
+Stdlib only — :class:`http.server.ThreadingHTTPServer` carries the serve
+wire protocol (:mod:`repro.serve.protocol`), one thread per in-flight
+request, all of them sharing the process's single ``PathService`` exactly
+the way a parallel batch shares it (the service's pool/executor machinery
+is already thread-safe).
+
+Endpoints (all responses are ``{"ok", "protocol", "data" | "error"}``
+envelopes):
+
+========================  =====  =============================================
+``/health``               GET    liveness + hosted graphs
+``/routing``              GET    the catalog manifest entries (routing slice)
+``/stats``                GET    cache counters and graph list
+``/stamp``                POST   record a graph's owning shard in the manifest
+``/shortest_path``        POST   one query
+``/explain``              POST   plan one query without executing
+``/plan_many``            POST   validate/plan a batch slice (fail-fast pass)
+``/execute``              POST   execute a batch slice, stats included
+``/calibrate``            POST   calibrate the planner cost model
+========================  =====  =============================================
+
+Library errors cross the wire as their :mod:`repro.errors` class name with
+HTTP 400; anything unexpected is a 500.  Use :class:`ShardServer` for
+embedded (in-test) serving and ``python -m repro.serve`` for a standalone
+process.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import ReproError
+from repro.serve import protocol
+from repro.service.batch import execute_batch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.session import PathService
+
+MAX_REQUEST_BYTES = 64 * 1024 * 1024
+"""Upper bound on one request body; a batch of a million specs fits."""
+
+
+class _ShardRequestHandler(BaseHTTPRequestHandler):
+    """Dispatches one HTTP request against the server's PathService."""
+
+    # The server attribute is a _ShardHTTPServer (set by ShardServer).
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: object) -> None:
+        # Route through the server's quiet flag instead of stderr spam.
+        if not self.server.quiet:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _reply(self, status: int, data: Dict[str, object]) -> None:
+        body = json.dumps(data).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _ok(self, data: Dict[str, object]) -> None:
+        self._reply(200, {"ok": True,
+                          "protocol": protocol.PROTOCOL_VERSION,
+                          "data": data})
+
+    def _fail(self, status: int, exc: BaseException) -> None:
+        self._reply(status, {"ok": False,
+                             "protocol": protocol.PROTOCOL_VERSION,
+                             "error": protocol.error_to_dict(exc)})
+
+    def _read_body(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length", 0))
+        if length > MAX_REQUEST_BYTES:
+            raise ValueError(f"request body of {length} bytes exceeds the "
+                             f"{MAX_REQUEST_BYTES}-byte bound")
+        raw = self.rfile.read(length) if length else b"{}"
+        document = json.loads(raw.decode("utf-8"))
+        if not isinstance(document, dict):
+            raise ValueError("request body must be a JSON object")
+        return document
+
+    def _dispatch(self, handlers: Dict[str, object]) -> None:
+        handler = handlers.get(self.path)
+        if handler is None:
+            self._reply(404, {
+                "ok": False,
+                "protocol": protocol.PROTOCOL_VERSION,
+                "error": {"type": "RemoteProtocolError",
+                          "message": f"unknown endpoint {self.path!r}"},
+            })
+            return
+        try:
+            self._ok(handler())  # type: ignore[operator]
+        except ReproError as exc:
+            self._fail(400, exc)
+        except Exception as exc:  # noqa: BLE001 - must answer, not die
+            self._fail(500, exc)
+
+    # -- verbs -------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch({
+            "/health": self._handle_health,
+            "/routing": self._handle_routing,
+            "/stats": self._handle_stats,
+        })
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch({
+            "/stamp": self._handle_stamp,
+            "/shortest_path": self._handle_shortest_path,
+            "/explain": self._handle_explain,
+            "/plan_many": self._handle_plan_many,
+            "/execute": self._handle_execute,
+            "/calibrate": self._handle_calibrate,
+        })
+
+    # -- endpoints ---------------------------------------------------------------
+
+    @property
+    def _service(self) -> "PathService":
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _handle_health(self) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "shard": self._service.shard_id,
+            "graphs": list(self._service.graphs()),
+        }
+
+    def _handle_routing(self) -> Dict[str, object]:
+        catalog = self._service.catalog
+        entries = {} if catalog is None else {
+            name: entry.to_dict()
+            for name, entry in catalog.entries().items()
+        }
+        return {"entries": entries}
+
+    def _handle_stats(self) -> Dict[str, object]:
+        return {
+            "shard": self._service.shard_id,
+            "graphs": list(self._service.graphs()),
+            "cache": asdict(self._service.cache_info()),
+        }
+
+    def _handle_stamp(self) -> Dict[str, object]:
+        body = self._read_body()
+        catalog = self._service.catalog
+        if catalog is None:
+            raise ReproError("this shard server has no catalog to stamp")
+        catalog.set_shard(str(body["graph"]), str(body["shard"]))
+        return {"stamped": True}
+
+    def _handle_shortest_path(self) -> Dict[str, object]:
+        body = self._read_body()
+        spec = protocol.spec_from_dict(body.get("spec", {}))
+        result = self._service.shortest_path(
+            spec.source, spec.target, graph=spec.graph, method=spec.method,
+            sql_style=spec.sql_style, max_iterations=spec.max_iterations,
+            use_cache=bool(body.get("use_cache", True)))
+        return {"result": protocol.result_to_dict(result)}
+
+    def _handle_explain(self) -> Dict[str, object]:
+        body = self._read_body()
+        spec = protocol.spec_from_dict(body.get("spec", {}))
+        return {"plan": protocol.plan_to_dict(self._service.plan(spec))}
+
+    def _handle_plan_many(self) -> Dict[str, object]:
+        body = self._read_body()
+        specs = protocol.specs_from_list(body.get("specs", []))
+        plans = [self._service.plan(spec) for spec in specs]
+        return {"plans": [protocol.plan_to_dict(plan) for plan in plans]}
+
+    def _handle_execute(self) -> Dict[str, object]:
+        body = self._read_body()
+        specs = protocol.specs_from_list(body.get("specs", []))
+        timeout = body.get("checkout_timeout")
+        batch = execute_batch(
+            self._service, specs, raise_on_unreachable=False,
+            concurrency=int(body.get("concurrency", 1)),
+            checkout_timeout=None if timeout is None else float(timeout))
+        return {
+            "results": protocol.results_to_list(batch.results),
+            "from_cache": list(batch.from_cache),
+            "stats": batch.stats.as_dict(),
+        }
+
+    def _handle_calibrate(self) -> Dict[str, object]:
+        body = self._read_body()
+        backend = body.get("backend")
+        profiles = self._service.calibrate(
+            None if backend is None else str(backend),
+            persist=bool(body.get("persist", True)),
+            **dict(body.get("probe_options", {})))
+        return {"profiles": {name: profile.as_dict()
+                             for name, profile in profiles.items()}}
+
+
+class _ShardHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the PathService for its handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int],
+                 service: "PathService", quiet: bool,
+                 handler_class: Optional[type] = None) -> None:
+        super().__init__(address, handler_class or _ShardRequestHandler)
+        self.service = service
+        self.quiet = quiet
+
+
+class ShardServer:
+    """One shard server: a PathService listening on ``host:port``.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port` —
+    this is how the tests and the smoke bench run hermetically).  The
+    server does **not** own the service by default: closing the server
+    stops answering but leaves the service usable in-process; pass
+    ``own_service=True`` (the CLI does) to close it too.
+
+    Usable as a context manager::
+
+        with ShardServer(service, port=0) as server:
+            client = ShardClient(server.url)
+    """
+
+    def __init__(self, service: "PathService", host: str = "127.0.0.1",
+                 port: int = 0, *, own_service: bool = False,
+                 quiet: bool = True,
+                 handler_class: Optional[type] = None) -> None:
+        self._service = service
+        self._own_service = own_service
+        self._httpd = _ShardHTTPServer((host, port), service, quiet,
+                                       handler_class)
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (the real one, after ``port=0`` resolution)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The base URL remote clients (and specs) should use."""
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def service(self) -> "PathService":
+        return self._service
+
+    def start(self) -> "ShardServer":
+        """Serve on a daemon thread; returns immediately."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name=f"repro-serve-{self.port}", daemon=True)
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI's main loop)."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop serving (idempotent); in-flight requests finish first."""
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+        if self._own_service:
+            self._service.close()
+
+    def __enter__(self) -> "ShardServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+__all__ = ["MAX_REQUEST_BYTES", "ShardServer"]

@@ -210,6 +210,19 @@ class CostEstimate:
             "eligible": self.eligible,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CostEstimate":
+        """Rebuild from :meth:`as_dict` output (remote ``explain()`` ships
+        the per-method breakdown over the serve wire protocol)."""
+        return cls(
+            method=str(data["method"]),
+            seconds=float(data["seconds"]),
+            iterations=int(data["iterations"]),
+            statements=int(data["statements"]),
+            rows=int(data["rows"]),
+            eligible=bool(data.get("eligible", True)),
+        )
+
 
 @dataclass(frozen=True)
 class CostSample:

@@ -2,14 +2,16 @@
 
 The paper's SegTable makes single-graph queries fast on one node; this
 package scales the *service* across nodes' worth of graphs.  A
-:class:`ShardRouter` partitions named graphs over multiple
-:class:`~repro.service.session.PathService` instances using each shard's
-persistent-catalog manifest (PR 3) as its routing table:
+:class:`ShardRouter` partitions named graphs over multiple shard services
+using each shard's persistent-catalog manifest (PR 3) as its routing
+table:
 
 * :class:`~repro.shard.spec.ShardSpec` names a shard and its catalog; the
   **transport seam** (:class:`~repro.shard.spec.ShardTransport`,
   :func:`~repro.shard.spec.register_transport`) keeps the router agnostic
-  about whether a shard is in-process (today) or remote (a later PR);
+  about whether a shard is in-process (``"inprocess"``) or networked
+  (``"remote"`` — registered by :mod:`repro.serve`, speaking the serve
+  wire protocol to a ``python -m repro.serve`` process);
 * :mod:`repro.shard.routing` derives the graph → shard
   :class:`~repro.shard.routing.RoutingTable` from manifests alone,
   resolving same-fingerprint replicas deterministically and **refusing**
@@ -18,18 +20,29 @@ persistent-catalog manifest (PR 3) as its routing table:
 * :meth:`ShardRouter.shortest_path` routes transparently;
   :meth:`ShardRouter.shortest_path_many` **scatter-gathers** — slices a
   mixed-graph batch by owner, fans slices out concurrently through each
-  shard's executor/pool, and merges answers in input order with per-shard
+  shard's transport, and merges answers in input order with per-shard
   :class:`~repro.core.stats.BatchStats` rolled into a
   :class:`~repro.shard.stats.RouterStats`;
+* identical-fingerprint **replicas** are live fallbacks: a shard failing
+  at the transport level is routed around (bounded retry, exponential
+  cooldown), with per-replica error accounting on the batch's
+  ``RouterStats`` and the router's
+  :meth:`~repro.shard.router.ShardRouter.shard_health`;
 * :meth:`ShardRouter.move` rebalances: the database file (SegTable
   included) is snapshotted into the target catalog via the store
-  relocation capability and warm-attached with zero index rebuilds.
+  relocation capability and warm-attached with zero index rebuilds —
+  or, when the target already replica-hosts the graph, ownership just
+  flips with zero bytes copied.
 
 ``python -m repro.catalog shards --catalog A --catalog B`` prints the
-routing table offline.  See ``docs/sharding.md``.
+routing table offline.  See ``docs/sharding.md`` and ``docs/serving.md``.
 """
 
-from repro.shard.router import ScatterResult, ShardRouter
+from repro.shard.router import (
+    ScatterResult,
+    ShardHealth,
+    ShardRouter,
+)
 from repro.shard.routing import (
     Route,
     RoutingTable,
@@ -39,22 +52,26 @@ from repro.shard.routing import (
 )
 from repro.shard.spec import (
     INPROCESS_TRANSPORT,
+    REMOTE_TRANSPORT,
     InProcessTransport,
     ShardSpec,
     ShardTransport,
     available_transports,
     default_shard_name,
+    is_shard_url,
     register_transport,
 )
 from repro.shard.stats import RouterStats
 
 __all__ = [
     "INPROCESS_TRANSPORT",
+    "REMOTE_TRANSPORT",
     "InProcessTransport",
     "Route",
     "RouterStats",
     "RoutingTable",
     "ScatterResult",
+    "ShardHealth",
     "ShardRouter",
     "ShardSpec",
     "ShardTransport",
@@ -62,6 +79,7 @@ __all__ = [
     "build_routing_table",
     "default_shard_name",
     "format_routing_table",
+    "is_shard_url",
     "register_transport",
     "routing_table_from_catalogs",
 ]

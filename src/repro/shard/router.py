@@ -1,36 +1,64 @@
 """The :class:`ShardRouter`: one query surface over many shards.
 
-A router partitions named graphs across multiple
-:class:`~repro.service.session.PathService` instances — the *shards* —
+A router partitions named graphs across multiple shard services — local
+(``"inprocess"``) or networked (``"remote"``, see :mod:`repro.serve`) —
 using each shard's catalog manifest as its routing table::
 
-    router = ShardRouter.open(catalog_paths=["catalogs/a", "catalogs/b"])
+    router = ShardRouter.open(
+        catalog_paths=["catalogs/a", "http://10.0.0.7:8155"])
     router.shortest_path(0, 42, graph="social")          # routed to its owner
     scatter = router.shortest_path_many(
         [("social", 0, 42), ("roads", 3, 99)], concurrency=4)
 
 Single queries route transparently to the owning shard.  Batches are
 **scatter-gather**: the router splits a mixed-graph batch by owning shard,
-fans the slices out concurrently — each through the shard service's
-existing executor/pool machinery — and merges the answers back in input
-order, with every shard's :class:`~repro.core.stats.BatchStats` kept (and
-rolled up) in a :class:`~repro.shard.stats.RouterStats`.
+fans the slices out concurrently — each through the shard's transport, and
+on the shard through the service's existing executor/pool machinery — and
+merges the answers back in input order, with every shard's
+:class:`~repro.core.stats.BatchStats` kept (and rolled up) in a
+:class:`~repro.shard.stats.RouterStats`.
+
+**Failover.**  Identical-fingerprint replicas (recorded on each
+:class:`~repro.shard.routing.Route`) are live fallbacks: when a shard
+fails at the transport level (:class:`~repro.errors.ShardUnavailableError`
+— connection refused, timeout, died mid-request), the router marks it
+down for an exponentially growing cooldown and re-routes the affected
+queries to the next replica; because replicas host byte-identical graph
+content, the failover answer is bit-identical to the primary's.  Query
+errors (unknown graph, unreachable pair, ...) are *not* failover events —
+they propagate as themselves, as every replica would answer the same.
+
+**Shared cross-shard cache.**  Opt-in (``shared_cache_size > 0``): a
+router-level result cache keyed by *(graph fingerprint, query)* — not
+shard name — so a pair answered by any replica is a hit for every other,
+and two different graphs can never collide on a name.
 
 Rebalancing is :meth:`ShardRouter.move`: the graph's database file — with
 its already-built SegTable inside — is snapshotted into the target shard's
 catalog via the store's relocation capability, the two manifests are
 rewritten (each write is atomic; the ordering makes a crash mid-move
 resolve as a benign replica, never a conflict), and the target shard
-warm-attaches the graph with **zero** SegTable reconstructions.
+warm-attaches the graph with **zero** SegTable reconstructions.  Moving a
+graph onto a shard that already replica-hosts it at the same fingerprint
+skips the data copy entirely and just flips ownership.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor, wait
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from dataclasses import dataclass, field, replace
+from typing import (
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from repro.core.path import PathResult
 from repro.core.sqlstyle import NSQL
@@ -38,24 +66,70 @@ from repro.core.store.registry import create_store
 from repro.errors import (
     PathNotFoundError,
     ShardError,
+    ShardUnavailableError,
     UnknownShardError,
 )
-from repro.service.batch import execute_batch, normalize_queries
+from repro.service.batch import normalize_queries
+from repro.service.cache import ResultCache
 from repro.service.planner import QueryPlan, QuerySpec
-from repro.shard.routing import (
-    Route,
-    RoutingTable,
-    routing_table_from_catalogs,
+from repro.shard.routing import Route, RoutingTable, build_routing_table
+from repro.shard.spec import (
+    REMOTE_TRANSPORT,
+    ShardSpec,
+    ShardTransport,
+    default_shard_name,
+    is_shard_url,
 )
-from repro.shard.spec import ShardSpec, ShardTransport, default_shard_name
 from repro.shard.stats import RouterStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.aio import AsyncShardRouter
     from repro.service.batch import BatchResult
     from repro.service.costmodel import CostProfile
     from repro.service.session import BatchQuery, PathService
 
 DEFAULT_GRAPH = "default"
+
+FAILOVER_COOLDOWN = 0.25
+"""Seconds a shard is considered down after its first transport failure;
+doubles per consecutive failure up to :data:`FAILOVER_COOLDOWN_MAX`."""
+
+FAILOVER_COOLDOWN_MAX = 30.0
+
+
+@dataclass
+class ShardHealth:
+    """The router's view of one shard's transport health.
+
+    Attributes:
+        shard: the shard's name.
+        errors: cumulative transport failures over the router's lifetime.
+        consecutive_failures: failures since the last success; drives the
+            exponential cooldown.
+        down_until: monotonic deadline before which the shard is routed
+            around (still tried as a last resort when every replica of a
+            graph is down).
+        last_error: message of the most recent transport failure.
+    """
+
+    shard: str
+    errors: int = 0
+    consecutive_failures: int = 0
+    down_until: float = 0.0
+    last_error: str = ""
+
+    def is_down(self, now: Optional[float] = None) -> bool:
+        """Whether the shard is inside its failure cooldown."""
+        return (time.monotonic() if now is None else now) < self.down_until
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "shard": self.shard,
+            "errors": self.errors,
+            "consecutive_failures": self.consecutive_failures,
+            "down": self.is_down(),
+            "last_error": self.last_error,
+        }
 
 
 @dataclass
@@ -69,9 +143,11 @@ class ScatterResult:
     Attributes:
         specs: the normalized query specs, in input order.
         results: one entry per spec (``None`` marks an unreachable pair).
-        from_cache: per spec, whether the owning shard answered from its
-            result cache (single-flight piggybacks included).
-        shard_of: per spec, the shard that answered it.
+        from_cache: per spec, whether the answer came from a cache — the
+            owning shard's result cache (single-flight piggybacks
+            included) or the router's shared cross-shard cache.
+        shard_of: per spec, the shard that answered it (the owner, or the
+            replica that took over on failover).
         stats: the :class:`RouterStats` of this scatter-gather.
     """
 
@@ -103,16 +179,27 @@ class ScatterResult:
 class ShardRouter:
     """Routes queries over named graphs to the shards that own them.
 
-    Construct through :meth:`open`.  The router owns its shard services:
-    :meth:`close` (or the context manager) shuts every one of them down.
+    Construct through :meth:`open`.  The router owns its shard transports:
+    :meth:`close` (or the context manager) shuts every one of them down
+    (closing a remote transport does not stop its server).
     """
 
     def __init__(self, transports: Sequence[ShardTransport],
-                 table: RoutingTable) -> None:
+                 table: RoutingTable, *,
+                 shared_cache_size: int = 0,
+                 shared_cache_ttl: Optional[float] = None) -> None:
         self._transports: Dict[str, ShardTransport] = {
             transport.spec.name: transport for transport in transports}
         self._table = table
         self._closed = False
+        self._health: Dict[str, ShardHealth] = {
+            name: ShardHealth(name) for name in self._transports}
+        self._health_lock = threading.Lock()
+        self._shared_cache: Optional[ResultCache] = (
+            None if shared_cache_size <= 0 else ResultCache(
+                capacity=shared_cache_size, ttl_seconds=shared_cache_ttl,
+                negative_capacity=shared_cache_size))
+        self._move_markers: Dict[str, int] = {"moves": 0, "replica_noops": 0}
 
     # -- construction ------------------------------------------------------------
 
@@ -122,31 +209,52 @@ class ShardRouter:
              names: Optional[Sequence[str]] = None,
              strict: bool = True,
              stamp_ownership: bool = True,
+             shared_cache_size: int = 0,
+             shared_cache_ttl: Optional[float] = None,
+             remote_timeout: Optional[float] = None,
+             remote_retries: Optional[int] = None,
              **service_options: object) -> "ShardRouter":
-        """Open one shard per catalog and build the routing table.
+        """Open one shard per catalog (or URL) and build the routing table.
 
         Args:
-            catalog_paths: one catalog directory per shard; each shard's
-                service is warm-started from it (``PathService.open``).
-                Shard names default to the catalog directories' basenames.
+            catalog_paths: one entry per shard — a catalog directory
+                (warm-started in this process) or an ``http(s)://`` shard
+                server URL (attached over the ``"remote"`` transport).
+                Shard names default to the directory basename or the
+                server's ``host:port``.
             specs: full :class:`ShardSpec` objects instead of
                 ``catalog_paths`` (exactly one of the two is required).
             names: explicit shard names matching ``catalog_paths``
                 positionally — required when two catalog directories share
                 a basename.
-            strict: forwarded to every shard's warm start; ``False`` skips
-                entries that fail to attach instead of raising.
+            strict: forwarded to every local shard's warm start; ``False``
+                skips entries that fail to attach instead of raising.
+                (Remote shards made that choice when their server
+                started.)
             stamp_ownership: write each owned entry's shard name into its
                 manifest (the durable ownership record).  Stamping is
                 skipped when the record already matches.
-            **service_options: forwarded to every shard service
-                constructor (cache knobs, ``default_backend``, ...).
+            shared_cache_size: capacity of the opt-in router-level result
+                cache shared across shards, keyed by graph *fingerprint*
+                so replicas share entries; ``0`` (the default) disables
+                it.
+            shared_cache_ttl: optional TTL, in seconds, for shared-cache
+                entries.
+            remote_timeout: per-request timeout, in seconds, applied to
+                every URL shard (a slow shard exceeding it fails over).
+            remote_retries: transport-level retries applied to every URL
+                shard.
+            **service_options: forwarded to every *local* shard service
+                constructor (cache knobs, ``default_backend``, ...);
+                remote shards configured their service at server start.
 
         Raises:
             ShardError: no shards, duplicate shard names, or both/neither
                 of ``catalog_paths`` and ``specs`` given.
             ShardConflictError: two shards list the same graph name with
                 different content fingerprints.
+            ShardUnavailableError: a URL shard refused the connection (the
+                open-time health probe).
             PersistentCatalogError: a shard catalog failed to load (or, in
                 strict mode, an entry failed to attach).
         """
@@ -163,9 +271,23 @@ class ShardRouter:
                     f"got {len(names)} shard names for "
                     f"{len(catalog_paths)} catalog paths"
                 )
-            specs = [ShardSpec(name=name, catalog_path=path,
-                               service_options=dict(service_options))
-                     for name, path in zip(names, catalog_paths)]
+            built: List[ShardSpec] = []
+            for name, path in zip(names, catalog_paths):
+                if is_shard_url(path):
+                    options: Dict[str, object] = {}
+                    if remote_timeout is not None:
+                        options["timeout"] = remote_timeout
+                    if remote_retries is not None:
+                        options["retries"] = remote_retries
+                    built.append(ShardSpec(
+                        name=name, catalog_path=path,
+                        transport=REMOTE_TRANSPORT,
+                        service_options=options))
+                else:
+                    built.append(ShardSpec(
+                        name=name, catalog_path=path,
+                        service_options=dict(service_options)))
+            specs = built
         else:
             if names is not None:
                 raise ShardError(
@@ -192,38 +314,42 @@ class ShardRouter:
         try:
             for spec in specs:
                 transports.append(spec.open(strict=strict))
-            table = routing_table_from_catalogs(
-                [(transport.spec.name, transport.service.catalog)
+            table = build_routing_table(
+                [(transport.spec.name, transport.routing_entries())
                  for transport in transports])
-            # Routes must point at graphs the owning service actually
-            # hosts: with strict=False a warm start skips stale/missing
-            # entries, and routing to a skipped entry would raise a
-            # misleading "not hosted" error mid-batch instead of the
-            # clean "not routed" one up front.  (With strict=True every
-            # entry attached or the open already raised, so this drops
-            # nothing.)
+            # Routes (and replica lists) must point at graphs the shard
+            # actually hosts: a warm start with strict=False — or a server
+            # started with --no-strict — skips stale/missing entries, and
+            # routing to a skipped entry would raise a misleading "not
+            # hosted" error mid-batch instead of the clean "not routed"
+            # one up front.
+            hosted = {transport.spec.name: set(transport.graphs())
+                      for transport in transports}
             for name, route in list(table.routes.items()):
-                owner_service = next(
-                    transport.service for transport in transports
-                    if transport.spec.name == route.shard)
-                if name not in owner_service.graphs():
+                if name not in hosted[route.shard]:
                     del table.routes[name]
+                    continue
+                live = tuple(replica for replica in route.replicas
+                             if name in hosted.get(replica, set()))
+                if live != route.replicas:
+                    table.routes[name] = replace(route, replicas=live)
         except BaseException:
             for transport in transports:
                 transport.close()
             raise
-        router = cls(transports, table)
+        router = cls(transports, table,
+                     shared_cache_size=shared_cache_size,
+                     shared_cache_ttl=shared_cache_ttl)
         if stamp_ownership:
             router._stamp_ownership()
         return router
 
     def _stamp_ownership(self) -> None:
-        """Record each route's owner in the owning catalog's manifest (a
+        """Record each route's owner in the owning shard's manifest (a
         no-op per entry when the record is already correct)."""
         for route in self._table.routes.values():
-            catalog = self._transports[route.shard].service.catalog
-            assert catalog is not None  # shard services are catalog-bound
-            catalog.set_shard(route.graph, route.shard)
+            self._transports[route.shard].stamp_ownership(
+                route.graph, route.shard)
 
     # -- topology ----------------------------------------------------------------
 
@@ -243,10 +369,105 @@ class ShardRouter:
         """The live routing table (treat as read-only)."""
         return self._table
 
+    def transport(self, shard: str) -> ShardTransport:
+        """The connected :class:`ShardTransport` behind one shard."""
+        return self._shard(shard)
+
     def service(self, shard: str) -> "PathService":
-        """The :class:`PathService` behind one shard (for inspection —
-        ``pool_stats``, ``cache_info`` — not for bypassing the router)."""
+        """The :class:`PathService` behind one *in-process* shard (for
+        inspection — ``pool_stats``, ``cache_info`` — not for bypassing
+        the router).  Remote shards have none and raise
+        :class:`ShardError`."""
         return self._shard(shard).service
+
+    # -- health and failover -----------------------------------------------------
+
+    def shard_health(self) -> Dict[str, Dict[str, object]]:
+        """The router's per-shard failure accounting (lifetime view; one
+        batch's accounting is on its :class:`RouterStats`)."""
+        with self._health_lock:
+            return {name: health.as_dict()
+                    for name, health in self._health.items()}
+
+    def check_health(self) -> Dict[str, Dict[str, object]]:
+        """Actively probe every shard (one cheap liveness call each) and
+        fold the outcomes into the failure accounting.  A probe finding a
+        down-marked shard alive again clears its cooldown early."""
+        report: Dict[str, Dict[str, object]] = {}
+        for name, transport in self._transports.items():
+            try:
+                document = transport.health()
+            except ShardUnavailableError as exc:
+                self._mark_failure(name, exc)
+                report[name] = {"status": "down", "shard": name,
+                                "error": str(exc)}
+            else:
+                self._mark_success(name)
+                report[name] = dict(document)
+        return report
+
+    def _mark_failure(self, shard: str, exc: BaseException) -> None:
+        with self._health_lock:
+            health = self._health[shard]
+            health.errors += 1
+            health.consecutive_failures += 1
+            cooldown = min(
+                FAILOVER_COOLDOWN * (2 ** (health.consecutive_failures - 1)),
+                FAILOVER_COOLDOWN_MAX)
+            health.down_until = time.monotonic() + cooldown
+            health.last_error = str(exc)
+
+    def _mark_success(self, shard: str) -> None:
+        with self._health_lock:
+            health = self._health[shard]
+            health.consecutive_failures = 0
+            health.down_until = 0.0
+
+    def _candidates(self, graph: str) -> List[str]:
+        """Shards able to answer ``graph``, preference order: the owner,
+        then replicas — but shards inside their failure cooldown sink to
+        the end (still tried last, so a fully-down replica set degrades
+        to an error rather than an instant refusal)."""
+        route = self._table.route(graph)
+        names = [route.shard] + [replica for replica in route.replicas
+                                 if replica in self._transports
+                                 and replica != route.shard]
+        now = time.monotonic()
+        with self._health_lock:
+            up = [n for n in names if not self._health[n].is_down(now)]
+            down = [n for n in names if self._health[n].is_down(now)]
+        return up + down
+
+    def _next_candidate(self, graph: str,
+                        tried: Set[str]) -> Optional[str]:
+        for name in self._candidates(graph):
+            if name not in tried:
+                return name
+        return None
+
+    # -- shared cross-shard cache ------------------------------------------------
+
+    def shared_cache_info(self):
+        """Counters of the shared cross-shard cache, or ``None`` when the
+        router was opened without one."""
+        return (None if self._shared_cache is None
+                else self._shared_cache.stats())
+
+    def _shared_key(self, spec: QuerySpec) -> Optional[Tuple]:
+        """Cross-shard cache key: the graph's content *fingerprint* (never
+        its name, so same-name/different-content graphs cannot collide and
+        all replicas share), plus the query coordinates.  Uncacheable
+        queries (capped iterations) get no key."""
+        if self._shared_cache is None or spec.max_iterations is not None:
+            return None
+        route = self._table.route(spec.graph)
+        return (route.fingerprint, spec.source, spec.target,
+                spec.method.upper(), spec.sql_style)
+
+    @staticmethod
+    def _copy_result(result: PathResult) -> PathResult:
+        from repro.service.session import PathService
+        return PathService._copy_result(result)
 
     # -- queries -----------------------------------------------------------------
 
@@ -254,22 +475,69 @@ class ShardRouter:
                       method: str = "auto", sql_style: str = NSQL,
                       max_iterations: Optional[int] = None,
                       use_cache: bool = True) -> PathResult:
-        """Answer one query, routed transparently to ``graph``'s owner.
+        """Answer one query, routed transparently to ``graph``'s owner —
+        or, when the owner's transport fails, to the next
+        identical-fingerprint replica (bit-identical answer).
 
         Raises:
             UnknownGraphError: when no shard owns ``graph``.
+            ShardUnavailableError: every shard hosting ``graph`` is
+                unreachable.
             (plus everything :meth:`PathService.shortest_path` raises)
         """
-        return self._service_for(graph).shortest_path(
-            source, target, graph=graph, method=method,
-            sql_style=sql_style, max_iterations=max_iterations,
-            use_cache=use_cache)
+        spec = QuerySpec(source=source, target=target, graph=graph,
+                         method=method, sql_style=sql_style,
+                         max_iterations=max_iterations)
+        key = self._shared_key(spec) if use_cache else None
+        if key is not None:
+            assert self._shared_cache is not None
+            cached = self._shared_cache.get(key)
+            if cached is not None:
+                return self._copy_result(cached)
+            verdict = self._shared_cache.get_negative(key)
+            if verdict is not None:
+                raise PathNotFoundError(verdict)
+        last: Optional[ShardUnavailableError] = None
+        for shard in self._candidates(graph):
+            transport = self._transports[shard]
+            try:
+                result = transport.shortest_path(spec, use_cache=use_cache)
+            except ShardUnavailableError as exc:
+                self._mark_failure(shard, exc)
+                last = exc
+                continue
+            except PathNotFoundError as exc:
+                self._mark_success(shard)
+                if key is not None:
+                    assert self._shared_cache is not None
+                    self._shared_cache.put_negative(key, str(exc))
+                raise
+            self._mark_success(shard)
+            if key is not None:
+                assert self._shared_cache is not None
+                self._shared_cache.put(key, self._copy_result(result))
+            return result
+        assert last is not None
+        raise last
 
     def explain(self, source: int, target: int, graph: str,
                 method: str = "auto", sql_style: str = NSQL) -> QueryPlan:
-        """The plan ``graph``'s owning shard would execute."""
-        return self._service_for(graph).explain(
-            source, target, graph=graph, method=method, sql_style=sql_style)
+        """The plan ``graph``'s owning shard (or, on transport failure,
+        its next replica) would execute."""
+        spec = QuerySpec(source=source, target=target, graph=graph,
+                         method=method, sql_style=sql_style)
+        last: Optional[ShardUnavailableError] = None
+        for shard in self._candidates(graph):
+            try:
+                plan = self._transports[shard].explain(spec)
+            except ShardUnavailableError as exc:
+                self._mark_failure(shard, exc)
+                last = exc
+                continue
+            self._mark_success(shard)
+            return plan
+        assert last is not None
+        raise last
 
     def shortest_path_many(self, queries: Sequence["BatchQuery"],
                            graph: Optional[str] = None,
@@ -281,12 +549,17 @@ class ShardRouter:
         """Scatter a mixed-graph batch across shards and gather in order.
 
         The batch is normalized and validated up front (unknown graphs,
-        unknown nodes, and malformed specs fail before any shard does any
-        work), split by owning shard, and each non-empty slice runs as one
-        ordinary :meth:`PathService.shortest_path_many` call on its shard
-        — concurrently across shards, and with ``concurrency=N`` worker
-        threads *inside* each shard on top.  ``results[i]`` always answers
-        ``queries[i]``.
+        unknown nodes, and malformed specs fail before any shard executes
+        anything), split by owning shard, and each non-empty slice runs as
+        one batch call on its shard's transport — concurrently across
+        shards, and with ``concurrency=N`` worker threads *inside* each
+        shard on top.  ``results[i]`` always answers ``queries[i]``.
+
+        A slice whose shard fails at the transport level is re-routed to
+        the next identical-fingerprint replica (per-graph, bounded by the
+        replica count); the answers are bit-identical, the detour is
+        visible in ``stats.failovers`` / ``stats.per_shard_errors``, and
+        only when *every* host of a graph is down does the batch raise.
 
         Args:
             queries: the batch, in any of the forms
@@ -304,6 +577,9 @@ class ShardRouter:
         Raises:
             UnknownGraphError, NodeNotFoundError, InvalidQueryError: on
                 the first malformed query, before anything executes.
+            ShardUnavailableError: some graph's entire replica set is
+                unreachable (deterministically the failure holding the
+                smallest input index).
             PathNotFoundError: with ``raise_on_unreachable=True``, the
                 deterministic first (by input index) unreachable pair.
         """
@@ -317,56 +593,150 @@ class ShardRouter:
             shard_of=[""] * len(specs),
             stats=RouterStats(total=len(specs)),
         )
-        # Fail-fast validation on the router thread: resolve every owner
-        # and plan every spec before a single shard executes anything —
-        # the same "malformed queries fail before any work" contract the
-        # serial batch gives.  The plans are handed to each slice so the
-        # shards do not plan the batch a second time.
-        groups: Dict[str, List[int]] = {}
-        plans: List[QueryPlan] = []
+        stats = scatter.stats
+        # Owner resolution doubles as graph-name validation; the shared
+        # cross-shard cache (when enabled) then answers what it can
+        # without touching any shard.
+        pending: List[int] = []
         for index, spec in enumerate(specs):
-            shard = self._table.owner(spec.graph)
-            service = self._shard(shard).service
-            plans.append(service.plan(spec))
-            scatter.shard_of[index] = shard
-            groups.setdefault(shard, []).append(index)
-        if not groups:
-            scatter.stats.total_time = time.perf_counter() - start
-            return scatter
+            route = self._table.route(spec.graph)
+            scatter.shard_of[index] = route.shard
+            key = self._shared_key(spec)
+            if key is not None:
+                assert self._shared_cache is not None
+                cached = self._shared_cache.get(key)
+                if cached is not None:
+                    scatter.results[index] = self._copy_result(cached)
+                    scatter.from_cache[index] = True
+                    stats.shared_cache_hits += 1
+                    continue
+                if self._shared_cache.get_negative(key) is not None:
+                    # A remembered unreachable pair: result stays None.
+                    scatter.from_cache[index] = True
+                    stats.shared_cache_hits += 1
+                    continue
+            pending.append(index)
 
-        def run_slice(shard: str, indices: List[int]) -> "BatchResult":
-            service = self._shard(shard).service
-            return execute_batch(
-                service,
-                [specs[i] for i in indices],
-                raise_on_unreachable=False,
-                concurrency=concurrency,
-                checkout_timeout=checkout_timeout,
-                plans=[plans[i] for i in indices])
+        # Fail-fast validation: plan every pending spec — one transport
+        # round per shard, with per-graph failover — before a single
+        # query executes anywhere.  Library errors (unknown node, bad
+        # method) propagate immediately; the plans are handed to
+        # in-process slices so they are not planned twice.
+        plans: Dict[int, QueryPlan] = {}
+        assignment: Dict[str, str] = {}
+        tried: Dict[str, Set[str]] = {}
+        last_error: Dict[str, ShardUnavailableError] = {}
+        unassigned: List[str] = []
+        for index in pending:
+            name = specs[index].graph
+            if name not in assignment and name not in unassigned:
+                unassigned.append(name)
+        while unassigned:
+            groups: Dict[str, List[str]] = {}
+            for name in unassigned:
+                candidate = self._next_candidate(name, tried.get(name, set()))
+                if candidate is None:
+                    raise last_error[name]
+                groups.setdefault(candidate, []).append(name)
+            for shard, shard_graphs in groups.items():
+                members = set(shard_graphs)
+                indices = [i for i in pending
+                           if specs[i].graph in members and i not in plans]
+                try:
+                    slice_plans = self._transports[shard].plan_specs(
+                        [specs[i] for i in indices])
+                except ShardUnavailableError as exc:
+                    self._mark_failure(shard, exc)
+                    stats.record_error(shard)
+                    stats.failovers += len(indices)
+                    for name in shard_graphs:
+                        tried.setdefault(name, set()).add(shard)
+                        last_error[name] = exc
+                    continue
+                self._mark_success(shard)
+                for index, plan in zip(indices, slice_plans):
+                    plans[index] = plan
+                for name in shard_graphs:
+                    assignment[name] = shard
+            unassigned = [name for name in unassigned
+                          if name not in assignment]
 
-        errors: Dict[int, BaseException] = {}
-        with ThreadPoolExecutor(
-                max_workers=len(groups),
-                thread_name_prefix="repro-router") as pool:
-            futures = {pool.submit(run_slice, shard, indices):
-                       (shard, indices)
-                       for shard, indices in groups.items()}
-            wait(list(futures))
-        for future, (shard, indices) in futures.items():
-            try:
-                batch = future.result()
-            except BaseException as exc:
-                # Surfaced deterministically below: the failing shard
-                # holding the smallest input index wins.
-                errors[indices[0]] = exc
-                continue
-            scatter.stats.record(shard, batch.stats)
-            for local, global_index in enumerate(indices):
-                scatter.results[global_index] = batch.results[local]
-                scatter.from_cache[global_index] = batch.from_cache[local]
-        if errors:
-            raise errors[min(errors)]
-        scatter.stats.total_time = time.perf_counter() - start
+        # Execution rounds: scatter the outstanding slices, re-routing a
+        # transport-failed slice's graphs to their next replica until
+        # everything is answered or some graph runs out of hosts.
+        outstanding: List[int] = list(pending)
+        while outstanding:
+            groups_by_shard: Dict[str, List[int]] = {}
+            for index in outstanding:
+                shard = assignment[specs[index].graph]
+                groups_by_shard.setdefault(shard, []).append(index)
+
+            def run_slice(shard: str, indices: List[int]) -> "BatchResult":
+                return self._transports[shard].execute_specs(
+                    [specs[i] for i in indices],
+                    concurrency=concurrency,
+                    checkout_timeout=checkout_timeout,
+                    plans=[plans[i] for i in indices])
+
+            errors: Dict[int, BaseException] = {}
+            with ThreadPoolExecutor(
+                    max_workers=len(groups_by_shard),
+                    thread_name_prefix="repro-router") as pool:
+                futures = {pool.submit(run_slice, shard, indices):
+                           (shard, indices)
+                           for shard, indices in groups_by_shard.items()}
+                wait(list(futures))
+            answered: Set[int] = set()
+            for future, (shard, indices) in futures.items():
+                try:
+                    batch = future.result()
+                except ShardUnavailableError as exc:
+                    self._mark_failure(shard, exc)
+                    stats.record_error(shard)
+                    for name in {specs[i].graph for i in indices}:
+                        tried.setdefault(name, set()).add(shard)
+                        affected = [i for i in indices
+                                    if specs[i].graph == name]
+                        replica = self._next_candidate(name, tried[name])
+                        if replica is None:
+                            errors[min(affected)] = exc
+                            answered.update(affected)  # stop retrying
+                        else:
+                            assignment[name] = replica
+                            stats.failovers += len(affected)
+                    continue
+                except BaseException as exc:
+                    # Non-transport failures are not failover events:
+                    # surfaced deterministically below, smallest input
+                    # index first.
+                    errors[indices[0]] = exc
+                    answered.update(indices)
+                    continue
+                self._mark_success(shard)
+                stats.record(shard, batch.stats)
+                answered.update(indices)
+                for local, global_index in enumerate(indices):
+                    result = batch.results[local]
+                    scatter.results[global_index] = result
+                    scatter.from_cache[global_index] = batch.from_cache[local]
+                    scatter.shard_of[global_index] = shard
+                    key = self._shared_key(specs[global_index])
+                    if key is None:
+                        continue
+                    assert self._shared_cache is not None
+                    if result is None:
+                        spec = specs[global_index]
+                        self._shared_cache.put_negative(
+                            key, f"no path from {spec.source} to "
+                                 f"{spec.target} in graph {spec.graph!r}")
+                    else:
+                        self._shared_cache.put(key,
+                                               self._copy_result(result))
+            if errors:
+                raise errors[min(errors)]
+            outstanding = [i for i in outstanding if i not in answered]
+
+        stats.total_time = time.perf_counter() - start
         if raise_on_unreachable:
             for index, result in enumerate(scatter.results):
                 if result is None:
@@ -389,17 +759,32 @@ class ShardRouter:
         hardware or host graphs on different backends) and — with
         ``persist=True`` — records the profile in its own catalog, so the
         next :meth:`open` warm-starts every shard with a calibrated
-        planner and zero re-probing.
+        planner and zero re-probing.  Remote shards probe server-side.
 
         Returns ``{shard: {backend: CostProfile}}``.
         """
         return {
-            name: transport.service.calibrate(backend, persist=persist,
-                                              **probe_options)
+            name: transport.calibrate(backend, persist=persist,
+                                      **probe_options)
             for name, transport in self._transports.items()
         }
 
+    # -- async front end ---------------------------------------------------------
+
+    def as_async(self, max_workers: int = 8) -> "AsyncShardRouter":
+        """An ``await``-able facade over this router (see
+        :class:`repro.serve.aio.AsyncShardRouter`).  The facade borrows
+        the router: close each independently."""
+        from repro.serve.aio import AsyncShardRouter
+        return AsyncShardRouter(self, max_workers=max_workers)
+
     # -- rebalancing -------------------------------------------------------------
+
+    def move_stats(self) -> Dict[str, int]:
+        """Rebalancing counters: full ``moves`` (data relocated) and
+        ``replica_noops`` (ownership flipped to an existing
+        identical-fingerprint replica, zero bytes copied)."""
+        return dict(self._move_markers)
 
     def move(self, graph: str, shard: str) -> Route:
         """Rebalance: hand ``graph`` (and its built SegTable) to ``shard``.
@@ -417,13 +802,23 @@ class ShardRouter:
         warm-attaches the graph — adopting the migrated SegTable, never
         rebuilding it — and the routing table is updated in place.
 
+        Two cheap cases short-circuit the copy entirely: moving a graph
+        onto its current owner returns the route unchanged, and moving it
+        onto a shard that already *replica-hosts* it at the same
+        fingerprint just flips ownership (both manifests re-stamped, the
+        old owner demoted to replica) and counts a ``replica_noops``
+        marker in :meth:`move_stats`.
+
+        A relocation that fails midway (export error, disk full) removes
+        its partial snapshot from the target catalog before re-raising,
+        so a retry is not blocked by a corrupt leftover file.
+
         Moving a graph is not concurrency-safe against in-flight batches
         that touch it: quiesce those first.
 
         Args:
             graph: a routed graph name.
-            shard: the receiving shard.  Moving a graph onto its current
-                owner is a no-op.
+            shard: the receiving shard.
 
         Returns:
             The graph's new :class:`Route`.
@@ -432,13 +827,29 @@ class ShardRouter:
             UnknownGraphError: ``graph`` is not routed.
             UnknownShardError: ``shard`` is not part of this router.
             ShardError: the entry is stale, the backend cannot relocate
-                its database, or the target already holds a database file
-                of the same name.
+                its database, the target already holds a database file of
+                the same name, or either endpoint is a remote shard
+                (full data moves need in-process services).
         """
         route = self._table.route(graph)
         target = self._shard(shard)
         if route.shard == shard:
             return route
+        if shard in route.replicas:
+            # The target already holds byte-identical content: no copy,
+            # just flip the durable ownership records and the live route.
+            source = self._shard(route.shard)
+            target.stamp_ownership(graph, shard)
+            source.stamp_ownership(graph, shard)
+            flipped = Route(
+                graph=graph, shard=shard, fingerprint=route.fingerprint,
+                stale=route.stale,
+                replicas=(route.shard,) + tuple(
+                    replica for replica in route.replicas
+                    if replica != shard))
+            self._table.routes[graph] = flipped
+            self._move_markers["replica_noops"] += 1
+            return flipped
         source = self._shard(route.shard)
         source_catalog = source.service.catalog
         target_catalog = target.service.catalog
@@ -477,7 +888,15 @@ class ShardRouter:
                         f"database; graph {graph!r} stays on shard "
                         f"{route.shard!r}"
                     )
-                store.export_database(dest_db)
+                try:
+                    store.export_database(dest_db)
+                except BaseException:
+                    # A half-written snapshot must not survive: it would
+                    # block the retry (the dest-exists guard above) and
+                    # could be mistaken for a valid database.
+                    if os.path.exists(dest_db):
+                        os.remove(dest_db)
+                    raise
             finally:
                 store.close()
         else:
@@ -498,12 +917,13 @@ class ShardRouter:
                       fingerprint=entry.fingerprint,
                       stale=False, replicas=route.replicas)
         self._table.routes[graph] = moved
+        self._move_markers["moves"] += 1
         return moved
 
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
-        """Close every shard service."""
+        """Close every shard transport."""
         if self._closed:
             return
         self._closed = True
@@ -531,4 +951,4 @@ class ShardRouter:
         return self._shard(self._table.owner(graph)).service
 
 
-__all__ = ["DEFAULT_GRAPH", "ScatterResult", "ShardRouter"]
+__all__ = ["DEFAULT_GRAPH", "ScatterResult", "ShardHealth", "ShardRouter"]

@@ -2,12 +2,19 @@
 
 A :class:`ShardSpec` names one shard and points at the catalog whose
 manifest is that shard's routing-table contribution.  *How* the shard's
-service is reached is the **transport**: today the only transport is
-``"inprocess"`` — the router warm-starts a
+service is reached is the **transport**: ``"inprocess"`` warm-starts a
 :class:`~repro.service.session.PathService` right here via
-``PathService.open`` — but the seam is explicit so a later PR can register
-a remote transport (same :class:`ShardTransport` surface over a wire
-protocol) without touching the router.
+``PathService.open``; ``"remote"`` (registered on ``import repro.serve``)
+speaks the serve wire protocol to a shard server in another process.  The
+router talks to every shard exclusively through the
+:class:`ShardTransport` operation surface, so the two are
+interchangeable — including mixed within one router.
+
+The transport registry is open: :func:`register_transport` accepts
+third-party factories, and :meth:`ShardSpec.open` resolves the name *at
+open time* (not at spec construction), so a transport registered after
+the spec was built — the normal case for ``"remote"``, which rides in on
+the ``repro.serve`` import — still works.
 """
 
 from __future__ import annotations
@@ -15,14 +22,37 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Dict, TYPE_CHECKING
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+)
+from urllib.parse import urlsplit
 
 from repro.errors import ShardError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.catalog.manifest import CatalogEntry
+    from repro.core.path import PathResult
+    from repro.service.batch import BatchResult
+    from repro.service.costmodel import CostProfile
+    from repro.service.planner import QueryPlan, QuerySpec
     from repro.service.session import PathService
 
 INPROCESS_TRANSPORT = "inprocess"
+REMOTE_TRANSPORT = "remote"
+
+_URL_SCHEMES = ("http://", "https://")
+
+
+def is_shard_url(path: str) -> bool:
+    """Whether ``path`` addresses a networked shard server rather than a
+    catalog directory on this filesystem."""
+    return path.startswith(_URL_SCHEMES)
 
 
 @dataclass(frozen=True)
@@ -34,13 +64,16 @@ class ShardSpec:
             catalog entries as the manifest ownership record and appended
             to the shard service's cache keys (``shard_id``).
         catalog_path: the shard's catalog directory — its manifest is the
-            slice of the routing table this shard contributes.
-        transport: how the shard's service is reached; only
-            ``"inprocess"`` is registered today (see
-            :func:`register_transport`).
+            slice of the routing table this shard contributes.  For the
+            ``"remote"`` transport this is the server's base URL
+            (``http://host:port``) instead.
+        transport: how the shard's service is reached (see
+            :func:`register_transport`).  Resolved when the spec is
+            *opened*, so transports registered after construction work.
         service_options: extra keyword arguments for the shard service
             (cache knobs, ``default_backend``, ...), applied by the
-            transport when it opens the service.
+            transport when it opens the service.  The remote transport
+            reads its client knobs (``timeout``, ``retries``) from here.
     """
 
     name: str
@@ -54,22 +87,35 @@ class ShardSpec:
                 f"shard name {self.name!r} is invalid; use a non-empty "
                 f"name without path separators"
             )
-        if self.transport not in _TRANSPORTS:
-            raise ShardError(
-                f"unknown shard transport {self.transport!r}; registered "
-                f"transports: {tuple(sorted(_TRANSPORTS))}"
-            )
 
     def open(self, strict: bool = True) -> "ShardTransport":
-        """Connect this shard through its transport (see
-        :meth:`ShardTransport.connect`)."""
-        return _TRANSPORTS[self.transport](self, strict)
+        """Connect this shard through its transport.
+
+        The transport name is resolved against the registry *now* — if it
+        is unknown, ``repro.serve`` is imported once (it registers
+        ``"remote"`` as a side effect) before giving up, so specs built
+        before that import still open.
+
+        Raises:
+            ShardError: the transport name is not registered even after
+                the ``repro.serve`` fallback import.
+        """
+        factory = _TRANSPORTS.get(self.transport)
+        if factory is None:
+            factory = _resolve_late_transport(self.transport)
+        return factory(self, strict)
 
 
 class ShardTransport(ABC):
     """A connected shard: the router talks to every shard through this
-    surface only, so in-process and (future) remote shards are
-    interchangeable."""
+    surface only, so in-process and remote shards are interchangeable.
+
+    Every operation has a default implementation that delegates to
+    :attr:`service`, so an in-process (or any service-backed third-party)
+    transport only implements ``service`` and ``close``; a networked
+    transport overrides each operation with a wire call instead and lets
+    ``service`` raise.
+    """
 
     def __init__(self, spec: ShardSpec) -> None:
         self.spec = spec
@@ -77,11 +123,90 @@ class ShardTransport(ABC):
     @property
     @abstractmethod
     def service(self) -> "PathService":
-        """The shard's query service."""
+        """The shard's in-process query service.
+
+        Transports without one (networked shards) raise
+        :class:`ShardError` — callers that need direct service access
+        (full data moves, pool inspection) must check the transport type.
+        """
 
     @abstractmethod
     def close(self) -> None:
         """Release the shard's resources."""
+
+    # -- operation surface (defaults delegate to the in-process service) ---------
+
+    def graphs(self) -> Tuple[str, ...]:
+        """Graph names this shard actually hosts (attached and queryable)."""
+        return self.service.graphs()
+
+    def routing_entries(self) -> Dict[str, "CatalogEntry"]:
+        """The shard's catalog manifest — its routing-table contribution."""
+        catalog = self.service.catalog
+        assert catalog is not None  # shard services are catalog-bound
+        return dict(catalog.entries())
+
+    def stamp_ownership(self, graph: str, shard: str) -> None:
+        """Record ``shard`` as ``graph``'s owner in this shard's manifest
+        (a no-op when the record already matches)."""
+        catalog = self.service.catalog
+        assert catalog is not None
+        catalog.set_shard(graph, shard)
+
+    def shortest_path(self, spec: "QuerySpec",
+                      use_cache: bool = True) -> "PathResult":
+        """Answer one query on this shard."""
+        return self.service.shortest_path(
+            spec.source, spec.target, graph=spec.graph, method=spec.method,
+            sql_style=spec.sql_style, max_iterations=spec.max_iterations,
+            use_cache=use_cache)
+
+    def explain(self, spec: "QuerySpec") -> "QueryPlan":
+        """The plan this shard would execute for ``spec``."""
+        return self.service.plan(spec)
+
+    def plan_specs(self, specs: Sequence["QuerySpec"]) -> List["QueryPlan"]:
+        """Plan a batch slice (the router's fail-fast validation pass).
+
+        Malformed specs — unknown graph, unknown node, bad method — raise
+        here, before anything executes anywhere.
+        """
+        return [self.service.plan(spec) for spec in specs]
+
+    def execute_specs(self, specs: Sequence["QuerySpec"], *,
+                      concurrency: int = 1,
+                      checkout_timeout: Optional[float] = None,
+                      plans: Optional[Sequence["QueryPlan"]] = None
+                      ) -> "BatchResult":
+        """Execute one scatter slice on this shard.
+
+        ``plans`` replays the validation pass's plans so an in-process
+        slice is not planned twice; transports that cannot ship plans
+        (remote) ignore it and re-plan server-side — planning is
+        deterministic, so the results are identical.
+        """
+        from repro.service.batch import execute_batch
+        return execute_batch(
+            self.service, list(specs), raise_on_unreachable=False,
+            concurrency=concurrency, checkout_timeout=checkout_timeout,
+            plans=None if plans is None else list(plans))
+
+    def calibrate(self, backend: Optional[str] = None, *,
+                  persist: bool = True,
+                  **probe_options: object) -> Dict[str, "CostProfile"]:
+        """Calibrate this shard's planner cost model."""
+        return self.service.calibrate(backend, persist=persist,
+                                      **probe_options)
+
+    def health(self) -> Dict[str, object]:
+        """A cheap liveness probe.  Raises (transport-dependent) when the
+        shard is unreachable; returns a status document when it is up."""
+        return {
+            "status": "ok",
+            "shard": self.spec.name,
+            "transport": self.spec.transport,
+            "graphs": list(self.graphs()),
+        }
 
 
 class InProcessTransport(ShardTransport):
@@ -130,22 +255,48 @@ def available_transports() -> tuple:
     return tuple(sorted(_TRANSPORTS))
 
 
+def _resolve_late_transport(name: str) -> TransportFactory:
+    """Second-chance lookup for transports registered by deferred imports.
+
+    ``repro.serve`` registers ``"remote"`` when imported; a spec built
+    before that import must still open, so try the import here before
+    declaring the name unknown.
+    """
+    try:
+        import repro.serve  # noqa: F401  (registers "remote")
+    except ImportError:  # pragma: no cover - serve ships with the package
+        pass
+    factory = _TRANSPORTS.get(name)
+    if factory is None:
+        raise ShardError(
+            f"unknown shard transport {name!r}; registered "
+            f"transports: {available_transports()}"
+        )
+    return factory
+
+
 register_transport(INPROCESS_TRANSPORT, InProcessTransport)
 
 
 def default_shard_name(catalog_path: str) -> str:
     """The default name of the shard at ``catalog_path``: the catalog
-    directory's basename (trailing separators ignored)."""
+    directory's basename (trailing separators ignored), or ``host:port``
+    for a shard server URL."""
+    if is_shard_url(catalog_path):
+        parts = urlsplit(catalog_path)
+        return parts.netloc or catalog_path
     normalized = os.path.normpath(os.path.abspath(catalog_path))
     return os.path.basename(normalized) or normalized
 
 
 __all__ = [
     "INPROCESS_TRANSPORT",
+    "REMOTE_TRANSPORT",
     "InProcessTransport",
     "ShardSpec",
     "ShardTransport",
     "available_transports",
     "default_shard_name",
+    "is_shard_url",
     "register_transport",
 ]

@@ -71,10 +71,29 @@ class TestShardSpec:
         with pytest.raises(ShardError):
             ShardSpec(name="a/b", catalog_path=str(tmp_path))
 
-    def test_rejects_unknown_transport(self, tmp_path):
+    def test_rejects_unknown_transport_at_open_time(self, tmp_path):
+        # Construction accepts any transport name — "remote" (and
+        # third-party transports) may register after the spec is built —
+        # so the registry check happens when the spec is *opened*.
+        spec = ShardSpec(name="a", catalog_path=str(tmp_path),
+                         transport="carrier-pigeon")
         with pytest.raises(ShardError, match="unknown shard transport"):
-            ShardSpec(name="a", catalog_path=str(tmp_path),
-                      transport="carrier-pigeon")
+            spec.open()
+
+    def test_transport_registered_after_spec_construction_works(self, tmp_path):
+        _seed_catalog(str(tmp_path), {"late": grid_graph(3, 3, seed=7)})
+        spec = ShardSpec(name="late-shard", catalog_path=str(tmp_path),
+                         transport="late-registered")
+        register_transport("late-registered", InProcessTransport)
+        try:
+            transport = spec.open()
+            try:
+                assert transport.graphs() == ("late",)
+            finally:
+                transport.close()
+        finally:
+            from repro.shard.spec import _TRANSPORTS
+            _TRANSPORTS.pop("late-registered", None)
 
     def test_transport_registry(self):
         assert "inprocess" in available_transports()
@@ -378,6 +397,9 @@ class TestMove:
         cat_a, cat_b, _ = two_shards
 
         def broken_export(self, dest_path):
+            # Fail *midway*: a partial snapshot hits the disk first.
+            with open(dest_path, "wb") as handle:
+                handle.write(b"partial snapshot")
             raise OSError("disk full")
 
         monkeypatch.setattr(SQLiteGraphStore, "export_database",
@@ -392,6 +414,34 @@ class TestMove:
             assert router.shortest_path(0, 5, graph="alpha") is not None
             assert "alpha" in Catalog(cat_a)
             assert "alpha" not in Catalog(cat_b)
+            # ... and the half-written snapshot was cleaned up, so a
+            # retry is not refused by the dest-exists guard.
+            assert not os.path.exists(os.path.join(cat_b, "alpha.db"))
+            assert router.move_stats()["moves"] == 0
+
+    def test_move_onto_replica_flips_ownership_without_copy(self, tmp_path):
+        graph = grid_graph(4, 4, seed=11)
+        cat_a, cat_b = str(tmp_path / "a"), str(tmp_path / "b")
+        _seed_catalog(cat_a, {"g": graph}, lthd=3.0)
+        _seed_catalog(cat_b, {"g": graph}, lthd=3.0)
+        with ShardRouter.open(catalog_paths=[cat_a, cat_b]) as router:
+            before = router.shortest_path(0, 15, graph="g")
+            mtime = os.path.getmtime(os.path.join(cat_b, "g.db"))
+            route = router.move("g", "b")
+            # Ownership flipped; the old owner is now the replica; no
+            # bytes moved (both files stay, the target's untouched).
+            assert route.shard == "b"
+            assert route.replicas == ("a",)
+            assert router.owner("g") == "b"
+            assert os.path.getmtime(os.path.join(cat_b, "g.db")) == mtime
+            assert os.path.exists(os.path.join(cat_a, "g.db"))
+            assert router.move_stats() == {"moves": 0, "replica_noops": 1}
+            after = router.shortest_path(0, 15, graph="g")
+            assert (after.distance, after.path) == (before.distance,
+                                                   before.path)
+            # The durable ownership record moved with the flip.
+            assert Catalog(cat_b).get("g").shard == "b"
+            assert Catalog(cat_a).get("g").shard == "b"
 
     def test_move_unknown_graph_or_shard(self, two_shards):
         cat_a, cat_b, _ = two_shards
