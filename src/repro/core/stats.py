@@ -166,11 +166,17 @@ class BatchStats:
         per_method: resolved method name -> number of queries.
         concurrency: worker threads the batch ran with (``1`` = serial).
         single_flight_hits: queries that piggybacked on an identical
-            in-flight query instead of executing (parallel batches only).
+            in-flight query instead of executing (parallel batches only),
+            plus batch-local duplicates replayed from a leader's answer.
         queue_time: summed seconds queries spent waiting for a pooled
             store connection (can exceed ``total_time`` across workers).
         execute_time: summed seconds queries spent actually executing
             (can exceed ``total_time`` across workers).
+        shared_frontier_groups: one-to-many Dijkstra runs the batch
+            planner formed: same-source path queries answered by a single
+            shared frontier expansion instead of per-pair searches.
+        shared_frontier_queries: queries answered by those shared runs
+            (each group answers at least two).
     """
 
     total: int = 0
@@ -187,6 +193,8 @@ class BatchStats:
     single_flight_hits: int = 0
     queue_time: float = 0.0
     execute_time: float = 0.0
+    shared_frontier_groups: int = 0
+    shared_frontier_queries: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -216,6 +224,8 @@ class BatchStats:
         self.single_flight_hits += other.single_flight_hits
         self.queue_time += other.queue_time
         self.execute_time += other.execute_time
+        self.shared_frontier_groups += other.shared_frontier_groups
+        self.shared_frontier_queries += other.shared_frontier_queries
         self.concurrency = max(self.concurrency, other.concurrency)
         for graph, count in other.per_graph.items():
             self.per_graph[graph] = self.per_graph.get(graph, 0) + count
@@ -241,6 +251,8 @@ class BatchStats:
             "single_flight_hits": self.single_flight_hits,
             "queue_time": self.queue_time,
             "execute_time": self.execute_time,
+            "shared_frontier_groups": self.shared_frontier_groups,
+            "shared_frontier_queries": self.shared_frontier_queries,
         }
 
     @classmethod
@@ -266,6 +278,9 @@ class BatchStats:
             single_flight_hits=int(data.get("single_flight_hits", 0)),
             queue_time=float(data.get("queue_time", 0.0)),
             execute_time=float(data.get("execute_time", 0.0)),
+            shared_frontier_groups=int(data.get("shared_frontier_groups", 0)),
+            shared_frontier_queries=int(
+                data.get("shared_frontier_queries", 0)),
         )
 
 

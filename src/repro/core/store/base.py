@@ -307,6 +307,28 @@ class GraphStore(ABC):
             The number of affected TVisited rows (the SQLCA count).
         """
 
+    def expand_hops(self, direction: Direction) -> int:
+        """Run one *hop-counting* E/M expansion of the flag-2 frontier.
+
+        The unweighted sibling of the set-at-a-time :meth:`expand`: every
+        frontier node's out-neighbors (in-neighbors backward) become
+        candidates at distance ``frontier + 1`` — edge weights ignored —
+        and, unlike the weighted merge, the insert never updates an
+        existing ``TVisited`` row.  Because the hop drivers always select
+        the *entire* unfinalized set as the frontier, every visited node
+        already carries its minimal hop count, so insert-only is exact and
+        keeps predecessor links stable (ties break to the smallest
+        frontier ``nid``, which makes the recovered witness path
+        deterministic across backends).
+
+        Returns:
+            The number of newly inserted TVisited rows.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement hop-counting "
+            f"expansion; bounded-hop and reachability queries need it"
+        )
+
     # -- path recovery (FPR phase) ------------------------------------------------------------------
 
     @abstractmethod

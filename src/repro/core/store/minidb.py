@@ -432,6 +432,61 @@ class MiniDBGraphStore(GraphStore):
         )
         return result.affected
 
+    def expand_hops(self, direction: Direction) -> int:
+        """Hop-counting E/M: insert-only frontier expansion (weights ignored).
+
+        Candidates are the frontier's neighbors at ``frontier + 1`` hops;
+        ties break to the smallest frontier ``nid`` so the witness path is
+        deterministic across backends.  Nodes already in ``TVisited`` are
+        skipped entirely — the hop drivers select whole layers, so every
+        visited node already holds its minimal hop count.
+        """
+        self._count_statement()
+        dist_col, pred_col, flag_col = (
+            direction.dist_col, direction.pred_col, direction.flag_col,
+        )
+        with self.stats.operator(OPERATOR_E):
+            frontier = [row for row in self.visited.scan()
+                        if row[flag_col] == 2]
+            best: Dict[int, Dict[str, object]] = {}
+            for frontier_row in frontier:
+                base_distance = frontier_row[dist_col]
+                if base_distance >= INFINITY:
+                    continue
+                origin = int(frontier_row["nid"])
+                for edge_row in self.edges.lookup(direction.edge_key,
+                                                  origin):
+                    nid = int(edge_row[direction.edge_other])
+                    candidate = {"nid": nid, "cost": base_distance + 1.0,
+                                 "pred": origin}
+                    held = best.get(nid)
+                    if (held is None or candidate["cost"] < held["cost"]
+                            or (candidate["cost"] == held["cost"]
+                                and origin < held["pred"])):
+                        best[nid] = candidate
+        inserted = 0
+        with self.stats.operator(OPERATOR_M):
+            for nid in sorted(best):
+                if any(True for _ in self.visited.lookup("nid", nid)):
+                    continue
+                source = best[nid]
+                row = {
+                    "nid": nid,
+                    "d2s": INFINITY,
+                    "p2s": None,
+                    "f": 0,
+                    "d2t": INFINITY,
+                    "p2t": None,
+                    "b": 0,
+                }
+                row[dist_col] = source["cost"]
+                row[pred_col] = source["pred"]
+                row[flag_col] = 0
+                self.visited.insert(row)
+                inserted += 1
+        self.stats.affected_rows += inserted
+        return inserted
+
     # ----------------------------------------------------------------------- path recovery
 
     def get_link(self, nid: int, direction: Direction) -> Optional[int]:

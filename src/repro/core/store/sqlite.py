@@ -564,6 +564,40 @@ class SQLiteGraphStore(GraphStore):
             self._execute_unlogged("DROP TABLE IF EXISTS tmp_expanded")
         return updated + inserted
 
+    def expand_hops(self, direction: Direction) -> int:
+        """Hop-counting E/M: insert-only frontier expansion (weights ignored).
+
+        One statement in either SQL style — ``GROUP BY`` dedup is plain
+        SQL-92, so NSQL and TSQL share the text.  Ties on the predecessor
+        break to ``min(frontier nid)``, keeping the witness path
+        deterministic across backends.
+        """
+        def build() -> str:
+            dist, pred, flag = (direction.dist_col, direction.pred_col,
+                                direction.flag_col)
+            other_dist = "d2t" if direction.is_forward else "d2s"
+            other_pred = "p2t" if direction.is_forward else "p2s"
+            other_flag = "b" if direction.is_forward else "f"
+            key_col, other_col = direction.edge_key, direction.edge_other
+            return f"""
+                INSERT INTO TVisited (nid, {dist}, {pred}, {flag},
+                                      {other_dist}, {other_pred}, {other_flag})
+                SELECT e.{other_col}, min(q.{dist}) + 1, min(q.nid), 0,
+                       ?, NULL, 0
+                FROM TVisited q JOIN TEdges e ON q.nid = e.{key_col}
+                WHERE q.{flag} = 2
+                  AND NOT EXISTS (SELECT 1 FROM TVisited v
+                                  WHERE v.nid = e.{other_col})
+                GROUP BY e.{other_col}
+            """
+
+        sql = self._cached_sql(("expand_hops", direction.is_forward), build)
+        with self.stats.operator(OPERATOR_E):
+            self._execute(sql, (_INF,))
+            affected = self._changes()
+        self.stats.affected_rows += affected
+        return affected
+
     # ----------------------------------------------------------------------- path recovery
 
     def get_link(self, nid: int, direction: Direction) -> Optional[int]:

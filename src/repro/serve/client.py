@@ -180,7 +180,8 @@ class ShardClient:
 
     def execute(self, specs: Sequence[QuerySpec], *,
                 concurrency: int = 1,
-                checkout_timeout: Optional[float] = None
+                checkout_timeout: Optional[float] = None,
+                share_frontier: object = False
                 ) -> Tuple[List[Optional[PathResult]], List[bool], BatchStats]:
         """Execute a batch slice; returns (results, from_cache, stats).
 
@@ -191,6 +192,7 @@ class ShardClient:
             "specs": protocol.specs_to_list(specs),
             "concurrency": concurrency,
             "checkout_timeout": checkout_timeout,
+            "share_frontier": share_frontier,
         })
         raw_results = data.get("results")
         raw_cached = data.get("from_cache")

@@ -50,6 +50,8 @@ def spec_to_dict(spec: QuerySpec) -> Dict[str, object]:
         "method": spec.method,
         "sql_style": spec.sql_style,
         "max_iterations": spec.max_iterations,
+        "kind": spec.kind,
+        "max_hops": spec.max_hops,
     }
 
 
@@ -59,6 +61,7 @@ def spec_from_dict(data: Dict[str, object]) -> QuerySpec:
     not guess what was asked)."""
     try:
         max_iterations = data.get("max_iterations")
+        max_hops = data.get("max_hops")
         return QuerySpec(
             source=int(data["source"]),
             target=int(data["target"]),
@@ -67,6 +70,10 @@ def spec_from_dict(data: Dict[str, object]) -> QuerySpec:
             sql_style=str(data.get("sql_style", "nsql")),
             max_iterations=None if max_iterations is None
             else int(max_iterations),
+            # Absent on documents from older clients: both default to the
+            # plain shortest-path kind, so the wire stays compatible.
+            kind=str(data.get("kind", "path")),
+            max_hops=None if max_hops is None else int(max_hops),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise RemoteProtocolError(

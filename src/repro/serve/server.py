@@ -35,7 +35,7 @@ from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
-from repro.errors import ReproError
+from repro.errors import RemoteProtocolError, ReproError
 from repro.serve import protocol
 from repro.service.batch import execute_batch
 
@@ -166,7 +166,8 @@ class _ShardRequestHandler(BaseHTTPRequestHandler):
         result = self._service.shortest_path(
             spec.source, spec.target, graph=spec.graph, method=spec.method,
             sql_style=spec.sql_style, max_iterations=spec.max_iterations,
-            use_cache=bool(body.get("use_cache", True)))
+            use_cache=bool(body.get("use_cache", True)),
+            kind=spec.kind, max_hops=spec.max_hops)
         return {"result": protocol.result_to_dict(result)}
 
     def _handle_explain(self) -> Dict[str, object]:
@@ -184,10 +185,16 @@ class _ShardRequestHandler(BaseHTTPRequestHandler):
         body = self._read_body()
         specs = protocol.specs_from_list(body.get("specs", []))
         timeout = body.get("checkout_timeout")
+        share = body.get("share_frontier", False)
+        if share not in (False, True, "auto"):
+            raise RemoteProtocolError(
+                f"malformed share_frontier on the wire: {share!r}"
+            )
         batch = execute_batch(
             self._service, specs, raise_on_unreachable=False,
             concurrency=int(body.get("concurrency", 1)),
-            checkout_timeout=None if timeout is None else float(timeout))
+            checkout_timeout=None if timeout is None else float(timeout),
+            share_frontier=share)
         return {
             "results": protocol.results_to_list(batch.results),
             "from_cache": list(batch.from_cache),

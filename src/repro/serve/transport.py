@@ -124,14 +124,16 @@ class RemoteTransport(ShardTransport):
     def execute_specs(self, specs: Sequence["QuerySpec"], *,
                       concurrency: int = 1,
                       checkout_timeout: Optional[float] = None,
-                      plans: Optional[Sequence["QueryPlan"]] = None
+                      plans: Optional[Sequence["QueryPlan"]] = None,
+                      share_frontier: object = False
                       ) -> "BatchResult":
         # plans cannot ship over the wire; the server re-plans its slice
         # deterministically, so the results are identical anyway.
         from repro.service.batch import BatchResult
         results, from_cache, stats = self._client.execute(
             specs, concurrency=concurrency,
-            checkout_timeout=checkout_timeout)
+            checkout_timeout=checkout_timeout,
+            share_frontier=share_frontier)
         return BatchResult(specs=list(specs), results=results,
                            from_cache=from_cache, stats=stats)
 

@@ -18,13 +18,23 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, TYPE_CHECKING
+from typing import (
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TYPE_CHECKING,
+    Union,
+)
 
 from repro.core.path import PathResult
 from repro.core.sqlstyle import NSQL
 from repro.core.stats import BatchStats
 from repro.errors import InvalidQueryError, PathNotFoundError
-from repro.service.planner import QueryPlan, QuerySpec
+from repro.service.planner import AUTO_METHOD, KIND_PATH, QueryPlan, QuerySpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.session import BatchQuery, PathService
@@ -122,13 +132,105 @@ def normalize_queries(queries: Sequence["BatchQuery"], graph: str,
     return specs
 
 
+def _execute_shared_groups(service: "PathService",
+                           specs: Sequence[QuerySpec],
+                           plans: Sequence[QueryPlan],
+                           batch: BatchResult, force: bool,
+                           checkout_timeout: Optional[float]
+                           ) -> Tuple[Set[int], Dict[int, PathNotFoundError]]:
+    """Answer eligible same-source groups with one shared DJ frontier each.
+
+    Eligible members are plain ``path``-kind, uncapped, ``method="auto"``
+    queries (explicit methods keep their per-pair semantics — a shared run
+    always executes DJ, and a different method's equally-shortest path may
+    tie-break differently).  A group shares only when it still has at
+    least two distinct targets the result cache cannot answer, and —
+    unless ``force`` — when the cost model's bias-free structural price of
+    one DJ frontier undercuts the sum of the members' per-pair plans.
+
+    Shared answers are bit-identical to per-pair ``method="DJ"`` runs (see
+    :func:`repro.core.multi.dijkstra_one_to_many`), are fed into the
+    result cache individually, and count one ``executed`` per group.
+
+    Returns ``(answered_indices, deferred_errors)``: the input positions
+    this pass answered (the main loop must skip them), and the
+    unreachable members' errors keyed by position so
+    ``raise_on_unreachable`` can still surface the smallest-index failure.
+    """
+    groups: Dict[Tuple[str, int, str], List[int]] = {}
+    for index, spec in enumerate(specs):
+        if spec.kind != KIND_PATH or spec.max_iterations is not None:
+            continue
+        if spec.method.upper() != AUTO_METHOD:
+            continue
+        groups.setdefault((spec.graph, spec.source, spec.sql_style),
+                          []).append(index)
+    answered: Set[int] = set()
+    deferred: Dict[int, PathNotFoundError] = {}
+    for (graph, source, style), indices in groups.items():
+        pending = []
+        for i in indices:
+            key = service._cache_key(plans[i])
+            if key is not None and service._cache.peek(key) is not None:
+                continue  # answerable from cache; leave it to the main loop
+            pending.append(i)
+        if len({specs[i].target for i in pending}) < 2:
+            continue
+        if not force:
+            host = service._host(graph)
+            model = service.cost_model(host.backend)
+            try:
+                shared_cost = model.structural_seconds("DJ", host.statistics)
+                per_pair = sum(
+                    model.structural_seconds(
+                        plans[i].method, host.statistics,
+                        segtable_lthd=host.store.segtable_lthd,
+                        segtable=host.segtable_stats)
+                    for i in pending)
+            except ValueError:
+                continue  # a member's method is unpriced; stay per-pair
+            if shared_cost >= per_pair:
+                continue
+        one = service.one_to_many(
+            source, [specs[i].target for i in pending], graph=graph,
+            sql_style=style, checkout_timeout=checkout_timeout)
+        batch.stats.executed += 1
+        batch.stats.shared_frontier_groups += 1
+        batch.stats.shared_frontier_queries += len(pending)
+        seen_keys: Set[Hashable] = set()
+        for i in pending:
+            answered.add(i)
+            target = specs[i].target
+            key = service._cache_key(plans[i])
+            result = one[target]
+            if result is None:
+                batch.stats.not_found += 1
+                error = PathNotFoundError(
+                    f"no path from {source} to {target}")
+                if key is not None:
+                    service._cache.put_negative(key, str(error))
+                deferred[i] = error
+                continue
+            if key is not None:
+                if key in seen_keys:
+                    batch.stats.cache_hits += 1
+                    batch.from_cache[i] = True
+                else:
+                    seen_keys.add(key)
+                    service._cache.put(key, result)
+                    batch.stats.cache_misses += 1
+            batch.results[i] = service._copy_result(result)
+    return answered, deferred
+
+
 def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
                   graph: str = "default", method: str = "auto",
                   sql_style: str = NSQL,
                   raise_on_unreachable: bool = False,
                   concurrency: int = 1,
                   checkout_timeout: Optional[float] = None,
-                  plans: Optional[Sequence["QueryPlan"]] = None
+                  plans: Optional[Sequence["QueryPlan"]] = None,
+                  share_frontier: Union[bool, str] = False
                   ) -> BatchResult:
     """Answer ``queries`` against ``service`` and aggregate statistics.
 
@@ -162,6 +264,12 @@ def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
             ``queries[i]``).  The shard router passes the plans from its
             fail-fast validation pass so a scattered slice is not
             planned twice; omit to plan here.
+        share_frontier: one-to-many execution for same-source groups of
+            plain ``path`` queries (see :func:`_execute_shared_groups`):
+            ``False`` (default) keeps per-pair execution, ``"auto"``
+            shares a group only when the cost model prices one shared DJ
+            frontier below the group's per-pair plans, ``True`` shares
+            every eligible group.
 
     Raises:
         UnknownGraphError, NodeNotFoundError, InvalidQueryError: on the
@@ -170,6 +278,11 @@ def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
     if concurrency < 1:
         raise InvalidQueryError(
             f"batch concurrency must be >= 1, got {concurrency}"
+        )
+    if share_frontier not in (False, True, "auto"):
+        raise InvalidQueryError(
+            f"share_frontier must be False, True, or 'auto', "
+            f"got {share_frontier!r}"
         )
     start = time.perf_counter()
     specs = normalize_queries(queries, graph=graph, method=method,
@@ -194,13 +307,48 @@ def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
             batch.stats.per_method.get(plan.method, 0) + 1
         )
 
+    answered: Set[int] = set()
+    deferred: Dict[int, PathNotFoundError] = {}
+    if share_frontier:
+        answered, deferred = _execute_shared_groups(
+            service, specs, plans, batch, force=share_frontier is True,
+            checkout_timeout=checkout_timeout)
+
     if concurrency > 1 and len(plans) > 1:
         from repro.service.executor import Executor
         Executor(service, concurrency,
                  checkout_timeout=checkout_timeout).run(
-            plans, batch, raise_on_unreachable=raise_on_unreachable)
+            plans, batch, raise_on_unreachable=raise_on_unreachable,
+            skip=answered,
+            seed_errors=deferred if raise_on_unreachable else None)
     else:
+        # Batch-local replay for duplicate uncapped pairs the result cache
+        # cannot serve (cache disabled): the first occurrence executes,
+        # repeats replay its outcome and count as single-flight hits.
+        local_results: Dict[Tuple, Optional[PathResult]] = {}
         for index, plan in enumerate(plans):
+            if index in answered:
+                # Walked in input order, so an unreachable shared member
+                # still surfaces at the right position.
+                if raise_on_unreachable and index in deferred:
+                    raise deferred[index]
+                continue
+            spec = plan.spec
+            dedup_key = None
+            if (spec.max_iterations is None
+                    and service._cache_key(plan) is None):
+                dedup_key = (spec.graph, spec.source, spec.target,
+                             plan.method, spec.sql_style, spec.kind,
+                             spec.max_hops)
+                if dedup_key in local_results:
+                    earlier = local_results[dedup_key]
+                    batch.stats.single_flight_hits += 1
+                    if earlier is None:
+                        batch.stats.not_found += 1
+                    else:
+                        batch.from_cache[index] = True
+                        batch.results[index] = service._copy_result(earlier)
+                    continue
             hits_before = batch.stats.cache_hits
             try:
                 batch.results[index] = service._execute(
@@ -209,6 +357,11 @@ def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
                 if raise_on_unreachable:
                     raise
                 batch.stats.not_found += 1
+                if dedup_key is not None:
+                    local_results[dedup_key] = None
+            else:
+                if dedup_key is not None:
+                    local_results[dedup_key] = batch.results[index]
             batch.from_cache[index] = batch.stats.cache_hits > hits_before
 
     batch.stats.evictions = (service._cache.stats().evictions

@@ -34,6 +34,8 @@ DJ      settled ball ``~ n/2``           4 cheap statements per settled node
 BDJ     two balls, ``~ 4 sqrt(n)``       5 cheap statements per settled node
 BSDJ    settled / tie-collapse           5 heavy (frontier-wide) statements
 BSEG    BSDJ rounds ``/ hop gain``       segment fan-out per node, pruned
+HOPS    radius, capped by ``max_hops``   3 frontier-wide statements per layer
+REACH   radius                           same layered sweep, unbounded
 ======  ===============================  ======================================
 
 Set-at-a-time rounds settle every minimal-distance candidate at once, so
@@ -334,9 +336,29 @@ def _bsdj_iterations(stats: GraphStatistics) -> int:
 
 def _shape(method: str, stats: GraphStatistics,
            segtable_lthd: Optional[float],
-           segtable: Optional[SegTableBuildStats]) -> _Shape:
+           segtable: Optional[SegTableBuildStats],
+           max_hops: Optional[int] = None) -> _Shape:
     nodes = max(2, stats.num_nodes)
     degree = max(1.0, stats.avg_out_degree)
+
+    if method in ("HOPS", "REACH"):
+        # Layered hop BFS (repro.core.multi): one whole-layer F/E/M round
+        # per hop of the witness path, so iterations track the radius —
+        # capped by the hop budget when one applies.  Each round issues
+        # the frontier UPDATE, the insert-only hop expansion, the
+        # finalize UPDATE, and one point probe for the target.
+        iterations = _radius(stats)
+        if max_hops is not None:
+            iterations = max(1, min(iterations, max_hops))
+        visited = min(float(nodes),
+                      max(degree + 1.0,
+                          _branching(stats) ** min(float(iterations), 8.0)))
+        return _Shape(iterations=iterations,
+                      fixed_statements=3 * iterations,
+                      scan_statements=iterations,
+                      rows=visited * degree,
+                      visited=visited,
+                      statement_weight=SET_STATEMENT_WEIGHT)
 
     if method == "DJ":
         # Settles one node per iteration until the target's ball is done.
@@ -410,9 +432,11 @@ class CostModel:
     def estimate(self, method: str, stats: GraphStatistics,
                  segtable_lthd: Optional[float] = None,
                  segtable: Optional[SegTableBuildStats] = None,
-                 eligible: bool = True) -> CostEstimate:
+                 eligible: bool = True,
+                 max_hops: Optional[int] = None) -> CostEstimate:
         """Price one method on one graph."""
-        shape = _shape(method, stats, segtable_lthd, segtable)
+        shape = _shape(method, stats, segtable_lthd, segtable,
+                       max_hops=max_hops)
         profile = self.profile
         row_cost = profile.seg_row_cost if shape.seg_rows else profile.row_cost
         statements = shape.fixed_statements + shape.scan_statements
@@ -426,6 +450,29 @@ class CostModel:
                             iterations=shape.iterations,
                             statements=statements,
                             rows=int(shape.rows), eligible=eligible)
+
+    def structural_seconds(self, method: str, stats: GraphStatistics,
+                           segtable_lthd: Optional[float] = None,
+                           segtable: Optional[SegTableBuildStats] = None,
+                           max_hops: Optional[int] = None) -> float:
+        """Bias-free price of one method: the structural shape times the
+        profile's unit costs, with neither the global nor the per-method
+        feedback bias applied.
+
+        Runtime feedback mutates the biases continuously, so any decision
+        that must be reproducible run-to-run — the batch layer's
+        shared-frontier grouping, most notably — compares structural
+        prices instead of :meth:`estimate` output.
+        """
+        shape = _shape(method, stats, segtable_lthd, segtable,
+                       max_hops=max_hops)
+        profile = self.profile
+        row_cost = profile.seg_row_cost if shape.seg_rows else profile.row_cost
+        statements = shape.fixed_statements + shape.scan_statements
+        return (statements * shape.statement_weight * profile.statement_cost
+                + shape.scan_statements * (shape.visited / 2.0)
+                * profile.scan_row_cost
+                + shape.rows * row_cost)
 
     def breakdown(self, stats: GraphStatistics, has_segtable: bool,
                   segtable_lthd: Optional[float] = None,

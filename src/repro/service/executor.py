@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor, wait
-from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+from typing import AbstractSet, Dict, Optional, Sequence, TYPE_CHECKING
 
 from repro.errors import ConcurrencyError, PathNotFoundError
 from repro.service.cache import InFlightMap
@@ -66,25 +66,44 @@ class Executor:
         self._errors: Dict[int, BaseException] = {}
 
     def run(self, plans: Sequence[QueryPlan], batch: "BatchResult",
-            raise_on_unreachable: bool = False) -> None:
+            raise_on_unreachable: bool = False,
+            skip: Optional[AbstractSet[int]] = None,
+            seed_errors: Optional[Dict[int, BaseException]] = None) -> None:
         """Execute ``plans`` and fill ``batch`` in place (results,
         ``from_cache`` flags, and stats counters).
 
         The first failure *by input position* is re-raised after every
         worker finishes — unlike the serial path, later queries still run,
         but the surfaced exception is deterministic.
+
+        Args:
+            skip: input positions already answered by an earlier pass
+                (the batch layer's shared-frontier groups); no worker runs
+                them.
+            seed_errors: failures from that earlier pass, keyed by input
+                position — merged into the error map so the surfaced
+                exception is still the smallest-index failure overall.
         """
         service = self._service
-        for name in {plan.spec.graph for plan in plans}:
+        if seed_errors:
+            self._errors.update(seed_errors)
+        indices = (list(range(len(plans))) if not skip
+                   else [i for i in range(len(plans)) if i not in skip])
+        if not indices:
+            if self._errors:
+                raise self._errors[min(self._errors)]
+            return
+        for name in {plans[i].spec.graph for i in indices}:
             service._host(name).pool.resize(self._concurrency)
-        workers = max(1, min(self._concurrency, len(plans)))
+        workers = max(1, min(self._concurrency, len(indices)))
         batch.stats.concurrency = workers
         self._raise_on_unreachable = raise_on_unreachable
         with ThreadPoolExecutor(
                 max_workers=workers,
                 thread_name_prefix="repro-batch") as threads:
-            futures = [threads.submit(self._run_one, index, plan, batch)
-                       for index, plan in enumerate(plans)]
+            futures = [threads.submit(self._run_one, index, plans[index],
+                                      batch)
+                       for index in indices]
             wait(futures)
         for future in futures:
             # Worker bodies catch everything into self._errors; a raise here

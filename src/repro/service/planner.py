@@ -27,6 +27,7 @@ from repro.core.bfs import bidirectional_bfs
 from repro.core.bidirectional import bidirectional_dijkstra, bidirectional_set_dijkstra
 from repro.core.bseg import bidirectional_segtable_search
 from repro.core.dijkstra import dijkstra_single_direction
+from repro.core.multi import METHOD_HOPS, METHOD_REACH
 from repro.core.path import PathResult
 from repro.core.sqlstyle import NSQL
 from repro.core.stats import (
@@ -57,6 +58,15 @@ METHODS = tuple(RELATIONAL_METHODS) + MEMORY_METHODS
 
 AUTO_METHOD = "AUTO"
 
+# Query kinds.  ``path`` is the weighted shortest-path query every method
+# serves; the other kinds resolve to the layered hop driver
+# (:mod:`repro.core.multi`) regardless of the requested method.
+KIND_PATH = "path"
+KIND_BOUNDED_HOP = "bounded_hop"
+KIND_REACHABILITY = "reachability"
+QUERY_KINDS = (KIND_PATH, KIND_BOUNDED_HOP, KIND_REACHABILITY)
+"""All supported query kinds."""
+
 # Frontier modes (the two expansion shapes of Listings 2 and 4).
 NODE_AT_A_TIME = "node-at-a-time"
 SET_AT_A_TIME = "set-at-a-time"
@@ -86,9 +96,16 @@ class QuerySpec:
         target: target node id.
         graph: name of the hosted graph to query.
         method: a method name from :data:`METHODS`, or ``"auto"`` to let the
-            planner choose.
+            planner choose.  Only ``kind="path"`` honours it; the hop
+            kinds always run the layered driver.
         sql_style: ``"nsql"`` or ``"tsql"``.
         max_iterations: optional safety cap on expansions.
+        kind: one of :data:`QUERY_KINDS` — ``"path"`` (weighted shortest
+            path, the default), ``"bounded_hop"`` (fewest-hops path within
+            ``max_hops``), or ``"reachability"`` (witness path, distance =
+            hop count, no weighted bookkeeping).
+        max_hops: inclusive hop budget; required (>= 1) for
+            ``kind="bounded_hop"`` and forbidden elsewhere.
     """
 
     source: int
@@ -97,6 +114,8 @@ class QuerySpec:
     method: str = "auto"
     sql_style: str = NSQL
     max_iterations: Optional[int] = None
+    kind: str = KIND_PATH
+    max_hops: Optional[int] = None
 
 
 @dataclass
@@ -201,8 +220,9 @@ def plan_query(spec: QuerySpec, stats: StatsSource,
             segment count beats the analytic fan-out estimate).
 
     Raises:
-        InvalidQueryError: for unknown methods, or an explicit ``BSEG``
-            request without a SegTable.
+        InvalidQueryError: for unknown methods or kinds, an explicit
+            ``BSEG`` request without a SegTable, or a ``max_hops`` that
+            does not fit the kind.
     """
     resolved: Optional[GraphStatistics] = (
         None if callable(stats) else stats
@@ -215,6 +235,17 @@ def plan_query(spec: QuerySpec, stats: StatsSource,
         return resolved
 
     model = cost_model if cost_model is not None else _DEFAULT_MODEL
+    if spec.kind not in QUERY_KINDS:
+        raise InvalidQueryError(
+            f"unknown query kind {spec.kind!r}; "
+            f"expected one of {QUERY_KINDS}"
+        )
+    if spec.kind != KIND_PATH:
+        return _plan_hop_query(spec, _stats, model, estimate)
+    if spec.max_hops is not None:
+        raise InvalidQueryError(
+            "max_hops applies to kind='bounded_hop' queries only"
+        )
     breakdown: Optional[Dict[str, CostEstimate]] = None
     method = normalize_method(spec.method)
     if method == AUTO_METHOD:
@@ -250,12 +281,60 @@ def plan_query(spec: QuerySpec, stats: StatsSource,
     return plan
 
 
+def _plan_hop_query(spec: QuerySpec,
+                    get_stats: Callable[[], GraphStatistics],
+                    model: CostModel, estimate: bool) -> QueryPlan:
+    """Plan a non-``path`` kind: both resolve to the layered hop driver.
+
+    The requested method name is still validated (a typo should fail the
+    same way it does for ``kind="path"``) but is otherwise advisory —
+    weighted methods cannot answer hop-count questions, and memory methods
+    are rejected outright because these kinds exist to exercise the
+    relational F/E/M pipeline.
+    """
+    requested = normalize_method(spec.method)
+    if requested in MEMORY_METHODS:
+        raise InvalidQueryError(
+            f"kind={spec.kind!r} runs the relational hop driver; memory "
+            f"method {spec.method!r} does not apply"
+        )
+    if spec.kind == KIND_BOUNDED_HOP:
+        if spec.max_hops is None or spec.max_hops < 1:
+            raise InvalidQueryError(
+                f"kind='bounded_hop' needs max_hops >= 1, "
+                f"got {spec.max_hops!r}"
+            )
+        method = METHOD_HOPS
+        reason = (f"kind='bounded_hop': layered hop driver, "
+                  f"<= {spec.max_hops} whole-layer rounds")
+    else:
+        if spec.max_hops is not None:
+            raise InvalidQueryError(
+                "kind='reachability' takes no max_hops; "
+                "use kind='bounded_hop'"
+            )
+        method = METHOD_REACH
+        reason = ("kind='reachability': layered hop driver, no weighted "
+                  "bookkeeping (fast path)")
+    plan = _shape_plan(spec, method, reason)
+    if estimate:
+        chosen = model.estimate(method, get_stats(), max_hops=spec.max_hops)
+        plan.cost_breakdown = {method: chosen}
+        plan.predicted_seconds = chosen.seconds
+        plan.estimated_iterations = chosen.iterations
+    return plan
+
+
 def _shape_plan(spec: QuerySpec, method: str, reason: str) -> QueryPlan:
     plan = QueryPlan(spec=spec, method=method, reason=reason)
     plan.uses_segtable = method == "BSEG"
     plan.bidirectional = method != "DJ"
     plan.frontier_mode = (NODE_AT_A_TIME if method in ("DJ", "BDJ")
                           else SET_AT_A_TIME)
+    if method in (METHOD_HOPS, METHOD_REACH):
+        plan.bidirectional = False
+        plan.phases = (PHASE_PATH_EXPANSION, PHASE_STATISTICS,
+                       PHASE_PATH_RECOVERY)
     if method in MEMORY_METHODS:
         plan.frontier_mode = NODE_AT_A_TIME
         plan.phases = (PHASE_PATH_EXPANSION,)
@@ -285,9 +364,13 @@ def _estimate_iterations(method: str, stats: GraphStatistics) -> int:
 
 __all__ = [
     "AUTO_METHOD",
+    "KIND_BOUNDED_HOP",
+    "KIND_PATH",
+    "KIND_REACHABILITY",
     "MEMORY_METHODS",
     "METHODS",
     "NODE_AT_A_TIME",
+    "QUERY_KINDS",
     "QueryPlan",
     "QuerySpec",
     "RELATIONAL_METHODS",

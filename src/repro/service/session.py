@@ -47,6 +47,13 @@ from typing import (
 )
 
 from repro.core.directions import BACKWARD_DIRECTION, FORWARD_DIRECTION
+from repro.core.multi import (
+    METHOD_HOPS,
+    METHOD_REACH,
+    OneToManyResult,
+    dijkstra_one_to_many,
+    hop_limited_search,
+)
 from repro.core.path import PathResult
 from repro.core.segtable import build_segtable as _build_segtable
 from repro.core.sqlstyle import NSQL, validate_sql_style
@@ -79,6 +86,7 @@ from repro.service.cache import CacheStats, ResultCache
 from repro.service.costmodel import CostModel, CostProfile, host_fingerprint
 from repro.service.pool import PoolStats, StorePool
 from repro.service.planner import (
+    KIND_PATH,
     MEMORY_METHODS,
     QueryPlan,
     QuerySpec,
@@ -693,6 +701,11 @@ class PathService:
         """
         if plan.method in MEMORY_METHODS:
             return
+        if plan.spec.kind != KIND_PATH:
+            # Hop kinds run a fixed driver — there is no method choice to
+            # train, and folding their (differently shaped) times into the
+            # shared global bias would skew the weighted methods' ordering.
+            return
         if plan.spec.max_iterations is not None:
             return  # capped runs may stop early; their times are not real
         if host._statistics is None:
@@ -722,11 +735,14 @@ class PathService:
                           segtable=host.segtable_stats)
 
     def explain(self, source: int, target: int, graph: str = DEFAULT_GRAPH,
-                method: str = "auto", sql_style: str = NSQL) -> QueryPlan:
+                method: str = "auto", sql_style: str = NSQL,
+                kind: str = KIND_PATH,
+                max_hops: Optional[int] = None) -> QueryPlan:
         """Return the :class:`QueryPlan` the service would execute, with
         the predicted FEM iteration shape filled in."""
         return self.plan(QuerySpec(source=source, target=target, graph=graph,
-                                   method=method, sql_style=sql_style),
+                                   method=method, sql_style=sql_style,
+                                   kind=kind, max_hops=max_hops),
                          estimate=True)
 
     # -- queries -----------------------------------------------------------------
@@ -735,27 +751,72 @@ class PathService:
                       graph: str = DEFAULT_GRAPH, method: str = "auto",
                       sql_style: str = NSQL,
                       max_iterations: Optional[int] = None,
-                      use_cache: bool = True) -> PathResult:
-        """Answer one shortest-path query against a hosted graph.
+                      use_cache: bool = True,
+                      kind: str = KIND_PATH,
+                      max_hops: Optional[int] = None) -> PathResult:
+        """Answer one path query against a hosted graph.
+
+        ``kind`` selects the question asked (see
+        :data:`repro.service.planner.QUERY_KINDS`): ``"path"`` is the
+        weighted shortest path; ``"bounded_hop"`` finds a fewest-hops path
+        within ``max_hops``; ``"reachability"`` returns a witness path
+        with no weighted bookkeeping at all.  The hop kinds report the
+        hop count as ``distance``.
 
         Raises:
             UnknownGraphError: when ``graph`` is not hosted.
             NodeNotFoundError: when an endpoint is not in the graph.
-            InvalidQueryError: for unknown methods or BSEG without an index.
-            PathNotFoundError: when the nodes are not connected.
+            InvalidQueryError: for unknown methods/kinds, BSEG without an
+                index, or a ``max_hops`` that does not fit the kind.
+            PathNotFoundError: when the nodes are not connected (or not
+                within ``max_hops`` hops).
         """
         spec = QuerySpec(source=source, target=target, graph=graph,
                          method=method, sql_style=sql_style,
-                         max_iterations=max_iterations)
+                         max_iterations=max_iterations,
+                         kind=kind, max_hops=max_hops)
         plan = self.plan(spec)
         return self._execute(plan, use_cache=use_cache)
+
+    def one_to_many(self, source: int, targets: Sequence[int],
+                    graph: str = DEFAULT_GRAPH, sql_style: str = NSQL,
+                    max_iterations: Optional[int] = None,
+                    checkout_timeout: Optional[float] = None
+                    ) -> OneToManyResult:
+        """Answer every ``source -> target`` pair with ONE shared DJ
+        frontier expansion (see
+        :func:`repro.core.multi.dijkstra_one_to_many`).
+
+        Each answered pair is bit-identical — distance *and* path — to
+        running the pair alone with ``method="DJ"``; unreachable targets
+        map to ``None`` instead of raising.  The batch layer uses this as
+        the shared-frontier execution primitive for same-source groups.
+        """
+        host = self._host(graph)
+        validate_sql_style(sql_style)
+        if not host.graph.has_node(source):
+            raise NodeNotFoundError(
+                f"node {source} is not in graph {host.name!r}"
+            )
+        for target in targets:
+            if not host.graph.has_node(target):
+                raise NodeNotFoundError(
+                    f"node {target} is not in graph {host.name!r}"
+                )
+        assert host.pool is not None
+        lease = host.pool.lease(checkout_timeout)
+        with lease as store:
+            return dijkstra_one_to_many(store, source, list(targets),
+                                        sql_style=sql_style,
+                                        max_iterations=max_iterations)
 
     def shortest_path_many(self, queries: Sequence[BatchQuery],
                            graph: str = DEFAULT_GRAPH, method: str = "auto",
                            sql_style: str = NSQL,
                            raise_on_unreachable: bool = False,
                            concurrency: int = 1,
-                           checkout_timeout: Optional[float] = None):
+                           checkout_timeout: Optional[float] = None,
+                           share_frontier: Union[bool, str] = False):
         """Answer a batch of queries; see
         :func:`repro.service.batch.execute_batch` for the full contract.
 
@@ -764,13 +825,21 @@ class PathService:
         worker threads, growing each touched graph's store pool on demand
         (capability permitting) and deduplicating identical in-flight
         queries.  Results are in input order either way.
+
+        ``share_frontier`` turns on one-to-many execution for same-source
+        groups of plain ``path`` queries: ``"auto"`` shares a group only
+        when the cost model prices one shared DJ frontier below the
+        group's per-pair plans, ``True`` shares every eligible group, and
+        ``False`` (the default) keeps per-pair execution.  Shared groups
+        return bit-identical results to per-pair runs.
         """
         from repro.service.batch import execute_batch
         return execute_batch(self, queries, graph=graph, method=method,
                              sql_style=sql_style,
                              raise_on_unreachable=raise_on_unreachable,
                              concurrency=concurrency,
-                             checkout_timeout=checkout_timeout)
+                             checkout_timeout=checkout_timeout,
+                             share_frontier=share_frontier)
 
     # -- cache -------------------------------------------------------------------
 
@@ -846,7 +915,7 @@ class PathService:
         if spec.max_iterations is not None:
             return None  # capped runs may return partial work; never cache
         return (spec.graph, spec.source, spec.target, plan.method,
-                spec.sql_style, self.shard_id)
+                spec.sql_style, spec.kind, spec.max_hops, self.shard_id)
 
     def _execute(self, plan: QueryPlan, use_cache: bool = True,
                  batch_stats: Optional[BatchStats] = None) -> PathResult:
@@ -920,14 +989,20 @@ class PathService:
             result = run_in_memory(host.graph, spec.source, spec.target,
                                    method=plan.method)
             return result, 0.0, time.perf_counter() - start
-        algorithm = RELATIONAL_METHODS[plan.method]
         assert host.pool is not None
         lease = host.pool.lease(checkout_timeout)
         with lease as store:
             start = time.perf_counter()
-            result = algorithm(store, spec.source, spec.target,
-                               sql_style=spec.sql_style,
-                               max_iterations=spec.max_iterations)
+            if plan.method in (METHOD_HOPS, METHOD_REACH):
+                result = hop_limited_search(
+                    store, spec.source, spec.target,
+                    sql_style=spec.sql_style, max_hops=spec.max_hops,
+                    max_iterations=spec.max_iterations, method=plan.method)
+            else:
+                algorithm = RELATIONAL_METHODS[plan.method]
+                result = algorithm(store, spec.source, spec.target,
+                                   sql_style=spec.sql_style,
+                                   max_iterations=spec.max_iterations)
             executed = time.perf_counter() - start
         # Close the planner's loop: every relational execution is a free
         # calibration sample for this backend's cost model.

@@ -58,6 +58,7 @@ from typing import (
     Set,
     Tuple,
     TYPE_CHECKING,
+    Union,
 )
 
 from repro.core.path import PathResult
@@ -462,7 +463,8 @@ class ShardRouter:
             return None
         route = self._table.route(spec.graph)
         return (route.fingerprint, spec.source, spec.target,
-                spec.method.upper(), spec.sql_style)
+                spec.method.upper(), spec.sql_style, spec.kind,
+                spec.max_hops)
 
     @staticmethod
     def _copy_result(result: PathResult) -> PathResult:
@@ -474,10 +476,16 @@ class ShardRouter:
     def shortest_path(self, source: int, target: int, graph: str,
                       method: str = "auto", sql_style: str = NSQL,
                       max_iterations: Optional[int] = None,
-                      use_cache: bool = True) -> PathResult:
+                      use_cache: bool = True, kind: str = "path",
+                      max_hops: Optional[int] = None) -> PathResult:
         """Answer one query, routed transparently to ``graph``'s owner —
         or, when the owner's transport fails, to the next
         identical-fingerprint replica (bit-identical answer).
+
+        ``kind``/``max_hops`` select the question asked, exactly as in
+        :meth:`PathService.shortest_path` (``"path"``, ``"bounded_hop"``,
+        or ``"reachability"``); the hop kinds route, fail over, and cache
+        like any other query.
 
         Raises:
             UnknownGraphError: when no shard owns ``graph``.
@@ -487,7 +495,8 @@ class ShardRouter:
         """
         spec = QuerySpec(source=source, target=target, graph=graph,
                          method=method, sql_style=sql_style,
-                         max_iterations=max_iterations)
+                         max_iterations=max_iterations,
+                         kind=kind, max_hops=max_hops)
         key = self._shared_key(spec) if use_cache else None
         if key is not None:
             assert self._shared_cache is not None
@@ -544,7 +553,8 @@ class ShardRouter:
                            method: str = "auto", sql_style: str = NSQL,
                            raise_on_unreachable: bool = False,
                            concurrency: int = 1,
-                           checkout_timeout: Optional[float] = None
+                           checkout_timeout: Optional[float] = None,
+                           share_frontier: Union[bool, str] = False
                            ) -> ScatterResult:
         """Scatter a mixed-graph batch across shards and gather in order.
 
@@ -573,6 +583,11 @@ class ShardRouter:
                 executes its slice serially).
             checkout_timeout: per-query bound on waiting for a pooled
                 store connection inside each shard.
+            share_frontier: forwarded to each slice's
+                :func:`~repro.service.batch.execute_batch` — same-source
+                groups of plain ``path`` queries may then run as one
+                shared DJ frontier on their shard (``"auto"`` =
+                cost-gated, ``True`` = always, ``False`` = never).
 
         Raises:
             UnknownGraphError, NodeNotFoundError, InvalidQueryError: on
@@ -676,7 +691,8 @@ class ShardRouter:
                     [specs[i] for i in indices],
                     concurrency=concurrency,
                     checkout_timeout=checkout_timeout,
-                    plans=[plans[i] for i in indices])
+                    plans=[plans[i] for i in indices],
+                    share_frontier=share_frontier)
 
             errors: Dict[int, BaseException] = {}
             with ThreadPoolExecutor(

@@ -159,7 +159,7 @@ class ShardTransport(ABC):
         return self.service.shortest_path(
             spec.source, spec.target, graph=spec.graph, method=spec.method,
             sql_style=spec.sql_style, max_iterations=spec.max_iterations,
-            use_cache=use_cache)
+            use_cache=use_cache, kind=spec.kind, max_hops=spec.max_hops)
 
     def explain(self, spec: "QuerySpec") -> "QueryPlan":
         """The plan this shard would execute for ``spec``."""
@@ -176,20 +176,23 @@ class ShardTransport(ABC):
     def execute_specs(self, specs: Sequence["QuerySpec"], *,
                       concurrency: int = 1,
                       checkout_timeout: Optional[float] = None,
-                      plans: Optional[Sequence["QueryPlan"]] = None
+                      plans: Optional[Sequence["QueryPlan"]] = None,
+                      share_frontier: object = False
                       ) -> "BatchResult":
         """Execute one scatter slice on this shard.
 
         ``plans`` replays the validation pass's plans so an in-process
         slice is not planned twice; transports that cannot ship plans
         (remote) ignore it and re-plan server-side — planning is
-        deterministic, so the results are identical.
+        deterministic, so the results are identical.  ``share_frontier``
+        is forwarded to :func:`~repro.service.batch.execute_batch`.
         """
         from repro.service.batch import execute_batch
         return execute_batch(
             self.service, list(specs), raise_on_unreachable=False,
             concurrency=concurrency, checkout_timeout=checkout_timeout,
-            plans=None if plans is None else list(plans))
+            plans=None if plans is None else list(plans),
+            share_frontier=share_frontier)  # type: ignore[arg-type]
 
     def calibrate(self, backend: Optional[str] = None, *,
                   persist: bool = True,

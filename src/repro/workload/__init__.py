@@ -1,0 +1,41 @@
+"""Production-style traffic workloads for FEM query services.
+
+Where :mod:`repro.workloads` reproduces the *paper's* evaluation (uniform
+random pairs, averages per method), this package models what a deployed
+path service actually sees: Zipf-skewed traffic with hot pairs, a mix of
+query kinds (``path`` / ``bounded_hop`` / ``reachability``), and several
+graphs of different popularity — then measures the service like an SRE
+would (latency percentiles, throughput, error rate) instead of like a
+benchmark table.
+
+Three pieces:
+
+* :class:`TrafficGenerator` — a seeded, fully deterministic query stream
+  (``seed in → identical queries out``, no wall clock anywhere);
+* :func:`run_traffic` — drives any ``shortest_path``-shaped target
+  (:class:`~repro.service.session.PathService` or
+  :class:`~repro.shard.router.ShardRouter`), differentially verifies
+  every answer against the in-memory reference, and produces a
+  :class:`TrafficReport` of percentiles plus cache/failover snapshots;
+* :class:`SLO` — declared latency/correctness objectives checked against
+  a report, yielding an explicit violation list for CI gates.
+"""
+
+from repro.workload.generator import (
+    DEFAULT_KIND_MIX,
+    TrafficConfig,
+    TrafficGenerator,
+    TrafficQuery,
+)
+from repro.workload.harness import TrafficReport, run_traffic
+from repro.workload.slo import SLO
+
+__all__ = [
+    "DEFAULT_KIND_MIX",
+    "SLO",
+    "TrafficConfig",
+    "TrafficGenerator",
+    "TrafficQuery",
+    "TrafficReport",
+    "run_traffic",
+]

@@ -1,0 +1,239 @@
+"""Seeded Zipf-skewed traffic generation.
+
+Real query traffic is nothing like uniform sampling: a few (source,
+target) pairs dominate (navigation between hub locations, repeated API
+calls), some graphs are far more popular than others, and the read mix
+spans full shortest-path queries, bounded-hop lookups, and cheap
+reachability probes.  :class:`TrafficGenerator` models exactly that —
+and nothing else: every draw comes from one ``random.Random(seed)``, so
+the same config always produces the same query stream, byte for byte.
+That determinism is what lets the load-test harness double as a
+regression gate (a failing run is reproducible by seed alone).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import InvalidQueryError
+from repro.service.planner import (
+    KIND_BOUNDED_HOP,
+    KIND_PATH,
+    KIND_REACHABILITY,
+    QUERY_KINDS,
+)
+
+DEFAULT_KIND_MIX: Mapping[str, float] = {
+    KIND_PATH: 0.70,
+    KIND_REACHABILITY: 0.20,
+    KIND_BOUNDED_HOP: 0.10,
+}
+"""Default read mix: mostly full paths, some reachability probes, a few
+bounded-hop lookups — the shape of a navigation-style service."""
+
+
+@dataclass(frozen=True)
+class TrafficQuery:
+    """One generated query.
+
+    Attributes:
+        graph: target graph name.
+        source / target: endpoint node ids.
+        kind: one of :data:`~repro.service.planner.QUERY_KINDS`.
+        max_hops: hop budget, set iff ``kind == "bounded_hop"``.
+        hot: whether the pair came from the graph's hot-pair pool
+            (Zipf head) rather than the uniform cold tail.
+    """
+
+    graph: str
+    source: int
+    target: int
+    kind: str = KIND_PATH
+    max_hops: Optional[int] = None
+    hot: bool = True
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Knobs of one traffic profile.
+
+    Attributes:
+        seed: the PRNG seed; the *only* source of randomness.
+        zipf_s: Zipf exponent for the hot-pair rank distribution —
+            pair at rank ``r`` is drawn with weight ``1 / (r + 1)**s``.
+            Higher = more skew; ``1.0`` is classic Zipf.
+        hot_pairs: size of the per-graph hot-pair pool (the Zipf head).
+        cold_fraction: probability that a query bypasses the hot pool
+            and draws a uniform random pair instead (the long tail).
+        kind_mix: query kind → relative weight; normalized internally.
+        graph_weights: graph name → relative popularity; ``None`` means
+            uniform across the generator's graphs.
+        max_hops_range: inclusive ``(low, high)`` hop budgets for
+            ``bounded_hop`` queries.
+    """
+
+    seed: int = 0
+    zipf_s: float = 1.1
+    hot_pairs: int = 16
+    cold_fraction: float = 0.1
+    kind_mix: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_KIND_MIX))
+    graph_weights: Optional[Mapping[str, float]] = None
+    max_hops_range: Tuple[int, int] = (2, 6)
+
+    def __post_init__(self) -> None:
+        if self.zipf_s <= 0:
+            raise InvalidQueryError(
+                f"zipf_s must be positive; got {self.zipf_s}")
+        if self.hot_pairs < 1:
+            raise InvalidQueryError(
+                f"hot_pairs must be at least 1; got {self.hot_pairs}")
+        if not 0.0 <= self.cold_fraction <= 1.0:
+            raise InvalidQueryError(
+                f"cold_fraction must be in [0, 1]; got {self.cold_fraction}")
+        if not self.kind_mix:
+            raise InvalidQueryError("kind_mix must not be empty")
+        for kind, weight in self.kind_mix.items():
+            if kind not in QUERY_KINDS:
+                raise InvalidQueryError(
+                    f"unknown query kind {kind!r} in kind_mix; expected "
+                    f"one of {QUERY_KINDS}")
+            if weight < 0:
+                raise InvalidQueryError(
+                    f"kind_mix weight for {kind!r} must be >= 0; "
+                    f"got {weight}")
+        if sum(self.kind_mix.values()) <= 0:
+            raise InvalidQueryError("kind_mix weights must sum to > 0")
+        low, high = self.max_hops_range
+        if low < 1 or high < low:
+            raise InvalidQueryError(
+                f"max_hops_range must satisfy 1 <= low <= high; "
+                f"got {self.max_hops_range}")
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly form, embedded in traffic-report artifacts so a
+        run's exact profile travels with its numbers."""
+        return {
+            "seed": self.seed,
+            "zipf_s": self.zipf_s,
+            "hot_pairs": self.hot_pairs,
+            "cold_fraction": self.cold_fraction,
+            "kind_mix": dict(self.kind_mix),
+            "graph_weights": (None if self.graph_weights is None
+                              else dict(self.graph_weights)),
+            "max_hops_range": list(self.max_hops_range),
+        }
+
+
+class TrafficGenerator:
+    """A deterministic stream of :class:`TrafficQuery` objects.
+
+    Args:
+        config: the traffic profile.
+        nodes_of: graph name → that graph's node ids (any sequence; it is
+            sorted internally so dict/set iteration order cannot leak
+            nondeterminism into the stream).
+
+    The hot-pair pool of each graph is drawn once at construction; rank
+    ``r`` in the pool is then sampled with Zipf weight
+    ``1 / (r + 1)**zipf_s``, so pool order *is* popularity order.
+    """
+
+    def __init__(self, config: TrafficConfig,
+                 nodes_of: Mapping[str, Sequence[int]]) -> None:
+        if not nodes_of:
+            raise InvalidQueryError(
+                "TrafficGenerator needs at least one graph")
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._graphs: List[str] = sorted(nodes_of)
+        self._nodes: Dict[str, List[int]] = {}
+        for name in self._graphs:
+            nodes = sorted(nodes_of[name])
+            if len(nodes) < 2:
+                raise InvalidQueryError(
+                    f"graph {name!r} needs at least 2 nodes to draw "
+                    f"query pairs")
+            self._nodes[name] = nodes
+        if config.graph_weights is not None:
+            missing = set(self._graphs) - set(config.graph_weights)
+            if missing:
+                raise InvalidQueryError(
+                    f"graph_weights is missing {sorted(missing)}")
+            self._graph_weights = [float(config.graph_weights[name])
+                                   for name in self._graphs]
+        else:
+            self._graph_weights = [1.0] * len(self._graphs)
+        self._kinds = sorted(config.kind_mix)
+        self._kind_weights = [float(config.kind_mix[kind])
+                              for kind in self._kinds]
+        # Hot pools are drawn AFTER the weights are fixed so two configs
+        # differing only in weights still share the same pools.
+        self._hot: Dict[str, List[Tuple[int, int]]] = {
+            name: self._draw_hot_pool(name) for name in self._graphs}
+        self._zipf_weights = [1.0 / float(rank + 1) ** config.zipf_s
+                              for rank in range(config.hot_pairs)]
+
+    def _draw_hot_pool(self, graph: str) -> List[Tuple[int, int]]:
+        nodes = self._nodes[graph]
+        pool: List[Tuple[int, int]] = []
+        seen = set()
+        attempts = 0
+        limit = 50 * self.config.hot_pairs
+        while len(pool) < self.config.hot_pairs and attempts < limit:
+            attempts += 1
+            pair = self._draw_pair(nodes)
+            if pair not in seen:
+                seen.add(pair)
+                pool.append(pair)
+        return pool
+
+    def _draw_pair(self, nodes: List[int]) -> Tuple[int, int]:
+        source = self._rng.choice(nodes)
+        target = self._rng.choice(nodes)
+        while target == source:
+            target = self._rng.choice(nodes)
+        return source, target
+
+    def hot_pool(self, graph: str) -> Tuple[Tuple[int, int], ...]:
+        """The graph's hot pairs in popularity (rank) order."""
+        return tuple(self._hot[graph])
+
+    def next_query(self) -> TrafficQuery:
+        """Draw the next query of the stream."""
+        config = self.config
+        graph = self._rng.choices(self._graphs,
+                                  weights=self._graph_weights)[0]
+        hot = self._rng.random() >= config.cold_fraction
+        if hot:
+            pool = self._hot[graph]
+            rank = self._rng.choices(range(len(pool)),
+                                     weights=self._zipf_weights[:len(pool)])[0]
+            source, target = pool[rank]
+        else:
+            source, target = self._draw_pair(self._nodes[graph])
+        kind = self._rng.choices(self._kinds,
+                                 weights=self._kind_weights)[0]
+        max_hops = None
+        if kind == KIND_BOUNDED_HOP:
+            low, high = config.max_hops_range
+            max_hops = self._rng.randint(low, high)
+        return TrafficQuery(graph=graph, source=source, target=target,
+                            kind=kind, max_hops=max_hops, hot=hot)
+
+    def queries(self, count: int) -> Iterator[TrafficQuery]:
+        """Yield the next ``count`` queries of the stream."""
+        if count < 0:
+            raise InvalidQueryError(f"count must be >= 0; got {count}")
+        for _ in range(count):
+            yield self.next_query()
+
+
+__all__ = [
+    "DEFAULT_KIND_MIX",
+    "TrafficConfig",
+    "TrafficGenerator",
+    "TrafficQuery",
+]

@@ -1,0 +1,306 @@
+"""The traffic harness: drive a service, verify every answer, report SLOs.
+
+:func:`run_traffic` plays a :class:`~repro.workload.generator.TrafficGenerator`
+stream against anything with the ``shortest_path(source, target, graph=,
+kind=, max_hops=)`` surface — a local
+:class:`~repro.service.session.PathService` or a (possibly networked)
+:class:`~repro.shard.router.ShardRouter` — and measures it the way a
+production load test would:
+
+* per-query wall latency, aggregated into p50/p95/p99 (nearest-rank,
+  deterministic) overall and per query kind;
+* **differential verification of every single answer** against the
+  in-memory reference (binary-heap Dijkstra for ``path``, BFS hop layers
+  for ``bounded_hop``/``reachability``) — a wrong distance, wrong hop
+  count, or wrong reachability verdict is a ``wrong_answer``, full stop;
+* cache and failover snapshots from whatever the target exposes
+  (``cache_info`` / ``shared_cache_info`` / ``shard_health``), so a
+  report of a failover run carries its own story.
+
+Transport errors (a dead shard with no replica left) are *counted*, not
+raised — the harness keeps streaming, which is what lets the
+fault-injection tests kill a server mid-run and assert on the aftermath.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field, is_dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import PathNotFoundError, ReproError
+from repro.graph.model import Graph
+from repro.memory.dijkstra import dijkstra_shortest_path
+from repro.service.planner import KIND_PATH
+from repro.workload.generator import TrafficGenerator, TrafficQuery
+
+MAX_WRONG_SAMPLES = 10
+"""At most this many wrong answers are described verbatim in the report
+(the count is always exact; the samples keep artifacts bounded)."""
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted list.
+
+    Deterministic and interpolation-free, so two runs with identical
+    latency lists report identical percentiles.
+    """
+    if not sorted_values:
+        return 0.0
+    if not 0.0 < q <= 100.0:
+        raise ValueError(f"percentile q must be in (0, 100]; got {q}")
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def _summarize(latencies_ms: List[float]) -> Dict[str, float]:
+    ordered = sorted(latencies_ms)
+    if not ordered:
+        return {"count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+                "mean": 0.0, "max": 0.0}
+    return {
+        "count": len(ordered),
+        "p50": round(percentile(ordered, 50.0), 3),
+        "p95": round(percentile(ordered, 95.0), 3),
+        "p99": round(percentile(ordered, 99.0), 3),
+        "mean": round(sum(ordered) / len(ordered), 3),
+        "max": round(ordered[-1], 3),
+    }
+
+
+@dataclass
+class TrafficReport:
+    """Everything one traffic run produced, JSON-ready.
+
+    Attributes:
+        total: queries issued.
+        per_kind: kind → query count.
+        hot_queries: queries drawn from the Zipf head.
+        not_found: correctly-unreachable answers (a normal outcome).
+        wrong_answers: answers that contradicted the reference oracle.
+        wrong_samples: up to :data:`MAX_WRONG_SAMPLES` wrong-answer
+            descriptions (query coordinates, expected vs. got).
+        errors: queries that raised (transport failures included).
+        error_samples: up to :data:`MAX_WRONG_SAMPLES` error messages.
+        elapsed_s: wall-clock seconds of the whole stream.
+        qps: ``total / elapsed_s``.
+        latency_ms: overall latency summary (count/p50/p95/p99/mean/max).
+        per_kind_latency_ms: the same summary per query kind.
+        cache: cache-counter snapshot from the target, when it has one.
+        failover: shard-health snapshot from the target, when it has one.
+        config: the generator config this stream was drawn from.
+        slo: filled by :meth:`SLO.apply` — declared objectives,
+            violations, and the overall verdict.
+    """
+
+    total: int = 0
+    per_kind: Dict[str, int] = field(default_factory=dict)
+    hot_queries: int = 0
+    not_found: int = 0
+    wrong_answers: int = 0
+    wrong_samples: List[Dict[str, object]] = field(default_factory=list)
+    errors: int = 0
+    error_samples: List[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    qps: float = 0.0
+    latency_ms: Dict[str, float] = field(default_factory=dict)
+    per_kind_latency_ms: Dict[str, Dict[str, float]] = field(
+        default_factory=dict)
+    cache: Optional[Dict[str, object]] = None
+    failover: Optional[Dict[str, object]] = None
+    config: Optional[Dict[str, object]] = None
+    slo: Optional[Dict[str, object]] = None
+
+    @property
+    def error_rate(self) -> float:
+        """Errored fraction of the stream (0.0 on an empty stream)."""
+        return self.errors / self.total if self.total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["error_rate"] = round(self.error_rate, 6)
+        return data
+
+    def to_json(self, indent: int = 2) -> str:
+        """The report as a JSON document (the CI artifact format)."""
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+
+class _ReferenceOracle:
+    """Pure in-memory answers to check the service against.
+
+    ``path`` answers come from the binary-heap Dijkstra reference;
+    hop-kind answers from a memoized BFS layering per (graph, source) —
+    hop distance is exactly what
+    :func:`~repro.core.multi.hop_limited_search` reports as ``distance``.
+    """
+
+    def __init__(self, graphs: Mapping[str, Graph]) -> None:
+        self._graphs = dict(graphs)
+        self._hops: Dict[Tuple[str, int], Dict[int, int]] = {}
+
+    def hop_distances(self, graph: str, source: int) -> Dict[int, int]:
+        key = (graph, source)
+        cached = self._hops.get(key)
+        if cached is not None:
+            return cached
+        model = self._graphs[graph]
+        hops = {source: 0}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for neighbor, _cost in model.out_edges(node):
+                if neighbor not in hops:
+                    hops[neighbor] = hops[node] + 1
+                    queue.append(neighbor)
+        self._hops[key] = hops
+        return hops
+
+    def expected(self, query: TrafficQuery) -> Optional[float]:
+        """The expected ``distance`` (weighted for ``path``, hop count
+        otherwise), or ``None`` when the pair should be unreachable
+        under the query's kind and hop budget."""
+        if query.kind == KIND_PATH:
+            try:
+                return dijkstra_shortest_path(
+                    self._graphs[query.graph], query.source,
+                    query.target).distance
+            except PathNotFoundError:
+                return None
+        hops = self.hop_distances(query.graph, query.source).get(
+            query.target)
+        if hops is None:
+            return None
+        if query.max_hops is not None and hops > query.max_hops:
+            return None
+        return float(hops)
+
+
+def _snapshot(value: object) -> Optional[Dict[str, object]]:
+    if value is None:
+        return None
+    if is_dataclass(value) and not isinstance(value, type):
+        return asdict(value)
+    if isinstance(value, dict):
+        return dict(value)
+    return None
+
+
+def _cache_snapshot(target: object) -> Optional[Dict[str, object]]:
+    snapshot: Dict[str, object] = {}
+    info = getattr(target, "cache_info", None)
+    if callable(info):
+        local = _snapshot(info())
+        if local is not None:
+            snapshot["local"] = local
+    shared = getattr(target, "shared_cache_info", None)
+    if callable(shared):
+        cross = _snapshot(shared())
+        if cross is not None:
+            snapshot["shared"] = cross
+    return snapshot or None
+
+
+def _failover_snapshot(target: object) -> Optional[Dict[str, object]]:
+    health = getattr(target, "shard_health", None)
+    if callable(health):
+        return dict(health())
+    return None
+
+
+def run_traffic(target: object, generator: TrafficGenerator, count: int, *,
+                reference: Optional[Mapping[str, Graph]] = None,
+                interrupt_at: Optional[int] = None,
+                interrupt: Optional[Callable[[], object]] = None
+                ) -> TrafficReport:
+    """Stream ``count`` generated queries against ``target``.
+
+    Args:
+        target: anything exposing ``shortest_path(source, target, graph=,
+            kind=, max_hops=)`` — a :class:`PathService`, a
+            :class:`ShardRouter`, or a compatible test double.
+        generator: the seeded query stream.
+        count: how many queries to issue.
+        reference: graph name → in-memory :class:`Graph` for differential
+            verification.  When given, **every** answer is checked; a
+            mismatch increments ``wrong_answers`` (it never raises — the
+            report is the verdict).  When omitted, answers are taken on
+            faith and only errors/latency are measured.
+        interrupt_at: 0-based query index before which ``interrupt`` is
+            invoked once — the fault-injection hook ("kill the server
+            after 40 queries").
+        interrupt: the callable to invoke at ``interrupt_at``.
+
+    Returns:
+        The filled :class:`TrafficReport` (``slo`` left ``None``; apply
+        an :class:`~repro.workload.slo.SLO` to fill it).
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0; got {count}")
+    if (interrupt_at is None) != (interrupt is None):
+        raise ValueError("interrupt_at and interrupt go together")
+    oracle = None if reference is None else _ReferenceOracle(reference)
+    report = TrafficReport(config=generator.config.as_dict())
+    latencies: List[float] = []
+    per_kind_latencies: Dict[str, List[float]] = {}
+    started = time.perf_counter()
+    for index, query in enumerate(generator.queries(count)):
+        if interrupt is not None and index == interrupt_at:
+            interrupt()
+        report.total += 1
+        report.per_kind[query.kind] = report.per_kind.get(query.kind, 0) + 1
+        if query.hot:
+            report.hot_queries += 1
+        call_started = time.perf_counter()
+        result = None
+        failed = False
+        try:
+            result = target.shortest_path(  # type: ignore[attr-defined]
+                query.source, query.target, graph=query.graph,
+                kind=query.kind, max_hops=query.max_hops)
+        except PathNotFoundError:
+            report.not_found += 1
+        except ReproError as exc:
+            failed = True
+            report.errors += 1
+            if len(report.error_samples) < MAX_WRONG_SAMPLES:
+                report.error_samples.append(
+                    f"{type(exc).__name__}: {exc}")
+        elapsed_ms = (time.perf_counter() - call_started) * 1000.0
+        latencies.append(elapsed_ms)
+        per_kind_latencies.setdefault(query.kind, []).append(elapsed_ms)
+        if oracle is None or failed:
+            continue
+        expected = oracle.expected(query)
+        got = None if result is None else result.distance
+        if expected == got:
+            continue
+        report.wrong_answers += 1
+        if len(report.wrong_samples) < MAX_WRONG_SAMPLES:
+            report.wrong_samples.append({
+                "graph": query.graph, "source": query.source,
+                "target": query.target, "kind": query.kind,
+                "max_hops": query.max_hops,
+                "expected": expected, "got": got,
+            })
+    report.elapsed_s = round(time.perf_counter() - started, 4)
+    report.qps = round(report.total / report.elapsed_s, 2) \
+        if report.elapsed_s else 0.0
+    report.latency_ms = _summarize(latencies)
+    report.per_kind_latency_ms = {
+        kind: _summarize(values)
+        for kind, values in sorted(per_kind_latencies.items())}
+    report.cache = _cache_snapshot(target)
+    report.failover = _failover_snapshot(target)
+    return report
+
+
+__all__ = [
+    "MAX_WRONG_SAMPLES",
+    "TrafficReport",
+    "percentile",
+    "run_traffic",
+]

@@ -1,0 +1,95 @@
+"""Declared service-level objectives and their verdicts.
+
+An :class:`SLO` is the contract a traffic run is graded against: latency
+percentiles, error rate, correctness (wrong answers are never budgeted
+by default), and optionally a throughput floor.  :meth:`SLO.apply`
+stamps the verdict into a :class:`~repro.workload.harness.TrafficReport`
+so the CI artifact carries objectives, violations, and the pass/fail
+bit together — a regression reads straight out of the JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.workload.harness import TrafficReport
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Objectives for one traffic run.
+
+    ``None`` disables a latency/throughput objective; correctness and
+    error-rate objectives always apply (default: zero wrong answers,
+    zero errors).
+
+    Attributes:
+        p50_ms / p95_ms / p99_ms: latency ceilings in milliseconds.
+        max_error_rate: highest tolerated errored fraction of the stream
+            (transport failures during fault injection, for example).
+        max_wrong_answers: highest tolerated count of answers
+            contradicting the differential reference.  Leave at 0 —
+            wrong answers are correctness bugs, not capacity problems.
+        min_qps: throughput floor (queries per second), rarely useful on
+            shared CI runners; prefer latency objectives.
+    """
+
+    p50_ms: Optional[float] = None
+    p95_ms: Optional[float] = None
+    p99_ms: Optional[float] = None
+    max_error_rate: float = 0.0
+    max_wrong_answers: int = 0
+    min_qps: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "max_error_rate": self.max_error_rate,
+            "max_wrong_answers": self.max_wrong_answers,
+            "min_qps": self.min_qps,
+        }
+
+    def check(self, report: TrafficReport) -> List[str]:
+        """Every violated objective, as human-readable strings (empty =
+        the run met the SLO)."""
+        violations: List[str] = []
+        for name, ceiling in (("p50", self.p50_ms), ("p95", self.p95_ms),
+                              ("p99", self.p99_ms)):
+            if ceiling is None:
+                continue
+            observed = float(report.latency_ms.get(name, 0.0))
+            if observed > ceiling:
+                violations.append(
+                    f"latency {name} {observed:.3f}ms exceeds the "
+                    f"{ceiling:.3f}ms objective")
+        if report.wrong_answers > self.max_wrong_answers:
+            violations.append(
+                f"{report.wrong_answers} wrong answers exceed the budget "
+                f"of {self.max_wrong_answers}")
+        if report.error_rate > self.max_error_rate:
+            violations.append(
+                f"error rate {report.error_rate:.4f} exceeds the "
+                f"{self.max_error_rate:.4f} objective "
+                f"({report.errors}/{report.total} queries)")
+        if self.min_qps is not None and report.qps < self.min_qps:
+            violations.append(
+                f"throughput {report.qps:.2f} qps is below the "
+                f"{self.min_qps:.2f} qps floor")
+        return violations
+
+    def apply(self, report: TrafficReport) -> bool:
+        """Check ``report`` and stamp the verdict into ``report.slo``;
+        returns whether every objective was met."""
+        violations = self.check(report)
+        report.slo = {
+            "declared": self.as_dict(),
+            "violations": violations,
+            "met": not violations,
+        }
+        return not violations
+
+
+__all__ = ["SLO"]

@@ -1,0 +1,186 @@
+"""Differential tests: every query kind × method × backend agrees with a
+pure-Python reference, pair for pair.
+
+The reference oracles are deliberately independent of the relational
+machinery: a binary-heap Dijkstra for ``path`` and a plain BFS layering
+for the hop kinds (``bounded_hop`` / ``reachability`` report the
+*fewest-hops* distance).  The seeded sweep covers a random digraph with
+an explicit self loop, unreachable pairs, and ``source == target``; the
+property tests then let hypothesis hunt for shapes the sweep missed.
+"""
+
+from collections import deque
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import PathNotFoundError
+from repro.graph.generators import random_graph
+from repro.graph.model import Graph
+from repro.memory.dijkstra import dijkstra_shortest_path
+from repro.service import PathService
+
+RELATIONAL_METHODS = ("DJ", "BDJ", "BSDJ", "BSEG")
+BACKENDS = ("minidb", "sqlite")
+
+
+def oracle_distance(graph, source, target):
+    """Weighted shortest distance, or ``None`` when unreachable."""
+    try:
+        return dijkstra_shortest_path(graph, source, target).distance
+    except PathNotFoundError:
+        return None
+
+
+def oracle_hops(graph, source, target):
+    """Fewest-hops distance by BFS, or ``None`` when unreachable."""
+    hops = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        if node == target:
+            return hops[node]
+        for neighbor, _cost in graph.out_edges(node):
+            if neighbor not in hops:
+                hops[neighbor] = hops[node] + 1
+                queue.append(neighbor)
+    return hops.get(target)
+
+
+def check_path_kind(service, graph, source, target, method):
+    expected = oracle_distance(graph, source, target)
+    if expected is None:
+        with pytest.raises(PathNotFoundError):
+            service.shortest_path(source, target, graph="g", method=method,
+                                  use_cache=False)
+        return
+    result = service.shortest_path(source, target, graph="g", method=method,
+                                   use_cache=False)
+    assert result.distance == pytest.approx(expected)
+    assert result.path[0] == source and result.path[-1] == target
+    result.validate_against(graph)
+
+
+def check_reachability_kind(service, graph, source, target, method):
+    hops = oracle_hops(graph, source, target)
+    if hops is None:
+        with pytest.raises(PathNotFoundError):
+            service.shortest_path(source, target, graph="g", method=method,
+                                  kind="reachability", use_cache=False)
+        return
+    result = service.shortest_path(source, target, graph="g", method=method,
+                                   kind="reachability", use_cache=False)
+    assert result.distance == hops
+    assert result.path[0] == source and result.path[-1] == target
+    assert len(result.path) - 1 == hops
+
+
+def check_bounded_hop_kind(service, graph, source, target, method):
+    hops = oracle_hops(graph, source, target)
+    if hops is None:
+        with pytest.raises(PathNotFoundError):
+            service.shortest_path(source, target, graph="g", method=method,
+                                  kind="bounded_hop", max_hops=8,
+                                  use_cache=False)
+        return
+    # An exact budget answers; one hop less must fail (unless adjacent
+    # or the pair is trivially the same node).
+    budget = max(1, hops)
+    result = service.shortest_path(source, target, graph="g", method=method,
+                                   kind="bounded_hop", max_hops=budget,
+                                   use_cache=False)
+    assert result.distance == hops
+    assert len(result.path) - 1 == hops
+    if hops > 1:
+        with pytest.raises(PathNotFoundError):
+            service.shortest_path(source, target, graph="g", method=method,
+                                  kind="bounded_hop", max_hops=hops - 1,
+                                  use_cache=False)
+
+
+KIND_CHECKS = {
+    "path": check_path_kind,
+    "reachability": check_reachability_kind,
+    "bounded_hop": check_bounded_hop_kind,
+}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_differential_sweep_kinds_methods_backends(backend):
+    """Seeded sweep: a random digraph (self loop included) checked pair
+    for pair, for every kind × method on both store backends."""
+    graph = random_graph(48, avg_degree=2.2, seed=97)
+    graph.add_edge(3, 3, 5.0)  # a self loop must not disturb any answer
+    # A mix of reachable, unreachable, adjacent, and self pairs; the
+    # low average degree guarantees some unreachable ones.
+    pairs = [(3, 17), (0, 40), (21, 8), (11, 11), (40, 0), (7, 33)]
+    with PathService(cache_size=0) as service:
+        service.add_graph("g", graph, backend=backend)
+        service.build_segtable("g", lthd=6)
+        assert any(oracle_distance(graph, s, t) is None for s, t in pairs), \
+            "the sweep must include an unreachable pair"
+        for source, target in pairs:
+            for method in RELATIONAL_METHODS:
+                for kind, check in KIND_CHECKS.items():
+                    check(service, graph, source, target, method)
+
+
+@st.composite
+def digraph_cases(draw):
+    """A small random weighted digraph (self loops allowed) + a pair."""
+    num_nodes = draw(st.integers(min_value=2, max_value=14))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_nodes - 1),
+                st.integers(0, num_nodes - 1),
+                st.integers(1, 20),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    graph = Graph()
+    for nid in range(num_nodes):
+        graph.add_node(nid)
+    for fid, tid, cost in edges:
+        graph.add_edge(fid, tid, float(cost))
+    source = draw(st.integers(0, num_nodes - 1))
+    target = draw(st.integers(0, num_nodes - 1))
+    return graph, source, target
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=digraph_cases())
+def test_property_every_kind_matches_reference(case):
+    """Hypothesis sweep: all three kinds agree with their oracle on
+    arbitrary digraphs, including unreachable pairs and self loops."""
+    graph, source, target = case
+    with PathService(cache_size=0) as service:
+        service.add_graph("g", graph)
+        service.build_segtable("g", lthd=6)
+        for method in ("auto", "DJ"):
+            for check in KIND_CHECKS.values():
+                check(service, graph, source, target, method)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=digraph_cases())
+def test_property_sqlite_hop_kinds_match_minidb(case):
+    """The two backends answer the hop kinds identically — same hop
+    distance AND same (deterministically tie-broken) path."""
+    graph, source, target = case
+    shapes = []
+    for backend in BACKENDS:
+        with PathService(cache_size=0) as service:
+            service.add_graph("g", graph, backend=backend)
+            try:
+                result = service.shortest_path(
+                    source, target, graph="g", kind="reachability",
+                    use_cache=False)
+                shapes.append((result.distance, tuple(result.path)))
+            except PathNotFoundError:
+                shapes.append(None)
+    assert shapes[0] == shapes[1]

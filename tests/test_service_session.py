@@ -227,12 +227,18 @@ class TestClosedService:
 
     def test_disabled_cache_reports_no_misses(self, small_grid_graph):
         # capacity 0 must not report misses-then-cached for queries that
-        # were never cached.
+        # were never cached; a duplicate pair inside one batch is still
+        # deduplicated (single-flight replay), not re-executed serially.
         with PathService(cache_size=0) as service:
             service.add_graph("default", small_grid_graph)
             batch = service.shortest_path_many([(0, 24), (0, 24)])
             assert batch.stats.cache_misses == 0
             assert batch.stats.cache_hits == 0
-            assert batch.stats.executed == 2
+            assert batch.stats.executed == 1
+            assert batch.stats.single_flight_hits == 1
+            assert batch.results[0] is not None
+            assert batch.results[1] is not None
+            assert batch.results[0].distance == batch.results[1].distance
+            assert batch.results[0].path == batch.results[1].path
             info = service.cache_info()
             assert info.misses == 0 and info.hits == 0

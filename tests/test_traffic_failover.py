@@ -1,0 +1,209 @@
+"""Fault injection: Zipf traffic over a networked two-shard router with a
+server killed mid-stream.
+
+The harness keeps streaming through the kill (transport errors are
+counted, not raised), the replicated graph fails over to the surviving
+shard, and — the point of the whole exercise — **every answer that comes
+back is still differentially correct**.  The failover story the report
+tells must agree with the router's own :class:`ShardHealth` accounting.
+
+Also here: unit tests for the :class:`ShardHealth` cooldown arithmetic
+itself (streak reset, expiry boundary, exponential growth and its cap,
+all-replicas-down candidate ordering), driven through the router's
+``_mark_failure`` / ``_mark_success`` / ``_candidates`` internals.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.graph.generators import power_law_graph, random_graph
+from repro.serve import ShardServer
+from repro.service import PathService
+from repro.shard import ShardRouter
+from repro.shard.router import (
+    FAILOVER_COOLDOWN,
+    FAILOVER_COOLDOWN_MAX,
+    ShardHealth,
+)
+from repro.workload import SLO, TrafficConfig, TrafficGenerator, run_traffic
+
+LTHD = 3.0
+
+
+def _seed_catalog(catalog_dir, graphs):
+    with PathService(catalog_path=catalog_dir, cache_size=0) as service:
+        for name, graph in graphs.items():
+            service.add_graph(name, graph, backend="sqlite",
+                              db_path=os.path.join(catalog_dir, f"{name}.db"))
+            service.build_segtable(name, lthd=LTHD)
+
+
+@pytest.fixture
+def killable_topology(tmp_path):
+    """A remote shard (behind HTTP) owning the replicated graph ``hot``,
+    and a local shard hosting ``cold`` plus the ``hot`` replica."""
+    graphs = {
+        "hot": power_law_graph(120, edges_per_node=2, seed=5),
+        "cold": random_graph(100, avg_degree=2.5, seed=6),
+    }
+    remote_catalog = str(tmp_path / "remote-shard")
+    local_catalog = str(tmp_path / "local-shard")
+    _seed_catalog(remote_catalog, {"hot": graphs["hot"]})
+    # The replica must be bit-identical content (same fingerprint), or
+    # the router refuses to fail over to it.
+    _seed_catalog(local_catalog, {"cold": graphs["cold"],
+                                  "hot": graphs["hot"]})
+    remote_service = PathService.open(remote_catalog,
+                                      shard_id="remote-shard")
+    server = ShardServer(remote_service, port=0, own_service=True).start()
+    try:
+        yield server, remote_catalog, local_catalog, graphs
+    finally:
+        server.close()
+
+
+class TestTrafficFailover:
+    def test_kill_mid_stream_zero_wrong_answers(self, killable_topology):
+        server, _, local_catalog, graphs = killable_topology
+        remote_name = f"{server.host}:{server.port}"
+        config = TrafficConfig(
+            seed=77, hot_pairs=10, cold_fraction=0.2,
+            graph_weights={"hot": 2.0, "cold": 1.0})
+        generator = TrafficGenerator(
+            config, {name: graph.nodes()
+                     for name, graph in graphs.items()})
+        count = 120
+        with ShardRouter.open([server.url, local_catalog],
+                              names=[remote_name, "local"],
+                              remote_retries=0) as router:
+            assert router.owner("hot") == remote_name
+            report = run_traffic(
+                router, generator, count, reference=graphs,
+                interrupt_at=count // 3, interrupt=server.close)
+            health = router.shard_health()
+
+        # The one non-negotiable: every answer the stream produced was
+        # differentially correct, through the kill and the failover.
+        assert report.total == count
+        assert report.wrong_answers == 0, report.wrong_samples
+        # "hot" has a live replica and "cold" never left the local
+        # shard, so the kill must not surface a single error either.
+        assert report.errors == 0, report.error_samples
+        assert report.not_found < count  # the stream did answer queries
+
+        # The report's failover snapshot is the router's ShardHealth
+        # accounting, and the two must agree: the killed shard shows
+        # transport errors and a failure streak; the survivor is clean.
+        assert report.failover is not None
+        assert set(report.failover) == set(health) == {remote_name, "local"}
+        assert health[remote_name]["errors"] >= 1
+        assert health[remote_name]["consecutive_failures"] >= 1
+        assert health[remote_name]["last_error"]
+        assert health["local"]["errors"] == 0
+        assert health["local"]["consecutive_failures"] == 0
+        assert not health["local"]["down"]
+        # The snapshot was taken at stream end, while the remote's
+        # errors had already been recorded.
+        assert report.failover[remote_name]["errors"] >= 1
+
+        # An SLO that budgets nothing for correctness still passes:
+        # failover kept both wrong answers and errors at zero.
+        slo = SLO(max_error_rate=0.0, max_wrong_answers=0)
+        assert slo.apply(report), report.slo["violations"]
+
+    def test_queries_after_kill_answered_by_replica(self, killable_topology):
+        server, _, local_catalog, graphs = killable_topology
+        remote_name = f"{server.host}:{server.port}"
+        nodes = sorted(graphs["hot"].nodes())
+        with ShardRouter.open([server.url, local_catalog],
+                              names=[remote_name, "local"],
+                              remote_retries=0) as router:
+            before = router.shortest_path(nodes[0], nodes[-1], graph="hot",
+                                          kind="reachability",
+                                          use_cache=False)
+            server.close()
+            after = router.shortest_path(nodes[0], nodes[-1], graph="hot",
+                                         kind="reachability",
+                                         use_cache=False)
+            assert (before.distance, before.path) == (after.distance,
+                                                      after.path)
+            health = router.shard_health()
+            assert health[remote_name]["errors"] >= 1
+            assert health[remote_name]["down"]
+
+
+class TestShardHealthCooldown:
+    """The cooldown arithmetic, pinned at its edges."""
+
+    def _router(self, tmp_path):
+        catalog = str(tmp_path / "solo")
+        _seed_catalog(catalog, {"g": random_graph(30, avg_degree=2.0,
+                                                  seed=9)})
+        return ShardRouter.open([catalog], names=["solo"])
+
+    def test_streak_resets_on_success_but_errors_accumulate(self, tmp_path):
+        with self._router(tmp_path) as router:
+            router._mark_failure("solo", RuntimeError("boom 1"))
+            router._mark_failure("solo", RuntimeError("boom 2"))
+            health = router._health["solo"]
+            assert health.errors == 2
+            assert health.consecutive_failures == 2
+            assert health.is_down()
+            router._mark_success("solo")
+            assert health.errors == 2  # lifetime total survives
+            assert health.consecutive_failures == 0  # streak does not
+            assert health.down_until == 0.0
+            assert not health.is_down()
+            # The next failure starts a FRESH streak with the base
+            # cooldown, not a continuation of the old one.
+            router._mark_failure("solo", RuntimeError("boom 3"))
+            assert health.consecutive_failures == 1
+            remaining = health.down_until - time.monotonic()
+            assert remaining <= FAILOVER_COOLDOWN + 1e-6
+
+    def test_cooldown_expiry_boundary_is_strict(self):
+        health = ShardHealth(shard="s", down_until=100.0)
+        # Strictly before the deadline: down.  AT the deadline: up —
+        # `now < down_until`, so the boundary instant is already out of
+        # cooldown (a shard never stays down one tick longer than asked).
+        assert health.is_down(now=99.999)
+        assert not health.is_down(now=100.0)
+        assert not health.is_down(now=100.001)
+
+    def test_cooldown_doubles_per_failure_and_caps(self, tmp_path):
+        with self._router(tmp_path) as router:
+            health = router._health["solo"]
+            for streak in range(1, 12):
+                router._mark_failure("solo", RuntimeError("boom"))
+                remaining = health.down_until - time.monotonic()
+                expected = min(FAILOVER_COOLDOWN * 2 ** (streak - 1),
+                               FAILOVER_COOLDOWN_MAX)
+                assert remaining <= expected + 1e-6
+                # Loose lower bound: the deadline was set a moment ago.
+                assert remaining > expected - 0.1
+            # 0.25 * 2^10 = 256s, far past the 30s cap.
+            assert (health.down_until - time.monotonic()
+                    <= FAILOVER_COOLDOWN_MAX + 1e-6)
+
+    def test_all_replicas_down_keeps_preference_order(self, tmp_path):
+        graphs = {"g": random_graph(30, avg_degree=2.0, seed=9)}
+        cat_a = str(tmp_path / "a")
+        cat_b = str(tmp_path / "b")
+        _seed_catalog(cat_a, graphs)
+        _seed_catalog(cat_b, graphs)  # identical content = replica
+        with ShardRouter.open([cat_a, cat_b], names=["a", "b"]) as router:
+            assert router.owner("g") == "a"
+            assert router._candidates("g") == ["a", "b"]
+            # Owner down: the replica is preferred, but the owner stays
+            # in the list as a last resort.
+            router._mark_failure("a", RuntimeError("boom"))
+            assert router._candidates("g") == ["b", "a"]
+            # Everything down: ordering degrades back to owner-first so
+            # an all-down replica set yields an error, never a refusal.
+            router._mark_failure("b", RuntimeError("boom"))
+            assert router._candidates("g") == ["a", "b"]
+            # The owner recovering puts it back in front.
+            router._mark_success("a")
+            assert router._candidates("g") == ["a", "b"]

@@ -1,0 +1,218 @@
+"""Unit tests for the traffic workload package: generator determinism and
+skew, harness verification and reporting, SLO verdicts."""
+
+import json
+
+import pytest
+
+from repro.errors import InvalidQueryError
+from repro.graph.generators import power_law_graph, random_graph
+from repro.service import PathService
+from repro.workload import (
+    SLO,
+    TrafficConfig,
+    TrafficGenerator,
+    run_traffic,
+)
+from repro.workload.harness import TrafficReport, percentile
+
+
+@pytest.fixture
+def graphs():
+    return {"social": power_law_graph(80, edges_per_node=2, seed=7),
+            "roads": random_graph(60, avg_degree=2.5, seed=11)}
+
+
+def _nodes_of(graphs):
+    return {name: graph.nodes() for name, graph in graphs.items()}
+
+
+class TestTrafficConfig:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(InvalidQueryError, match="zipf_s"):
+            TrafficConfig(zipf_s=0.0)
+        with pytest.raises(InvalidQueryError, match="hot_pairs"):
+            TrafficConfig(hot_pairs=0)
+        with pytest.raises(InvalidQueryError, match="cold_fraction"):
+            TrafficConfig(cold_fraction=1.5)
+        with pytest.raises(InvalidQueryError, match="unknown query kind"):
+            TrafficConfig(kind_mix={"telepathy": 1.0})
+        with pytest.raises(InvalidQueryError, match="kind_mix"):
+            TrafficConfig(kind_mix={})
+        with pytest.raises(InvalidQueryError, match="max_hops_range"):
+            TrafficConfig(max_hops_range=(3, 1))
+        with pytest.raises(InvalidQueryError, match="max_hops_range"):
+            TrafficConfig(max_hops_range=(0, 4))
+
+    def test_as_dict_round_trips_through_json(self):
+        config = TrafficConfig(seed=9, graph_weights={"g": 2.0})
+        assert json.loads(json.dumps(config.as_dict()))["seed"] == 9
+
+
+class TestTrafficGenerator:
+    def test_same_seed_same_stream(self, graphs):
+        config = TrafficConfig(seed=123)
+        streams = [
+            list(TrafficGenerator(config, _nodes_of(graphs)).queries(300))
+            for _ in range(2)]
+        assert streams[0] == streams[1]
+
+    def test_different_seed_different_stream(self, graphs):
+        one = list(TrafficGenerator(TrafficConfig(seed=1),
+                                    _nodes_of(graphs)).queries(100))
+        two = list(TrafficGenerator(TrafficConfig(seed=2),
+                                    _nodes_of(graphs)).queries(100))
+        assert one != two
+
+    def test_zipf_head_dominates_hot_traffic(self, graphs):
+        config = TrafficConfig(seed=5, zipf_s=1.3, hot_pairs=10,
+                               cold_fraction=0.0)
+        generator = TrafficGenerator(config, _nodes_of(graphs))
+        queries = list(generator.queries(2000))
+        assert all(q.hot for q in queries)
+        counts = {}
+        for query in queries:
+            key = (query.graph, query.source, query.target)
+            counts[key] = counts.get(key, 0) + 1
+        for name in graphs:
+            pool = generator.hot_pool(name)
+            assert len(pool) == 10
+            head = counts.get((name,) + pool[0], 0)
+            tail = counts.get((name,) + pool[-1], 0)
+            assert head > tail, \
+                f"rank 0 of {name!r} must outdraw rank {len(pool) - 1}"
+
+    def test_kind_mix_and_hop_budgets(self, graphs):
+        config = TrafficConfig(seed=8, max_hops_range=(2, 4))
+        queries = list(TrafficGenerator(config,
+                                        _nodes_of(graphs)).queries(500))
+        kinds = {q.kind for q in queries}
+        assert kinds == {"path", "reachability", "bounded_hop"}
+        for query in queries:
+            if query.kind == "bounded_hop":
+                assert 2 <= query.max_hops <= 4
+            else:
+                assert query.max_hops is None
+
+    def test_graph_weights_skew_graph_choice(self, graphs):
+        config = TrafficConfig(
+            seed=3, graph_weights={"social": 9.0, "roads": 1.0})
+        queries = list(TrafficGenerator(config,
+                                        _nodes_of(graphs)).queries(600))
+        social = sum(1 for q in queries if q.graph == "social")
+        assert social > 400
+
+    def test_rejects_missing_weight_and_tiny_graphs(self, graphs):
+        with pytest.raises(InvalidQueryError, match="graph_weights"):
+            TrafficGenerator(TrafficConfig(graph_weights={"social": 1.0}),
+                             _nodes_of(graphs))
+        with pytest.raises(InvalidQueryError, match="at least 2 nodes"):
+            TrafficGenerator(TrafficConfig(), {"dot": [0]})
+        with pytest.raises(InvalidQueryError, match="at least one graph"):
+            TrafficGenerator(TrafficConfig(), {})
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert percentile(values, 50.0) == 5.0
+        assert percentile(values, 95.0) == 10.0
+        assert percentile(values, 99.0) == 10.0
+        assert percentile(values, 100.0) == 10.0
+        assert percentile([7.5], 50.0) == 7.5
+        assert percentile([], 95.0) == 0.0
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 0.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class _LyingService:
+    """Answers every query with distance 0 — all wrong (except trivially
+    correct self pairs, which the generator never draws)."""
+
+    class _Result:
+        distance = 0.0
+        path = ()
+
+    def shortest_path(self, source, target, graph=None, kind="path",
+                      max_hops=None):
+        return self._Result()
+
+
+class TestRunTraffic:
+    def test_local_service_zero_wrong_answers(self, graphs):
+        config = TrafficConfig(seed=21)
+        generator = TrafficGenerator(config, _nodes_of(graphs))
+        with PathService() as service:
+            for name, graph in graphs.items():
+                service.add_graph(name, graph)
+            report = run_traffic(service, generator, 150, reference=graphs)
+        assert report.total == 150
+        assert report.wrong_answers == 0, report.wrong_samples
+        assert report.errors == 0
+        assert report.latency_ms["count"] == 150
+        assert report.latency_ms["p50"] <= report.latency_ms["p95"] \
+            <= report.latency_ms["p99"] <= report.latency_ms["max"]
+        assert sum(report.per_kind.values()) == 150
+        assert report.cache is not None and "local" in report.cache
+        assert report.config["seed"] == 21
+        # The artifact format is real JSON.
+        assert json.loads(report.to_json())["total"] == 150
+
+    def test_wrong_answers_are_caught(self, graphs):
+        generator = TrafficGenerator(TrafficConfig(seed=21),
+                                     _nodes_of(graphs))
+        report = run_traffic(_LyingService(), generator, 50,
+                             reference=graphs)
+        assert report.wrong_answers > 0
+        assert report.wrong_samples
+        sample = report.wrong_samples[0]
+        assert sample["got"] == 0.0 and sample["expected"] != 0.0
+        slo = SLO()
+        assert not slo.apply(report)
+        assert any("wrong answers" in v for v in report.slo["violations"])
+
+    def test_interrupt_arguments_go_together(self, graphs):
+        generator = TrafficGenerator(TrafficConfig(), _nodes_of(graphs))
+        with pytest.raises(ValueError, match="go together"):
+            run_traffic(_LyingService(), generator, 5, interrupt_at=2)
+        with pytest.raises(ValueError, match="count"):
+            run_traffic(_LyingService(), generator, -1)
+
+
+class TestSLO:
+    def _report(self, **overrides):
+        report = TrafficReport(
+            total=100, errors=0, wrong_answers=0, qps=500.0,
+            latency_ms={"count": 100, "p50": 1.0, "p95": 5.0, "p99": 9.0,
+                        "mean": 2.0, "max": 12.0})
+        for name, value in overrides.items():
+            setattr(report, name, value)
+        return report
+
+    def test_met_slo_stamps_verdict(self):
+        report = self._report()
+        slo = SLO(p95_ms=10.0, p99_ms=20.0)
+        assert slo.apply(report)
+        assert report.slo["met"] is True
+        assert report.slo["violations"] == []
+        assert report.slo["declared"]["p95_ms"] == 10.0
+
+    def test_latency_breach_is_reported_per_percentile(self):
+        report = self._report()
+        slo = SLO(p50_ms=0.5, p95_ms=4.0, p99_ms=20.0)
+        violations = slo.check(report)
+        assert len(violations) == 2
+        assert any("p50" in v for v in violations)
+        assert any("p95" in v for v in violations)
+
+    def test_error_rate_and_qps_objectives(self):
+        report = self._report(errors=3)
+        assert any("error rate" in v
+                   for v in SLO(max_error_rate=0.01).check(report))
+        assert SLO(max_error_rate=0.05).check(report) == []
+        assert any("qps" in v
+                   for v in SLO(min_qps=1000.0).check(self._report()))
