@@ -19,7 +19,14 @@ trips on pathological regressions, never on a slow CI runner):
 4. latency percentiles (p50/p95/p99, overall and per kind) plus cache
    and shard-health snapshots land in
    ``benchmarks/results/traffic_slo.json`` for the consolidated
-   ``bench-results`` CI artifact.
+   ``bench-results`` CI artifact;
+5. the verdict's percentiles come from the **metrics registry's
+   histograms** (the harness publishes every query into
+   ``repro_traffic_latency_ms``), both shards' ``/metrics`` Prometheus
+   text is scraped at end of run into the artifact, and the
+   instrumentation overhead (one counter + one histogram + one timer
+   per query) is micro-benchmarked and asserted <= 5% of the mean
+   query latency.
 """
 
 import json
@@ -33,7 +40,9 @@ from repro.bench.harness import (
     write_report,
 )
 from repro.graph.generators import power_law_graph, random_graph
-from repro.serve import ShardServer
+from repro.obs import MetricsRegistry, timer
+from repro.obs.schema import METRIC_TRAFFIC_LATENCY_MS, METRIC_TRAFFIC_QUERIES
+from repro.serve import ShardClient, ShardServer
 from repro.service import PathService
 from repro.shard import ShardRouter
 from repro.workload import SLO, TrafficConfig, TrafficGenerator, run_traffic
@@ -105,6 +114,7 @@ def run_experiment(tmp_dir):
     remote_service = PathService.open(remote_catalog, shard_id="remote-shard")
     server = ShardServer(remote_service, port=0, own_service=True).start()
     remote_name = f"{server.host}:{server.port}"
+    registry = MetricsRegistry()
     try:
         with ShardRouter.open([server.url, local_catalog],
                               names=[remote_name, "local"],
@@ -113,12 +123,21 @@ def run_experiment(tmp_dir):
             assert router.owner("roads") == "local"
             generator = TrafficGenerator(TRAFFIC, _nodes_of(graphs))
             report = run_traffic(router, generator, NUM_QUERIES,
-                                 reference=graphs)
+                                 reference=graphs, registry=registry)
+            scrapes = _scrape_metrics(server, router, remote_name)
     finally:
         server.close()
 
+    # Gate 5a: the verdict's percentiles ARE the registry's histogram
+    # estimates — nothing is computed from an ad-hoc latency list.
+    summary = registry.summary(METRIC_TRAFFIC_LATENCY_MS)
+    assert report.latency_ms["count"] == int(summary["count"])
+    assert report.latency_ms["p95"] == round(summary["p95"], 3)
+
     slo = SLO(p95_ms=P95_SLO_MS, max_error_rate=0.0, max_wrong_answers=0)
     met = slo.apply(report)
+
+    overhead_pct = _instrumentation_overhead_pct(report)
 
     rows = [{
         "kind": kind,
@@ -134,10 +153,45 @@ def run_experiment(tmp_dir):
         "p95_ms": report.latency_ms["p95"],
         "p99_ms": report.latency_ms["p99"],
     })
-    return rows, report, met, remote_name
+    return rows, report, met, remote_name, scrapes, overhead_pct
 
 
-def _write_json(report, met, remote_name):
+def _scrape_metrics(server, router, remote_name):
+    """End-of-run ``/metrics`` Prometheus text from both shards.
+
+    The remote shard is scraped over its real HTTP surface; the local
+    in-process shard is lifted behind an ephemeral ``own_service=False``
+    server for the scrape so both snapshots travel the same wire.
+    """
+    scrapes = {remote_name: ShardClient(server.url).metrics_text()}
+    local_server = ShardServer(router.transport("local").service,
+                               port=0, own_service=False).start()
+    try:
+        scrapes["local"] = ShardClient(local_server.url).metrics_text()
+    finally:
+        local_server.close()
+    return scrapes
+
+
+def _instrumentation_overhead_pct(report):
+    """Micro-benchmarked cost of one query's worth of instrumentation
+    (counter inc + histogram observe + one timer), as a percentage of
+    the run's mean query latency."""
+    bench = MetricsRegistry()
+    rounds = 2000
+    with timer() as took:
+        for _ in range(rounds):
+            bench.counter(METRIC_TRAFFIC_QUERIES, {"kind": "path"}).inc()
+            with timer():
+                pass
+            bench.histogram(METRIC_TRAFFIC_LATENCY_MS,
+                            {"kind": "path"}).observe(1.0)
+    per_query_ms = took.seconds * 1000.0 / rounds
+    mean_ms = report.latency_ms["mean"] or 1e-9
+    return round(per_query_ms / mean_ms * 100.0, 3)
+
+
+def _write_json(report, met, remote_name, scrapes, overhead_pct):
     payload = {
         "benchmark": "traffic_slo",
         "backend": "sqlite (one shard behind HTTP on an ephemeral port)",
@@ -146,6 +200,8 @@ def _write_json(report, met, remote_name):
         "shards": [remote_name, "local"],
         "remote_shards": [remote_name],
         "slo_met": met,
+        "observability_overhead_pct": overhead_pct,
+        "metrics_scrapes": scrapes,
         **report.as_dict(),
     }
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
@@ -156,9 +212,11 @@ def _write_json(report, met, remote_name):
 
 
 def test_traffic_meets_slo(benchmark, tmp_path):
-    rows, report, met, remote_name = benchmark.pedantic(
-        run_experiment, args=(str(tmp_path),), rounds=1, iterations=1)
-    _, payload = _write_json(report, met, remote_name)
+    rows, report, met, remote_name, scrapes, overhead_pct = \
+        benchmark.pedantic(
+            run_experiment, args=(str(tmp_path),), rounds=1, iterations=1)
+    _, payload = _write_json(report, met, remote_name, scrapes,
+                             overhead_pct)
     write_report(
         "traffic_slo",
         paper_reference(
@@ -190,3 +248,12 @@ def test_traffic_meets_slo(benchmark, tmp_path):
     assert payload["cache"], "cache snapshot must be reported"
     assert payload["failover"] is not None, \
         "shard-health snapshot must be reported"
+    # Gate 5b: both shards' Prometheus scrapes are in the artifact and
+    # look like real expositions (the remote one served >= 1 HTTP query).
+    assert set(payload["metrics_scrapes"]) == {remote_name, "local"}
+    for text in payload["metrics_scrapes"].values():
+        assert "# TYPE" in text
+    assert "repro_queries_total" in payload["metrics_scrapes"][remote_name]
+    # Gate 5c: enabled observability costs <= 5% of a mean query.
+    assert payload["observability_overhead_pct"] <= 5.0, \
+        f"instrumentation overhead {payload['observability_overhead_pct']}%"

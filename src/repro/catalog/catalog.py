@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import os
 import threading
-import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -49,6 +48,7 @@ from repro.catalog.manifest import (
 from repro.core.segtable import build_segtable as _build_segtable
 from repro.core.store.registry import create_store
 from repro.errors import CatalogEntryNotFoundError, ManifestError
+from repro.obs import wall_time
 from repro.graph.stats import compute_statistics
 
 LOCK_NAME = ".manifest.lock"
@@ -337,7 +337,7 @@ class Catalog:
                                         index_mode=mode)
                 segtable = SegTableRecord(lthd=threshold, sql_style=style,
                                           index_mode=mode, build=build,
-                                          built_at=time.time())
+                                          built_at=wall_time())
             refreshed = entry.touched(
                 fingerprint=fingerprint,
                 num_nodes=graph.num_nodes,

@@ -18,7 +18,6 @@ from __future__ import annotations
 import json
 import os
 import threading
-import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
@@ -29,6 +28,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.stats import SegTableBuildStats
 from repro.errors import ManifestError
+from repro.obs.clock import wall_time
 from repro.graph.stats import GraphStatistics
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; imported lazily at
@@ -171,8 +171,8 @@ class CatalogEntry:
     segtable: Optional[SegTableRecord] = None
     shard: Optional[str] = None
     stale: bool = False
-    created_at: float = field(default_factory=time.time)
-    updated_at: float = field(default_factory=time.time)
+    created_at: float = field(default_factory=wall_time)
+    updated_at: float = field(default_factory=wall_time)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -222,7 +222,7 @@ class CatalogEntry:
 
     def touched(self, **changes: object) -> "CatalogEntry":
         """A copy with ``changes`` applied and ``updated_at`` refreshed."""
-        return replace(self, updated_at=time.time(), **changes)  # type: ignore[arg-type]
+        return replace(self, updated_at=wall_time(), **changes)  # type: ignore[arg-type]
 
 
 @dataclass

@@ -18,7 +18,6 @@ the target, alternate expansion directions by frontier size, track ``l_f``,
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -39,6 +38,8 @@ from repro.core.stats import (
 )
 from repro.core.store.base import GraphStore
 from repro.errors import InvalidQueryError, PathNotFoundError
+from repro.obs import now as _now
+from repro.obs import span as _span
 
 
 @dataclass(frozen=True)
@@ -101,7 +102,7 @@ def bidirectional_search(store: GraphStore, source: int, target: int,
         )
     stats = QueryStats(method=policy.name, sql_style=validate_sql_style(sql_style))
     store.begin_query(stats, stats.sql_style)
-    start_time = time.perf_counter()
+    start_time = _now()
 
     with stats.phase(PHASE_PATH_EXPANSION):
         store.reset_visited()
@@ -113,7 +114,7 @@ def bidirectional_search(store: GraphStore, source: int, target: int,
             stats.found = True
             stats.distance = 0.0
             stats.visited_nodes = store.visited_count()
-            stats.total_time = time.perf_counter() - start_time
+            stats.total_time = _now() - start_time
             return PathResult(source, target, 0.0, [source], stats)
         store.insert_visited(
             [
@@ -133,7 +134,13 @@ def bidirectional_search(store: GraphStore, source: int, target: int,
         if state is None:
             break
         opposite = backward_state if state is forward_state else forward_state
-        expanded = _expand_one_round(store, stats, policy, state, opposite, min_cost)
+        with _span("fem.iteration", index=stats.expansions + 1,
+                   direction=state.direction.name) as iteration:
+            statements_before = stats.statements
+            expanded = _expand_one_round(store, stats, policy, state,
+                                         opposite, min_cost)
+            iteration.tag(statements=stats.statements - statements_before,
+                          frontier=state.frontier_size if expanded else 0)
         if not expanded:
             state.exhausted = True
             state.latest_distance = INFINITY
@@ -153,7 +160,7 @@ def bidirectional_search(store: GraphStore, source: int, target: int,
         min_cost = store.min_total_cost()
     if min_cost >= INFINITY:
         stats.visited_nodes = store.visited_count()
-        stats.total_time = time.perf_counter() - start_time
+        stats.total_time = _now() - start_time
         raise PathNotFoundError(f"no path from {source} to {target}")
     with stats.phase(PHASE_STATISTICS):
         meeting = store.meeting_node(min_cost)
@@ -168,7 +175,7 @@ def bidirectional_search(store: GraphStore, source: int, target: int,
     stats.distance = float(min_cost)
     stats.path_edges = len(path) - 1
     stats.visited_nodes = store.visited_count()
-    stats.total_time = time.perf_counter() - start_time
+    stats.total_time = _now() - start_time
     return PathResult(source, target, float(min_cost), path, stats)
 
 

@@ -9,7 +9,6 @@ baseline whose poor performance motivates the set-at-a-time optimizations.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 from repro.core.directions import FORWARD_DIRECTION
@@ -24,6 +23,8 @@ from repro.core.stats import (
 )
 from repro.core.store.base import GraphStore
 from repro.errors import PathNotFoundError
+from repro.obs import now as _now
+from repro.obs import span as _span
 
 
 def dijkstra_single_direction(store: GraphStore, source: int, target: int,
@@ -46,7 +47,7 @@ def dijkstra_single_direction(store: GraphStore, source: int, target: int,
     """
     stats = QueryStats(method="DJ", sql_style=validate_sql_style(sql_style))
     store.begin_query(stats, stats.sql_style)
-    start_time = time.perf_counter()
+    start_time = _now()
     forward = FORWARD_DIRECTION
 
     with stats.phase(PHASE_PATH_EXPANSION):
@@ -57,32 +58,39 @@ def dijkstra_single_direction(store: GraphStore, source: int, target: int,
         stats.found = True
         stats.distance = 0.0
         stats.visited_nodes = store.visited_count()
-        stats.total_time = time.perf_counter() - start_time
+        stats.total_time = _now() - start_time
         return PathResult(source, target, 0.0, [source], stats)
 
     target_finalized = False
     while True:
         if max_iterations is not None and stats.expansions >= max_iterations:
             break
-        # Auxiliary statement: locate the to-be-finalized node (Listing 2(2)).
-        with stats.phase(PHASE_STATISTICS):
-            mid = store.top1_min_unfinalized(forward)
-        if mid is None:
-            break
-        # F + E + M operators for this node (Listing 2(3) and 2(4)).
-        with stats.phase(PHASE_PATH_EXPANSION):
-            store.expand(forward, mid=mid)
-            stats.record_expansion(forward=True)
-            store.finalize_node(mid, forward)
-        # Termination detection (Listing 3(1)).
-        with stats.phase(PHASE_STATISTICS):
-            if store.is_finalized(target, forward):
+        with _span("fem.iteration", index=stats.expansions + 1,
+                   frontier=1) as iteration:
+            statements_before = stats.statements
+            # Auxiliary statement: locate the to-be-finalized node
+            # (Listing 2(2)).
+            with stats.phase(PHASE_STATISTICS):
+                mid = store.top1_min_unfinalized(forward)
+            if mid is None:
+                iteration.tag(statements=stats.statements - statements_before)
+                break
+            # F + E + M operators for this node (Listing 2(3) and 2(4)).
+            with stats.phase(PHASE_PATH_EXPANSION):
+                store.expand(forward, mid=mid)
+                stats.record_expansion(forward=True)
+                store.finalize_node(mid, forward)
+            # Termination detection (Listing 3(1)).
+            with stats.phase(PHASE_STATISTICS):
+                finished = store.is_finalized(target, forward)
+            iteration.tag(statements=stats.statements - statements_before)
+            if finished:
                 target_finalized = True
                 break
 
     if not target_finalized:
         stats.visited_nodes = store.visited_count()
-        stats.total_time = time.perf_counter() - start_time
+        stats.total_time = _now() - start_time
         raise PathNotFoundError(f"no path from {source} to {target}")
 
     with stats.phase(PHASE_STATISTICS):
@@ -94,5 +102,5 @@ def dijkstra_single_direction(store: GraphStore, source: int, target: int,
     stats.distance = distance
     stats.path_edges = len(path) - 1
     stats.visited_nodes = store.visited_count()
-    stats.total_time = time.perf_counter() - start_time
+    stats.total_time = _now() - start_time
     return PathResult(source, target, float(distance), path, stats)

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import InvalidQueryError
+from repro.obs import span as _span
 from repro.rdb.merge import MergeResult
 from repro.rdb.table import Table
 
@@ -107,21 +108,28 @@ class FEMSearch:
             )
         self.visited.insert_many(initial_rows)
         for iteration in range(1, self.spec.max_iterations + 1):
-            frontier = list(self.spec.select_frontier(self.visited, iteration))
-            if self.track_frontier_sizes:
-                self.stats.frontier_sizes.append(len(frontier))
-            if not frontier:
-                break
-            self.stats.frontier_rows += len(frontier)
-            expanded = list(self.spec.expand(frontier, iteration))
-            self.stats.expanded_rows += len(expanded)
-            merge_result = self.spec.merge(self.visited, expanded, iteration)
-            self.stats.merged_rows += merge_result.affected
-            self.stats.iterations = iteration
-            if self.spec.should_terminate is not None and self.spec.should_terminate(
-                self.visited, iteration
-            ):
-                break
+            with _span("fem.iteration", index=iteration,
+                       operator=self.spec.name) as it_span:
+                frontier = list(
+                    self.spec.select_frontier(self.visited, iteration))
+                if self.track_frontier_sizes:
+                    self.stats.frontier_sizes.append(len(frontier))
+                it_span.tag(frontier=len(frontier))
+                if not frontier:
+                    break
+                self.stats.frontier_rows += len(frontier)
+                expanded = list(self.spec.expand(frontier, iteration))
+                self.stats.expanded_rows += len(expanded)
+                merge_result = self.spec.merge(self.visited, expanded,
+                                               iteration)
+                self.stats.merged_rows += merge_result.affected
+                self.stats.iterations = iteration
+                it_span.tag(expanded=len(expanded),
+                            merged=merge_result.affected)
+                if (self.spec.should_terminate is not None
+                        and self.spec.should_terminate(self.visited,
+                                                       iteration)):
+                    break
         return self.stats
 
     def visited_rows(self) -> List[Row]:

@@ -28,7 +28,6 @@ path deterministic across backends and SQL styles.
 from __future__ import annotations
 
 import copy
-import time
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.directions import FORWARD_DIRECTION, INFINITY
@@ -43,6 +42,8 @@ from repro.core.stats import (
 )
 from repro.core.store.base import GraphStore
 from repro.errors import PathNotFoundError
+from repro.obs import now as _now
+from repro.obs import span as _span
 
 METHOD_HOPS = "HOPS"
 METHOD_REACH = "REACH"
@@ -121,7 +122,7 @@ def dijkstra_one_to_many(store: GraphStore, source: int,
             wanted.append(target)
     stats = QueryStats(method="DJ", sql_style=validate_sql_style(sql_style))
     store.begin_query(stats, stats.sql_style)
-    start_time = time.perf_counter()
+    start_time = _now()
     forward = FORWARD_DIRECTION
 
     with stats.phase(PHASE_PATH_EXPANSION):
@@ -133,14 +134,19 @@ def dijkstra_one_to_many(store: GraphStore, source: int,
     while remaining:
         if max_iterations is not None and stats.expansions >= max_iterations:
             break
-        with stats.phase(PHASE_STATISTICS):
-            mid = store.top1_min_unfinalized(forward)
-        if mid is None:
-            break
-        with stats.phase(PHASE_PATH_EXPANSION):
-            store.expand(forward, mid=mid)
-            stats.record_expansion(forward=True)
-            store.finalize_node(mid, forward)
+        with _span("fem.iteration", index=stats.expansions + 1,
+                   frontier=1) as iteration:
+            statements_before = stats.statements
+            with stats.phase(PHASE_STATISTICS):
+                mid = store.top1_min_unfinalized(forward)
+            if mid is None:
+                iteration.tag(statements=stats.statements - statements_before)
+                break
+            with stats.phase(PHASE_PATH_EXPANSION):
+                store.expand(forward, mid=mid)
+                stats.record_expansion(forward=True)
+                store.finalize_node(mid, forward)
+            iteration.tag(statements=stats.statements - statements_before)
         remaining.discard(mid)
 
     stats.visited_nodes = store.visited_count()
@@ -162,7 +168,7 @@ def dijkstra_one_to_many(store: GraphStore, source: int,
             source, target, float(distance), path,
             _per_target_stats(stats, float(distance), len(path) - 1))
     stats.found = any(result is not None for result in results.values())
-    stats.total_time = time.perf_counter() - start_time
+    stats.total_time = _now() - start_time
     # Outcome fields on the run stats describe the group as a whole; the
     # per-target copies above carry the pair-specific values.
     for result in results.values():
@@ -210,7 +216,7 @@ def hop_limited_search(store: GraphStore, source: int, target: int,
     stats = QueryStats(method=method,
                        sql_style=validate_sql_style(sql_style))
     store.begin_query(stats, stats.sql_style)
-    start_time = time.perf_counter()
+    start_time = _now()
     forward = FORWARD_DIRECTION
 
     with stats.phase(PHASE_PATH_EXPANSION):
@@ -222,7 +228,7 @@ def hop_limited_search(store: GraphStore, source: int, target: int,
         stats.found = True
         stats.distance = 0.0
         stats.visited_nodes = store.visited_count()
-        stats.total_time = time.perf_counter() - start_time
+        stats.total_time = _now() - start_time
         return PathResult(source, target, 0.0, [source], stats)
 
     distance: Optional[float] = None
@@ -232,22 +238,29 @@ def hop_limited_search(store: GraphStore, source: int, target: int,
             break
         if max_iterations is not None and rounds >= max_iterations:
             break
-        with stats.phase(PHASE_PATH_EXPANSION):
-            selected = store.select_frontier_set(forward, INFINITY)
-            if selected == 0:
-                break
-            store.expand_hops(forward)
-            stats.record_expansion(forward=True)
-            store.finalize_frontier(forward)
-        rounds += 1
-        with stats.phase(PHASE_STATISTICS):
-            distance = store.get_distance(target, forward)
+        with _span("fem.iteration", index=rounds + 1) as iteration:
+            statements_before = stats.statements
+            with stats.phase(PHASE_PATH_EXPANSION):
+                selected = store.select_frontier_set(forward, INFINITY)
+                if selected == 0:
+                    iteration.tag(
+                        frontier=0,
+                        statements=stats.statements - statements_before)
+                    break
+                store.expand_hops(forward)
+                stats.record_expansion(forward=True)
+                store.finalize_frontier(forward)
+            rounds += 1
+            with stats.phase(PHASE_STATISTICS):
+                distance = store.get_distance(target, forward)
+            iteration.tag(frontier=selected,
+                          statements=stats.statements - statements_before)
         if distance is not None:
             break
 
     stats.visited_nodes = store.visited_count()
     if distance is None:
-        stats.total_time = time.perf_counter() - start_time
+        stats.total_time = _now() - start_time
         if max_hops is not None:
             raise PathNotFoundError(
                 f"no path from {source} to {target} within {max_hops} hops"
@@ -259,7 +272,7 @@ def hop_limited_search(store: GraphStore, source: int, target: int,
     stats.found = True
     stats.distance = float(distance)
     stats.path_edges = len(path) - 1
-    stats.total_time = time.perf_counter() - start_time
+    stats.total_time = _now() - start_time
     return PathResult(source, target, float(distance), path, stats)
 
 

@@ -7,6 +7,7 @@ from typing import List, Optional
 
 from repro.core.stats import QueryStats
 from repro.graph.model import Graph
+from repro.obs import Trace
 
 
 @dataclass
@@ -22,6 +23,11 @@ class PathResult:
         stats: the :class:`~repro.core.stats.QueryStats` collected while
             answering the query (``None`` for in-memory baselines wrapped
             into this type).
+        trace: the per-query :class:`~repro.obs.Trace` span tree, attached
+            by whichever layer opened the trace root (service or shard
+            router); ``None`` when tracing was off or the result is a
+            pristine cached original.  Excluded from equality: two runs of
+            the same query are the same answer.
     """
 
     source: int
@@ -29,6 +35,7 @@ class PathResult:
     distance: float
     path: List[int] = field(default_factory=list)
     stats: Optional[QueryStats] = None
+    trace: Optional[Trace] = field(default=None, compare=False, repr=False)
 
     @property
     def num_edges(self) -> int:

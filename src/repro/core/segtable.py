@@ -17,7 +17,7 @@ exceeds the threshold — at most ``lthd / w_min`` rounds (Section 4.2).
 
 from __future__ import annotations
 
-import time
+from repro.obs import now as _now
 from dataclasses import dataclass
 from typing import Optional
 
@@ -74,7 +74,7 @@ def build_segtable(store: GraphStore, lthd: float,
     build_stats = SegTableBuildStats(lthd=config.lthd, sql_style=config.sql_style)
     query_stats = QueryStats(method="SegTableBuild", sql_style=config.sql_style)
     store.begin_query(query_stats, config.sql_style)
-    start_time = time.perf_counter()
+    start_time = _now()
 
     directions = [FORWARD_DIRECTION]
     if config.build_backward:
@@ -88,7 +88,7 @@ def build_segtable(store: GraphStore, lthd: float,
             build_stats.in_segments = segments
 
     build_stats.statements = query_stats.statements
-    build_stats.total_time = time.perf_counter() - start_time
+    build_stats.total_time = _now() - start_time
     return build_stats
 
 

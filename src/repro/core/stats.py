@@ -11,7 +11,7 @@ collect exactly those quantities.
 
 from __future__ import annotations
 
-import time
+from repro.obs import now as _now
 from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -71,20 +71,20 @@ class QueryStats:
     @contextmanager
     def phase(self, label: str) -> Iterator[None]:
         """Attribute the wall-clock time of the block to phase ``label``."""
-        start = time.perf_counter()
+        start = _now()
         try:
             yield
         finally:
-            self.time_by_phase[label] += time.perf_counter() - start
+            self.time_by_phase[label] += _now() - start
 
     @contextmanager
     def operator(self, label: str) -> Iterator[None]:
         """Attribute the wall-clock time of the block to operator ``label``."""
-        start = time.perf_counter()
+        start = _now()
         try:
             yield
         finally:
-            self.time_by_operator[label] += time.perf_counter() - start
+            self.time_by_operator[label] += _now() - start
 
     def as_dict(self) -> Dict[str, object]:
         """Return a plain-dict summary (used by the benchmark reports)."""
@@ -234,8 +234,16 @@ class BatchStats:
         return self
 
     def as_dict(self) -> Dict[str, object]:
-        """Return a plain-dict summary (used by workload reports)."""
-        return {
+        """Return a plain-dict summary (used by workload reports).
+
+        Durations use the canonical ``_s``-suffixed keys from
+        :mod:`repro.obs.schema` (``total_time_s`` / ``queue_time_s`` /
+        ``execute_time_s``); the historical un-suffixed keys are kept as
+        deprecated aliases for one release (see
+        :data:`repro.obs.schema.DEPRECATED_STATS_ALIASES`).
+        """
+        from repro.obs.schema import with_deprecated_aliases
+        return with_deprecated_aliases({
             "total": self.total,
             "executed": self.executed,
             "cache_hits": self.cache_hits,
@@ -243,17 +251,17 @@ class BatchStats:
             "not_found": self.not_found,
             "negative_hits": self.negative_hits,
             "evictions": self.evictions,
-            "total_time": self.total_time,
+            "total_time_s": self.total_time,
             "hit_rate": self.hit_rate,
             "per_graph": dict(self.per_graph),
             "per_method": dict(self.per_method),
             "concurrency": self.concurrency,
             "single_flight_hits": self.single_flight_hits,
-            "queue_time": self.queue_time,
-            "execute_time": self.execute_time,
+            "queue_time_s": self.queue_time,
+            "execute_time_s": self.execute_time,
             "shared_frontier_groups": self.shared_frontier_groups,
             "shared_frontier_queries": self.shared_frontier_queries,
-        }
+        }, "batch")
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "BatchStats":
@@ -261,6 +269,12 @@ class BatchStats:
         slice's batch counters over the wire; the router folds them into
         :class:`~repro.shard.stats.RouterStats` exactly like a local
         shard's)."""
+        def duration(canonical: str, legacy: str) -> float:
+            # Canonical ``_s`` key first; documents from older writers
+            # only carry the legacy un-suffixed key.
+            value = data.get(canonical, data.get(legacy, 0.0))
+            return float(value)  # type: ignore[arg-type]
+
         return cls(
             total=int(data.get("total", 0)),
             executed=int(data.get("executed", 0)),
@@ -269,15 +283,15 @@ class BatchStats:
             not_found=int(data.get("not_found", 0)),
             negative_hits=int(data.get("negative_hits", 0)),
             evictions=int(data.get("evictions", 0)),
-            total_time=float(data.get("total_time", 0.0)),
+            total_time=duration("total_time_s", "total_time"),
             per_graph={str(graph): int(count) for graph, count
                        in dict(data.get("per_graph", {})).items()},
             per_method={str(method): int(count) for method, count
                         in dict(data.get("per_method", {})).items()},
             concurrency=int(data.get("concurrency", 1)),
             single_flight_hits=int(data.get("single_flight_hits", 0)),
-            queue_time=float(data.get("queue_time", 0.0)),
-            execute_time=float(data.get("execute_time", 0.0)),
+            queue_time=duration("queue_time_s", "queue_time"),
+            execute_time=duration("execute_time_s", "execute_time"),
             shared_frontier_groups=int(data.get("shared_frontier_groups", 0)),
             shared_frontier_queries=int(
                 data.get("shared_frontier_queries", 0)),

@@ -1,0 +1,79 @@
+"""End-to-end observability for :mod:`repro` — stdlib-only.
+
+Three pillars, wired through every layer of the stack:
+
+* **Tracing** (:mod:`repro.obs.trace`): per-query :class:`Trace` /
+  :class:`Span` trees — plan, cache lookup, pool checkout, per-FEM-
+  iteration spans, remote-shard hops — exposed via
+  ``PathService.explain(..., analyze=True)`` and ``PathResult.trace``
+  and carried across the serve wire.
+* **Metrics** (:mod:`repro.obs.metrics`): a thread-safe
+  :class:`MetricsRegistry` of counters / gauges / fixed-bucket
+  histograms that the executor, pools, caches, planner, router and
+  server publish into; rendered as Prometheus text by the shard
+  server's ``/metrics`` endpoint.
+* **Logging** (:mod:`repro.obs.logs`): structured JSON logging with a
+  propagated per-request ``request_id``; opt in with
+  :func:`configure_logging`.
+
+Plus the timing primitives (:mod:`repro.obs.clock`) every other module
+uses instead of raw ``time.perf_counter()`` / ``time.time()`` — see
+``tools/check_timing.py``.
+"""
+
+from repro.obs import schema
+from repro.obs.clock import Timer, now, timer, wall_time
+from repro.obs.logs import (
+    CapturingStream,
+    JsonFormatter,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    Trace,
+    Tracer,
+    bind_request_id,
+    current_request_id,
+    current_span,
+    new_request_id,
+    record_span,
+    span,
+)
+
+__all__ = [
+    "CapturingStream",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Span",
+    "Timer",
+    "Trace",
+    "Tracer",
+    "bind_request_id",
+    "configure_logging",
+    "current_request_id",
+    "current_span",
+    "get_logger",
+    "new_request_id",
+    "now",
+    "record_span",
+    "schema",
+    "span",
+    "timer",
+    "wall_time",
+]

@@ -1,0 +1,113 @@
+"""Structured JSON logging on top of stdlib :mod:`logging`.
+
+The library is silent by default (a ``NullHandler`` sits on the
+``repro`` root logger); applications opt in with::
+
+    from repro import obs
+    obs.configure_logging()          # JSON lines on stderr
+
+Every record is emitted as one JSON object with ``ts`` / ``level`` /
+``logger`` / ``message``, the ambient ``request_id`` (when one is bound
+— see :func:`repro.obs.bind_request_id`), and any structured fields
+passed through ``extra``::
+
+    log = obs.get_logger("serve.server")
+    log.info("request", extra={"endpoint": "/shortest_path",
+                               "status": 200, "duration_ms": 12.3})
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+from typing import IO, Optional
+
+from repro.obs.trace import current_request_id
+
+__all__ = ["JsonFormatter", "configure_logging", "get_logger"]
+
+ROOT_LOGGER_NAME = "repro"
+
+# Attributes every LogRecord carries; anything else came in via
+# ``extra`` and belongs in the structured document.
+_RESERVED = frozenset(
+    vars(logging.LogRecord("", 0, "", 0, "", (), None))
+) | {"message", "asctime", "taskName", "request_id"}
+
+
+class _RequestIdFilter(logging.Filter):
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "request_id"):
+            record.request_id = current_request_id()
+        return True
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record; ``extra`` fields are merged in."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        request_id = getattr(record, "request_id", None)
+        if request_id:
+            doc["request_id"] = request_id
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_"):
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            doc[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            doc["exception"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=True, default=repr)
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + ".") or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(level: int = logging.INFO,
+                      stream: Optional[IO[str]] = None) -> logging.Logger:
+    """Opt in to structured JSON logging for the ``repro`` hierarchy.
+
+    Idempotent: calling it again replaces the previously installed
+    handler (useful for pointing at a fresh stream in tests).  Returns
+    the configured root ``repro`` logger.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            logger.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream)
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    handler.setFormatter(JsonFormatter())
+    handler.addFilter(_RequestIdFilter())
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+class CapturingStream(io.StringIO):
+    """A tiny helper for tests and docs: collects emitted JSON lines."""
+
+    def records(self) -> list:
+        return [json.loads(line) for line in self.getvalue().splitlines()
+                if line.strip()]
+
+
+# Libraries must not spam an unconfigured root logger.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())

@@ -1,0 +1,449 @@
+"""A thread-safe metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the single source of truth for operational counters in
+:mod:`repro` — the executor, :class:`~repro.service.pool.StorePool`,
+:class:`~repro.service.cache.ResultCache`, the planner, the shard router
+and the serve server all publish into one, and the legacy ``*Stats``
+dataclasses are *views* over it rather than parallel bookkeeping.
+
+Design notes:
+
+* **Stdlib-only, deterministic.** Histograms use fixed upper bounds;
+  percentiles are estimated by linear interpolation inside the bucket
+  that contains the requested rank (and clamped to the exact observed
+  maximum), so two runs that observe the same values report the same
+  percentiles.
+* **Labels.** Metrics are grouped into families by name; each distinct
+  label set is a child with its own value.  ``registry.counter(name,
+  labels)`` returns the same child object every time, so hot paths may
+  cache the handle.
+* **Collectors.** Structural gauges (pool occupancy, cache size) are
+  refreshed lazily: components register a collector callback which runs
+  just before :meth:`MetricsRegistry.snapshot` /
+  :meth:`MetricsRegistry.render_prometheus`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+"""Latency buckets in seconds, Prometheus-style log-ish spacing."""
+
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = tuple(
+    round(b * 1000.0, 4) for b in DEFAULT_LATENCY_BUCKETS
+)
+"""The same shape in milliseconds, for the workload harness."""
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Mapping[str, object]]) -> _LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value (float amounts allowed)."""
+
+    kind = "counter"
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge instead")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (pool occupancy, cache size)."""
+
+    kind = "gauge"
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative Prometheus semantics.
+
+    Observations land in the first bucket whose upper bound is >= the
+    value; anything beyond the last bound lands in the implicit ``+Inf``
+    bucket.  Exact ``count`` / ``sum`` / ``max`` are tracked alongside,
+    so means and maxima are exact and only intermediate percentiles are
+    bucket-interpolated.
+    """
+
+    kind = "histogram"
+    __slots__ = ("_bounds", "_counts", "_lock", "_count", "_sum", "_max")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bucket bounds must be distinct")
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    @property
+    def bounds(self) -> Tuple[float, ...]:
+        return self._bounds
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value > self._max:
+                self._max = value
+
+    def _state(self) -> Tuple[List[int], int, float, float]:
+        with self._lock:
+            return list(self._counts), self._count, self._sum, self._max
+
+    @property
+    def count(self) -> int:
+        return self._state()[1]
+
+    @property
+    def sum(self) -> float:
+        return self._state()[2]
+
+    @property
+    def max(self) -> float:
+        return self._state()[3]
+
+    def percentile(self, q: float) -> float:
+        counts, count, _, maximum = self._state()
+        return _estimate_percentile(self._bounds, counts, count, maximum, q)
+
+    def summary(self) -> Dict[str, float]:
+        counts, count, total, maximum = self._state()
+        return _summary_from_state(self._bounds, counts, count, total, maximum)
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``[(upper_bound, cumulative_count), ...]`` ending with +Inf."""
+        counts, _, _, _ = self._state()
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, c in zip(self._bounds, counts):
+            running += c
+            out.append((bound, running))
+        out.append((math.inf, running + counts[-1]))
+        return out
+
+
+def _estimate_percentile(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    count: int,
+    maximum: float,
+    q: float,
+) -> float:
+    """Deterministic rank-then-interpolate estimate over bucket counts."""
+    if count <= 0:
+        return 0.0
+    rank = max(1, math.ceil((q / 100.0) * count))
+    cumulative = 0
+    for index, in_bucket in enumerate(counts):
+        if in_bucket == 0:
+            cumulative += in_bucket
+            continue
+        if cumulative + in_bucket >= rank:
+            if index >= len(bounds):  # +Inf bucket: the max is all we know
+                return maximum
+            lower = bounds[index - 1] if index > 0 else 0.0
+            upper = bounds[index]
+            fraction = (rank - cumulative) / in_bucket
+            return min(lower + (upper - lower) * fraction, maximum)
+        cumulative += in_bucket
+    return maximum
+
+
+def _summary_from_state(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    count: int,
+    total: float,
+    maximum: float,
+) -> Dict[str, float]:
+    return {
+        "count": count,
+        "sum": total,
+        "mean": (total / count) if count else 0.0,
+        "max": maximum,
+        "p50": _estimate_percentile(bounds, counts, count, maximum, 50.0),
+        "p95": _estimate_percentile(bounds, counts, count, maximum, 95.0),
+        "p99": _estimate_percentile(bounds, counts, count, maximum, 99.0),
+    }
+
+
+class _Family:
+    __slots__ = ("name", "kind", "help", "buckets", "children")
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 buckets: Optional[Tuple[float, ...]] = None) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets = buckets
+        self.children: Dict[_LabelKey, object] = {}
+
+
+class MetricsRegistry:
+    """Thread-safe named families of counters / gauges / histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: Dict[str, _Family] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    # -- metric handles ------------------------------------------------
+
+    def counter(self, name: str, labels: Optional[Mapping[str, object]] = None,
+                help: str = "") -> Counter:
+        return self._child(name, "counter", labels, help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, labels: Optional[Mapping[str, object]] = None,
+              help: str = "") -> Gauge:
+        return self._child(name, "gauge", labels, help)  # type: ignore[return-value]
+
+    def histogram(self, name: str, labels: Optional[Mapping[str, object]] = None,
+                  help: str = "",
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> Histogram:
+        return self._child(name, "histogram", labels, help,
+                           buckets=tuple(sorted(float(b) for b in buckets)))  # type: ignore[return-value]
+
+    def _child(self, name: str, kind: str,
+               labels: Optional[Mapping[str, object]], help_text: str,
+               buckets: Optional[Tuple[float, ...]] = None):
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help_text, buckets)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}, "
+                    f"not {kind}")
+            elif kind == "histogram" and buckets != family.buckets:
+                raise ValueError(
+                    f"histogram {name!r} already registered with buckets "
+                    f"{family.buckets}")
+            if help_text and not family.help:
+                family.help = help_text
+            child = family.children.get(key)
+            if child is None:
+                if kind == "counter":
+                    child = Counter()
+                elif kind == "gauge":
+                    child = Gauge()
+                else:
+                    child = Histogram(buckets or DEFAULT_LATENCY_BUCKETS)
+                family.children[key] = child
+            return child
+
+    # -- reads ---------------------------------------------------------
+
+    def value(self, name: str,
+              labels: Optional[Mapping[str, object]] = None) -> float:
+        """Current value of a counter/gauge child; 0.0 when absent."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return 0.0
+            child = family.children.get(_label_key(labels))
+        if child is None:
+            return 0.0
+        return child.value  # type: ignore[union-attr]
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge family across every label set."""
+        with self._lock:
+            family = self._families.get(name)
+            children = list(family.children.values()) if family else []
+        return sum(child.value for child in children)  # type: ignore[union-attr]
+
+    def summary(self, name: str,
+                labels: Optional[Mapping[str, object]] = None) -> Dict[str, float]:
+        """Histogram summary.  ``labels=None`` merges every child of the
+        family (bucket counts, counts, sums, max), which is how per-kind
+        histograms roll up into an overall percentile."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None or family.kind != "histogram":
+                return _summary_from_state((), (0,), 0, 0.0, 0.0)
+            if labels is not None:
+                child = family.children.get(_label_key(labels))
+                children = [child] if child is not None else []
+            else:
+                children = list(family.children.values())
+        if not children:
+            bounds = (family.buckets or DEFAULT_LATENCY_BUCKETS)
+            return _summary_from_state(bounds, [0] * (len(bounds) + 1),
+                                       0, 0.0, 0.0)
+        bounds = children[0].bounds  # type: ignore[union-attr]
+        counts = [0] * (len(bounds) + 1)
+        count, total, maximum = 0, 0.0, 0.0
+        for child in children:
+            c_counts, c_count, c_sum, c_max = child._state()  # type: ignore[union-attr]
+            for i, value in enumerate(c_counts):
+                counts[i] += value
+            count += c_count
+            total += c_sum
+            maximum = max(maximum, c_max)
+        return _summary_from_state(bounds, counts, count, total, maximum)
+
+    def histogram_labels(self, name: str) -> List[Dict[str, str]]:
+        """The label sets registered under a histogram family."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return []
+            return [dict(key) for key in family.children]
+
+    # -- collectors ----------------------------------------------------
+
+    def register_collector(self, collector: Callable[[], None]) -> Callable[[], None]:
+        """Register a callback refreshing lazy gauges before export."""
+        with self._lock:
+            self._collectors.append(collector)
+        return collector
+
+    def unregister_collector(self, collector: Callable[[], None]) -> None:
+        with self._lock:
+            try:
+                self._collectors.remove(collector)
+            except ValueError:
+                pass
+
+    def _collect(self) -> None:
+        with self._lock:
+            collectors = list(self._collectors)
+        for collector in collectors:
+            collector()
+
+    # -- export --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A JSON-safe dump of every family, for ``metrics()`` APIs."""
+        self._collect()
+        out: Dict[str, Dict[str, object]] = {}
+        with self._lock:
+            families = [(f.name, f.kind, f.help, list(f.children.items()))
+                        for f in self._families.values()]
+        for name, kind, help_text, children in sorted(families):
+            values: List[Dict[str, object]] = []
+            for key, child in sorted(children):
+                entry: Dict[str, object] = {"labels": dict(key)}
+                if kind == "histogram":
+                    entry.update(child.summary())  # type: ignore[union-attr]
+                    entry["buckets"] = {
+                        ("+Inf" if math.isinf(bound) else repr(bound)): c
+                        for bound, c in child.cumulative_buckets()  # type: ignore[union-attr]
+                    }
+                else:
+                    entry["value"] = child.value  # type: ignore[union-attr]
+                values.append(entry)
+            out[name] = {"type": kind, "help": help_text, "values": values}
+        return out
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format v0.0.4."""
+        self._collect()
+        with self._lock:
+            families = [(f.name, f.kind, f.help, list(f.children.items()))
+                        for f in self._families.values()]
+        lines: List[str] = []
+        for name, kind, help_text, children in sorted(families):
+            if help_text:
+                lines.append(f"# HELP {name} {_escape_help(help_text)}")
+            lines.append(f"# TYPE {name} {kind}")
+            for key, child in sorted(children):
+                if kind == "histogram":
+                    for bound, cumulative in child.cumulative_buckets():  # type: ignore[union-attr]
+                        le = "+Inf" if math.isinf(bound) else _format_value(bound)
+                        label_text = _render_labels(key + (("le", le),))
+                        lines.append(f"{name}_bucket{label_text} {cumulative}")
+                    label_text = _render_labels(key)
+                    lines.append(
+                        f"{name}_sum{label_text} {_format_value(child.sum)}")  # type: ignore[union-attr]
+                    lines.append(f"{name}_count{label_text} {child.count}")  # type: ignore[union-attr]
+                else:
+                    label_text = _render_labels(key)
+                    lines.append(
+                        f"{name}{label_text} {_format_value(child.value)}")  # type: ignore[union-attr]
+        return "\n".join(lines) + "\n"
+
+
+def _render_labels(items: Iterable[Tuple[str, str]]) -> str:
+    parts = [f'{k}="{_escape_label(v)}"' for k, v in items]
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)

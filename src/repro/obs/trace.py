@@ -1,0 +1,343 @@
+"""Dapper-style per-query tracing: ``Trace`` / ``Span`` trees.
+
+One logical query produces one :class:`Trace` — a tree of named,
+timed :class:`Span` s (plan → cache lookup → pool checkout →
+per-FEM-iteration spans → merge).  The tree crosses layers through an
+*ambient span* carried in a :mod:`contextvars` context variable:
+
+* :meth:`Tracer.span` opens a span.  With no ambient span active it
+  becomes the **root** of a new trace (and binds a ``request_id``);
+  otherwise it nests under the ambient span.  Whoever opened the root
+  owns attaching the finished trace to the query result.
+* :func:`span` (module level) is *ambient-only*: inside an active trace
+  it opens a child span, outside one it returns a shared no-op span.
+  Deep layers (FEM iteration loops, pool checkout) use this form so
+  untraced hot paths pay one contextvar read and nothing else.
+
+Traces serialize to plain dicts (:meth:`Trace.as_dict` /
+:meth:`Trace.from_dict`) so the serve protocol can carry them across the
+wire; the router *adopts* a remote trace as a child span of its own
+tree, yielding one tree spanning local and remote shards.
+
+``request_id`` uses its own context variable so correlation survives
+even where tracing is disabled: the serve client stamps it on every
+retry attempt of one logical request, and the server binds the received
+id before dispatching, so logs and traces on both sides correlate.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import uuid
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.clock import now
+
+__all__ = [
+    "Span",
+    "Trace",
+    "Tracer",
+    "bind_request_id",
+    "current_request_id",
+    "current_span",
+    "new_request_id",
+    "record_span",
+    "span",
+]
+
+_current_span: "contextvars.ContextVar[Optional[Span]]" = contextvars.ContextVar(
+    "repro_current_span", default=None)
+_request_id: "contextvars.ContextVar[Optional[str]]" = contextvars.ContextVar(
+    "repro_request_id", default=None)
+
+
+def new_request_id() -> str:
+    """A fresh 16-hex-char correlation id."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_request_id() -> Optional[str]:
+    """The request id bound to this context, if any."""
+    return _request_id.get()
+
+
+class bind_request_id:
+    """Context manager binding a request id to the current context::
+
+        with bind_request_id(rid):
+            ...  # logs and new traces carry rid
+    """
+
+    __slots__ = ("_request_id", "_token")
+
+    def __init__(self, request_id: Optional[str]) -> None:
+        self._request_id = request_id
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> Optional[str]:
+        self._token = _request_id.set(self._request_id)
+        return self._request_id
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if self._token is not None:
+            _request_id.reset(self._token)
+            self._token = None
+
+
+class Span:
+    """A named, timed node in a trace tree."""
+
+    __slots__ = ("name", "tags", "children", "offset_s", "duration_s",
+                 "_start", "trace")
+
+    def __init__(self, name: str, tags: Optional[Dict[str, Any]] = None,
+                 offset_s: float = 0.0, duration_s: float = 0.0) -> None:
+        self.name = name
+        self.tags: Dict[str, Any] = dict(tags) if tags else {}
+        self.children: List[Span] = []
+        self.offset_s = offset_s        # start relative to the parent's start
+        self.duration_s = duration_s
+        self._start: Optional[float] = None  # clock.now() at begin, local only
+        self.trace: Optional[Trace] = None   # set on root spans only
+
+    # -- construction --------------------------------------------------
+
+    def begin(self) -> "Span":
+        self._start = now()
+        return self
+
+    def finish(self) -> "Span":
+        if self._start is not None:
+            self.duration_s = now() - self._start
+        return self
+
+    def child(self, name: str, **tags: Any) -> "Span":
+        """Open (and begin) a child span; caller must ``finish()`` it."""
+        node = Span(name, tags)
+        node.begin()
+        if self._start is not None and node._start is not None:
+            node.offset_s = max(0.0, node._start - self._start)
+        self.children.append(node)
+        return node
+
+    def tag(self, **tags: Any) -> "Span":
+        self.tags.update(tags)
+        return self
+
+    def record(self, name: str, seconds: float, **tags: Any) -> "Span":
+        """Append an already-measured child (e.g. a pool-checkout wait
+        whose duration the lease captured)."""
+        node = Span(name, tags, duration_s=max(0.0, float(seconds)))
+        if self._start is not None:
+            node.offset_s = max(0.0, now() - self._start - node.duration_s)
+        self.children.append(node)
+        return node
+
+    def adopt(self, remote: "Trace | Span", **tags: Any) -> "Span":
+        """Attach a finished (typically deserialized remote) span tree
+        as a child of this span."""
+        node = remote.root if isinstance(remote, Trace) else remote
+        node.tags.update(tags)
+        if self._start is not None:
+            node.offset_s = max(0.0, now() - self._start - node.duration_s)
+        self.children.append(node)
+        return node
+
+    # -- introspection -------------------------------------------------
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        return [node for node in self.walk() if node.name == name]
+
+    def child_seconds(self) -> float:
+        return sum(child.duration_s for child in self.children)
+
+    # -- serialization -------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "name": self.name,
+            "offset_s": round(self.offset_s, 9),
+            "duration_s": round(self.duration_s, 9),
+        }
+        if self.tags:
+            doc["tags"] = dict(self.tags)
+        if self.children:
+            doc["children"] = [child.as_dict() for child in self.children]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Span":
+        node = cls(str(doc.get("name", "span")),
+                   tags=doc.get("tags") or {},
+                   offset_s=float(doc.get("offset_s", 0.0)),
+                   duration_s=float(doc.get("duration_s", 0.0)))
+        for child_doc in doc.get("children", ()):
+            node.children.append(cls.from_dict(child_doc))
+        return node
+
+    def render(self, indent: int = 0) -> str:
+        tag_text = "".join(f" {k}={v}" for k, v in sorted(self.tags.items()))
+        line = (f"{'  ' * indent}{self.name} "
+                f"{self.duration_s * 1000.0:.3f}ms{tag_text}")
+        return "\n".join([line] + [child.render(indent + 1)
+                                   for child in self.children])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, duration_s={self.duration_s:.6f}, "
+                f"children={len(self.children)})")
+
+
+class _NoopSpan(Span):
+    """Shared do-nothing span: what ambient helpers hand out when no
+    trace is active.  Every mutator is a no-op so hot paths need no
+    ``if span is not None`` guards."""
+
+    def begin(self) -> "Span":
+        return self
+
+    def finish(self) -> "Span":
+        return self
+
+    def child(self, name: str, **tags: Any) -> "Span":
+        return self
+
+    def tag(self, **tags: Any) -> "Span":
+        return self
+
+    def record(self, name: str, seconds: float, **tags: Any) -> "Span":
+        return self
+
+    def adopt(self, remote: "Trace | Span", **tags: Any) -> "Span":
+        return self
+
+
+NOOP_SPAN = _NoopSpan("noop")
+
+
+class Trace:
+    """A finished (or in-flight) span tree plus its correlation id."""
+
+    __slots__ = ("root", "request_id")
+
+    def __init__(self, root: Span, request_id: Optional[str] = None) -> None:
+        self.root = root
+        self.request_id = request_id or new_request_id()
+
+    @property
+    def duration_s(self) -> float:
+        return self.root.duration_s
+
+    def walk(self) -> Iterator[Span]:
+        return self.root.walk()
+
+    def find(self, name: str) -> List[Span]:
+        return self.root.find(name)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"request_id": self.request_id, "root": self.root.as_dict()}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Trace":
+        return cls(Span.from_dict(doc.get("root") or {"name": "query"}),
+                   request_id=doc.get("request_id"))
+
+    def render(self) -> str:
+        return f"trace {self.request_id}\n{self.root.render(1)}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace({self.request_id!r}, duration_s={self.duration_s:.6f})"
+
+
+class _SpanContext:
+    """The context manager behind :meth:`Tracer.span` and :func:`span`."""
+
+    __slots__ = ("_name", "_tags", "_root_ok", "_request_id_hint",
+                 "_disabled", "_span", "_span_token", "_rid_token")
+
+    def __init__(self, name: str, tags: Dict[str, Any], root_ok: bool,
+                 request_id: Optional[str] = None,
+                 disabled: bool = False) -> None:
+        self._name = name
+        self._tags = tags
+        self._root_ok = root_ok
+        self._request_id_hint = request_id
+        self._disabled = disabled
+        self._span: Span = NOOP_SPAN
+        self._span_token: Optional[contextvars.Token] = None
+        self._rid_token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> Span:
+        if self._disabled:
+            return NOOP_SPAN
+        parent = _current_span.get()
+        if parent is not None and parent is not NOOP_SPAN:
+            self._span = parent.child(self._name, **self._tags)
+        elif self._root_ok:
+            root = Span(self._name, self._tags).begin()
+            rid = (self._request_id_hint or current_request_id()
+                   or new_request_id())
+            root.trace = Trace(root, request_id=rid)
+            if current_request_id() != rid:
+                self._rid_token = _request_id.set(rid)
+            self._span = root
+        else:
+            return NOOP_SPAN
+        self._span_token = _current_span.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if self._span_token is not None:
+            _current_span.reset(self._span_token)
+            self._span_token = None
+        if self._rid_token is not None:
+            _request_id.reset(self._rid_token)
+            self._rid_token = None
+        if self._span is not NOOP_SPAN:
+            self._span.finish()
+            if exc_type is not None:
+                self._span.tag(error=exc_type.__name__)
+
+
+class Tracer:
+    """Factory for spans that may *start* traces.
+
+    Components that own query entry points (``PathService``,
+    ``ShardRouter``) hold a ``Tracer``; deeper layers use the ambient
+    :func:`span` helper instead, so they never create orphan traces when
+    called outside a query.
+    """
+
+    __slots__ = ("enabled",)
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+
+    def span(self, name: str, request_id: Optional[str] = None,
+             **tags: Any) -> _SpanContext:
+        if not self.enabled:
+            return _SpanContext(name, {}, root_ok=False, disabled=True)
+        return _SpanContext(name, tags, root_ok=True, request_id=request_id)
+
+
+def current_span() -> Optional[Span]:
+    """The ambient span, or ``None`` outside any trace."""
+    active = _current_span.get()
+    return None if active is NOOP_SPAN else active
+
+
+def span(name: str, **tags: Any) -> _SpanContext:
+    """Ambient-only span: a child of the active span, or a shared no-op
+    span when no trace is active.  Safe (and cheap) on hot paths."""
+    return _SpanContext(name, tags, root_ok=False)
+
+
+def record_span(name: str, seconds: float, **tags: Any) -> None:
+    """Append a pre-measured child to the ambient span, if any."""
+    active = _current_span.get()
+    if active is not None and active is not NOOP_SPAN:
+        active.record(name, seconds, **tags)

@@ -10,7 +10,7 @@ the PE / SC / FPR phases of Figure 6).
 
 from __future__ import annotations
 
-import time
+from repro.obs import now as _now
 from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -48,11 +48,11 @@ class DatabaseStats:
     @contextmanager
     def timed(self, label: str) -> Iterator[None]:
         """Accumulate the elapsed wall-clock time of the block under ``label``."""
-        start = time.perf_counter()
+        start = _now()
         try:
             yield
         finally:
-            self.time_by_label[label] += time.perf_counter() - start
+            self.time_by_label[label] += _now() - start
 
     def reset(self) -> None:
         """Zero every counter (used between experiment phases)."""

@@ -33,6 +33,7 @@ from repro.catalog.manifest import CatalogEntry
 from repro.core.path import PathResult
 from repro.core.stats import BatchStats
 from repro.errors import RemoteProtocolError, ShardUnavailableError
+from repro.obs import current_request_id, new_request_id
 from repro.serve import protocol
 from repro.service.costmodel import CostProfile
 from repro.service.planner import QueryPlan, QuerySpec
@@ -62,11 +63,16 @@ class ShardClient:
     # -- wire plumbing -----------------------------------------------------------
 
     def _request_once(self, path: str,
-                      body: Optional[Dict[str, object]]) -> Dict[str, object]:
+                      body: Optional[Dict[str, object]],
+                      request_id: Optional[str] = None) -> Dict[str, object]:
         data = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        if request_id is None:
+            request_id = current_request_id()
+        if request_id is not None:
+            headers["X-Request-Id"] = request_id
         request = urllib.request.Request(
-            self.url + path, data=data,
-            headers={"Content-Type": "application/json"},
+            self.url + path, data=data, headers=headers,
             method="GET" if data is None else "POST")
         try:
             with urllib.request.urlopen(request,
@@ -113,9 +119,14 @@ class ShardClient:
         attempts = (1 + self.retries) if idempotent else 1
         delay = BACKOFF_SECONDS
         last: Optional[ShardUnavailableError] = None
+        # One logical request = one correlation id: every retry attempt
+        # carries the SAME X-Request-Id, so server logs and traces show a
+        # retried call as one query, not two.  An ambient id (bound by a
+        # router/service trace) wins over a freshly minted one.
+        request_id = current_request_id() or new_request_id()
         for attempt in range(attempts):
             try:
-                return self._request_once(path, body)
+                return self._request_once(path, body, request_id=request_id)
             except ShardUnavailableError as exc:
                 last = exc
                 if attempt + 1 < attempts:
@@ -146,6 +157,24 @@ class ShardClient:
     def stats(self) -> Dict[str, object]:
         """The server's cache counters and hosted graph list."""
         return self._request("/stats")
+
+    def metrics_text(self) -> str:
+        """Scrape the server's ``/metrics`` endpoint.
+
+        Returns the raw Prometheus text exposition (no JSON envelope —
+        this is the same bytes a Prometheus scraper would see).
+        """
+        request = urllib.request.Request(
+            self.url + "/metrics", method="GET")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except (urllib.error.URLError, ConnectionError, socket.timeout,
+                TimeoutError, OSError) as exc:
+            raise ShardUnavailableError(
+                f"shard at {self.url} is unreachable (/metrics): {exc}"
+            ) from exc
 
     def stamp_ownership(self, graph: str, shard: str) -> None:
         """Record ``shard`` as ``graph``'s owner in the server's manifest."""

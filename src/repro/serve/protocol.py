@@ -32,6 +32,7 @@ import repro.errors as _errors_module
 from repro.core.path import PathResult
 from repro.core.stats import QueryStats
 from repro.errors import RemoteProtocolError, ReproError
+from repro.obs import Trace
 from repro.service.costmodel import CostEstimate
 from repro.service.planner import QueryPlan, QuerySpec
 
@@ -92,26 +93,38 @@ def specs_from_list(data: Sequence[Dict[str, object]]) -> List[QuerySpec]:
 # -- results ---------------------------------------------------------------------
 
 def result_to_dict(result: PathResult) -> Dict[str, object]:
-    """Serialize one :class:`PathResult`, statistics included."""
-    return {
+    """Serialize one :class:`PathResult`, statistics included.
+
+    The span tree (``result.trace``) travels as a nested ``trace`` field
+    when present, so a router in front of remote shards can stitch the
+    remote execution into its own trace; the field is simply absent when
+    tracing was off (older servers never emit it, older clients ignore
+    it — the wire stays compatible both ways).
+    """
+    data: Dict[str, object] = {
         "source": result.source,
         "target": result.target,
         "distance": result.distance,
         "path": list(result.path),
         "stats": None if result.stats is None else result.stats.as_dict(),
     }
+    if result.trace is not None:
+        data["trace"] = result.trace.as_dict()
+    return data
 
 
 def result_from_dict(data: Dict[str, object]) -> PathResult:
     """Rebuild one :class:`PathResult` from the wire."""
     try:
         stats = data.get("stats")
+        trace = data.get("trace")
         return PathResult(
             source=int(data["source"]),
             target=int(data["target"]),
             distance=float(data["distance"]),
             path=[int(node) for node in data.get("path", [])],
             stats=None if stats is None else QueryStats.from_dict(stats),
+            trace=None if trace is None else Trace.from_dict(trace),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise RemoteProtocolError(

@@ -13,6 +13,7 @@ envelopes):
 ``/health``               GET    liveness + hosted graphs
 ``/routing``              GET    the catalog manifest entries (routing slice)
 ``/stats``                GET    cache counters and graph list
+``/metrics``              GET    Prometheus text exposition (no JSON envelope)
 ``/stamp``                POST   record a graph's owning shard in the manifest
 ``/shortest_path``        POST   one query
 ``/explain``              POST   plan one query without executing
@@ -36,6 +37,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import RemoteProtocolError, ReproError
+from repro.obs import bind_request_id, get_logger, timer
+from repro.obs.schema import METRIC_HTTP_LATENCY, METRIC_HTTP_REQUESTS
 from repro.serve import protocol
 from repro.service.batch import execute_batch
 
@@ -44,6 +47,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 MAX_REQUEST_BYTES = 64 * 1024 * 1024
 """Upper bound on one request body; a batch of a million specs fits."""
+
+REQUEST_ID_HEADER = "X-Request-Id"
+"""Correlation header: a client stamps the same id on every retry attempt
+of one logical request, and the server binds it so traces and structured
+log lines on both ends share it."""
+
+_LOG = get_logger("serve.server")
 
 
 class _ShardRequestHandler(BaseHTTPRequestHandler):
@@ -61,6 +71,7 @@ class _ShardRequestHandler(BaseHTTPRequestHandler):
 
     def _reply(self, status: int, data: Dict[str, object]) -> None:
         body = json.dumps(data).encode("utf-8")
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -90,24 +101,48 @@ class _ShardRequestHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, handlers: Dict[str, object]) -> None:
         handler = handlers.get(self.path)
-        if handler is None:
-            self._reply(404, {
-                "ok": False,
-                "protocol": protocol.PROTOCOL_VERSION,
-                "error": {"type": "RemoteProtocolError",
-                          "message": f"unknown endpoint {self.path!r}"},
-            })
-            return
-        try:
-            self._ok(handler())  # type: ignore[operator]
-        except ReproError as exc:
-            self._fail(400, exc)
-        except Exception as exc:  # noqa: BLE001 - must answer, not die
-            self._fail(500, exc)
+        # Known endpoints keep their own label; everything else collapses
+        # onto one, so a port scan cannot explode metric cardinality.
+        endpoint = self.path if handler is not None else "(unknown)"
+        request_id = self.headers.get(REQUEST_ID_HEADER) or None
+        self._status = 500
+        with bind_request_id(request_id), timer() as took:
+            if handler is None:
+                self._reply(404, {
+                    "ok": False,
+                    "protocol": protocol.PROTOCOL_VERSION,
+                    "error": {"type": "RemoteProtocolError",
+                              "message": f"unknown endpoint {self.path!r}"},
+                })
+            else:
+                try:
+                    self._ok(handler())  # type: ignore[operator]
+                except ReproError as exc:
+                    self._fail(400, exc)
+                except Exception as exc:  # noqa: BLE001 - must answer, not die
+                    self._fail(500, exc)
+            self._observe_http(endpoint, self._status, took.seconds)
+
+    def _observe_http(self, endpoint: str, status: int,
+                      seconds: float) -> None:
+        registry = self._service.registry
+        registry.counter(METRIC_HTTP_REQUESTS,
+                         {"endpoint": endpoint, "status": str(status)}).inc()
+        registry.histogram(METRIC_HTTP_LATENCY,
+                           {"endpoint": endpoint}).observe(seconds)
+        _LOG.info("request served", extra={
+            "endpoint": endpoint, "status": status,
+            "duration_s": round(seconds, 6),
+        })
 
     # -- verbs -------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/metrics":
+            # Prometheus scrapes expect the raw text exposition format,
+            # not the JSON envelope — answered before JSON dispatch.
+            self._handle_metrics()
+            return
         self._dispatch({
             "/health": self._handle_health,
             "/routing": self._handle_routing,
@@ -129,6 +164,17 @@ class _ShardRequestHandler(BaseHTTPRequestHandler):
     @property
     def _service(self) -> "PathService":
         return self.server.service  # type: ignore[attr-defined]
+
+    def _handle_metrics(self) -> None:
+        with timer() as took:
+            body = self._service.registry.render_prometheus().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        self._observe_http("/metrics", 200, took.seconds)
 
     def _handle_health(self) -> Dict[str, object]:
         return {
@@ -302,4 +348,4 @@ class ShardServer:
         self.close()
 
 
-__all__ = ["MAX_REQUEST_BYTES", "ShardServer"]
+__all__ = ["MAX_REQUEST_BYTES", "REQUEST_ID_HEADER", "ShardServer"]

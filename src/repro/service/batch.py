@@ -16,7 +16,6 @@ into a :class:`~repro.shard.stats.RouterStats`.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import (
     Dict,
@@ -34,6 +33,8 @@ from repro.core.path import PathResult
 from repro.core.sqlstyle import NSQL
 from repro.core.stats import BatchStats
 from repro.errors import InvalidQueryError, PathNotFoundError
+from repro.obs import timer
+from repro.obs.schema import METRIC_BATCHES, METRIC_SINGLE_FLIGHT
 from repro.service.planner import AUTO_METHOD, KIND_PATH, QueryPlan, QuerySpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -284,7 +285,7 @@ def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
             f"share_frontier must be False, True, or 'auto', "
             f"got {share_frontier!r}"
         )
-    start = time.perf_counter()
+    elapsed = timer()  # .seconds reads live until the final assignment
     specs = normalize_queries(queries, graph=graph, method=method,
                               sql_style=sql_style)
     batch = BatchResult(specs=specs, results=[None] * len(specs),
@@ -343,6 +344,7 @@ def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
                 if dedup_key in local_results:
                     earlier = local_results[dedup_key]
                     batch.stats.single_flight_hits += 1
+                    service._registry.counter(METRIC_SINGLE_FLIGHT).inc()
                     if earlier is None:
                         batch.stats.not_found += 1
                     else:
@@ -366,7 +368,9 @@ def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
 
     batch.stats.evictions = (service._cache.stats().evictions
                              - evictions_before)
-    batch.stats.total_time = time.perf_counter() - start
+    batch.stats.total_time = elapsed.seconds
+    mode = "parallel" if concurrency > 1 and len(plans) > 1 else "serial"
+    service._registry.counter(METRIC_BATCHES, {"mode": mode}).inc()
     return batch
 
 

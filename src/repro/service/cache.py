@@ -20,7 +20,10 @@ on top of the entry-count bound:
   bidirectional fixpoint, which runs to exhaustion precisely when no path
   exists and is therefore the *most* expensive outcome to recompute.
 
-Hit/miss/eviction counters are surfaced through :class:`CacheStats`.
+Hit/miss/eviction counters live in a :class:`repro.obs.MetricsRegistry`
+(the service's, when one is passed in, so ``/metrics`` sees them live);
+:class:`CacheStats` is a point-in-time *view* over those counters rather
+than parallel bookkeeping.
 
 Both structures here are thread-safe: parallel batch workers share one
 :class:`ResultCache` (every operation runs under an internal lock) and one
@@ -36,10 +39,21 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, Hashable, Optional, Tuple
 
 from repro.core.path import PathResult
+from repro.obs import MetricsRegistry
+from repro.obs.schema import (
+    METRIC_CACHE_EVICTIONS,
+    METRIC_CACHE_HITS,
+    METRIC_CACHE_MEMORY,
+    METRIC_CACHE_MISSES,
+    METRIC_CACHE_NEGATIVE_HITS,
+    METRIC_CACHE_NEGATIVE_SIZE,
+    METRIC_CACHE_SIZE,
+    with_deprecated_aliases,
+)
 
 CacheKey = Tuple[Hashable, ...]
 
@@ -85,6 +99,14 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def as_dict(self) -> Dict[str, object]:
+        """The documented snake_case payload (see
+        :mod:`repro.obs.schema`): every dataclass field plus the computed
+        ``hit_rate``."""
+        doc = asdict(self)
+        doc["hit_rate"] = self.hit_rate
+        return with_deprecated_aliases(doc, "cache")
+
 
 class _Entry:
     """One positive cache slot: the result, its insertion time (for TTL)
@@ -117,12 +139,19 @@ class ResultCache:
             disables the bound).
         negative_capacity: maximum unreachable-pair verdicts (``0``
             disables negative caching).
+        registry: the :class:`~repro.obs.MetricsRegistry` to publish
+            counters into (a private one is created when omitted).
+        name: the ``cache`` label on every published metric, so several
+            caches (per-shard, shared router cache) stay distinguishable
+            in one registry.
     """
 
     def __init__(self, capacity: int = 1024,
                  ttl_seconds: Optional[float] = None,
                  max_bytes: Optional[int] = None,
-                 negative_capacity: int = 0) -> None:
+                 negative_capacity: int = 0,
+                 registry: Optional[MetricsRegistry] = None,
+                 name: str = "local") -> None:
         if capacity < 0:
             raise ValueError("cache capacity must be non-negative")
         if negative_capacity < 0:
@@ -141,12 +170,39 @@ class ResultCache:
         self._lock = threading.Lock()
         self._clock = time.monotonic  # overridable in tests
         self._bytes = 0
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._negative_hits = 0
-        self._ttl_evictions = 0
-        self._memory_evictions = 0
+        self.name = name
+        self.registry = registry if registry is not None else MetricsRegistry()
+        labels = {"cache": name}
+        self._hit_counter = self.registry.counter(
+            METRIC_CACHE_HITS, labels, help="Positive result-cache hits")
+        self._miss_counter = self.registry.counter(
+            METRIC_CACHE_MISSES, labels, help="Positive result-cache misses")
+        self._negative_hit_counter = self.registry.counter(
+            METRIC_CACHE_NEGATIVE_HITS, labels,
+            help="Unreachable-verdict cache hits")
+        self._evict_lru = self.registry.counter(
+            METRIC_CACHE_EVICTIONS, {**labels, "reason": "lru"},
+            help="Cache evictions by reason")
+        self._evict_ttl = self.registry.counter(
+            METRIC_CACHE_EVICTIONS, {**labels, "reason": "ttl"})
+        self._evict_memory = self.registry.counter(
+            METRIC_CACHE_EVICTIONS, {**labels, "reason": "memory"})
+        size_gauge = self.registry.gauge(
+            METRIC_CACHE_SIZE, labels, help="Positive entries held")
+        negative_gauge = self.registry.gauge(
+            METRIC_CACHE_NEGATIVE_SIZE, labels,
+            help="Negative verdicts held")
+        memory_gauge = self.registry.gauge(
+            METRIC_CACHE_MEMORY, labels,
+            help="Estimated bytes held by positive entries")
+
+        def _collect() -> None:
+            with self._lock:
+                size_gauge.set(len(self._entries))
+                negative_gauge.set(len(self._negative))
+                memory_gauge.set(self._bytes)
+
+        self.registry.register_collector(_collect)
 
     def __len__(self) -> int:
         with self._lock:
@@ -164,10 +220,10 @@ class ResultCache:
                 self._drop(key, ttl=True)
                 entry = None
             if entry is None:
-                self._misses += 1
+                self._miss_counter.inc()
                 return None
             self._entries.move_to_end(key)
-            self._hits += 1
+            self._hit_counter.inc()
             return entry.result
 
     def peek(self, key: CacheKey) -> Optional[PathResult]:
@@ -220,11 +276,10 @@ class ResultCache:
             message, inserted_at = cached
             if self._expired(inserted_at):
                 del self._negative[key]
-                self._evictions += 1
-                self._ttl_evictions += 1
+                self._evict_ttl.inc()
                 return None
             self._negative.move_to_end(key)
-            self._negative_hits += 1
+            self._negative_hit_counter.inc()
             return message
 
     def put_negative(self, key: CacheKey, message: str) -> None:
@@ -238,7 +293,7 @@ class ResultCache:
             self._negative[key] = (message, self._clock())
             while len(self._negative) > self.negative_capacity:
                 self._negative.popitem(last=False)
-                self._evictions += 1
+                self._evict_lru.inc()
 
     # -- maintenance -------------------------------------------------------------
 
@@ -264,17 +319,24 @@ class ResultCache:
             self._bytes = 0
 
     def stats(self) -> CacheStats:
-        """Current counters as an immutable :class:`CacheStats`."""
+        """A point-in-time :class:`CacheStats` view over the registry
+        counters plus the live structural sizes."""
+        ttl_evictions = int(self._evict_ttl.value)
+        memory_evictions = int(self._evict_memory.value)
+        evictions = (int(self._evict_lru.value) + ttl_evictions
+                     + memory_evictions)
         with self._lock:
-            return CacheStats(hits=self._hits, misses=self._misses,
-                              evictions=self._evictions,
+            return CacheStats(hits=int(self._hit_counter.value),
+                              misses=int(self._miss_counter.value),
+                              evictions=evictions,
                               size=len(self._entries),
                               capacity=self.capacity,
-                              negative_hits=self._negative_hits,
+                              negative_hits=int(
+                                  self._negative_hit_counter.value),
                               negative_size=len(self._negative),
                               negative_capacity=self.negative_capacity,
-                              ttl_evictions=self._ttl_evictions,
-                              memory_evictions=self._memory_evictions,
+                              ttl_evictions=ttl_evictions,
+                              memory_evictions=memory_evictions,
                               memory_bytes=self._bytes,
                               max_bytes=self.max_bytes,
                               ttl_seconds=self.ttl_seconds)
@@ -288,11 +350,12 @@ class ResultCache:
     def _drop(self, key: CacheKey, ttl: bool = False,
               memory: bool = False) -> None:
         self._bytes -= self._entries.pop(key).size_bytes
-        self._evictions += 1
         if ttl:
-            self._ttl_evictions += 1
-        if memory:
-            self._memory_evictions += 1
+            self._evict_ttl.inc()
+        elif memory:
+            self._evict_memory.inc()
+        else:
+            self._evict_lru.inc()
 
     def _sweep_expired(self) -> None:
         if self.ttl_seconds is None:
@@ -306,8 +369,7 @@ class ResultCache:
                             if self._expired(inserted_at)]
         for key in expired_negative:
             del self._negative[key]
-            self._evictions += 1
-            self._ttl_evictions += 1
+            self._evict_ttl.inc()
 
 
 class Flight:

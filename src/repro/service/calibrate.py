@@ -28,7 +28,6 @@ pure-Python engine.
 from __future__ import annotations
 
 import random
-import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.directions import FORWARD_DIRECTION
@@ -37,6 +36,7 @@ from repro.core.stats import QueryStats
 from repro.core.store.base import GraphStore
 from repro.core.store.registry import create_store
 from repro.errors import PathNotFoundError
+from repro.obs import timer, wall_time
 from repro.graph.generators import grid_graph, power_law_graph
 from repro.graph.model import Graph
 from repro.graph.stats import compute_statistics
@@ -79,9 +79,9 @@ def probe_graph(num_nodes: int = PROBE_NODES, seed: int = 0) -> Graph:
 def _min_time(action, repeats: int) -> float:
     best = float("inf")
     for _ in range(repeats):
-        start = time.perf_counter()
-        action()
-        best = min(best, time.perf_counter() - start)
+        with timer() as took:
+            action()
+        best = min(best, took.seconds)
     return best
 
 
@@ -128,9 +128,9 @@ def _measure_row_cost(store: GraphStore, nodes: Sequence[int],
     best = float("inf")
     for _ in range(repeats):
         _seed_frontier(store, nodes)
-        start = time.perf_counter()
-        store.expand(FORWARD_DIRECTION, use_segtable=use_segtable)
-        best = min(best, time.perf_counter() - start)
+        with timer() as took:
+            store.expand(FORWARD_DIRECTION, use_segtable=use_segtable)
+        best = min(best, took.seconds)
     return max(_COST_FLOOR, (best - statement_cost) / max(1, candidate_rows))
 
 
@@ -157,14 +157,14 @@ def _measure_method_seconds(store: GraphStore, method: str,
     answered = 0
     for _ in range(repeats):
         answered = 0
-        start = time.perf_counter()
-        for source, target in queries:
-            try:
-                algorithm(store, source, target)
-                answered += 1
-            except PathNotFoundError:
-                continue
-        best = min(best, time.perf_counter() - start)
+        with timer() as took:
+            for source, target in queries:
+                try:
+                    algorithm(store, source, target)
+                    answered += 1
+                except PathNotFoundError:
+                    continue
+        best = min(best, took.seconds)
     if answered == 0:
         return None
     return best / answered
@@ -187,7 +187,7 @@ def calibrate_profile(backend: str, *, seed: int = 0,
         A calibrated :class:`~repro.service.costmodel.CostProfile` stamped
         with this host's fingerprint.
     """
-    started = time.perf_counter()
+    started = timer()
     graph = probe_graph(probe_nodes, seed=seed)
     stats = compute_statistics(graph)
     nodes = sorted(graph.nodes())
@@ -221,7 +221,7 @@ def calibrate_profile(backend: str, *, seed: int = 0,
             seg_row_cost=seg_row_cost,
             seg_build_row_cost=seg_build_row_cost,
             calibrated=True,
-            calibrated_at=time.time(),
+            calibrated_at=wall_time(),
         )
 
         # Per-method starting biases: observed / structurally-predicted,
@@ -268,7 +268,7 @@ def calibrate_profile(backend: str, *, seed: int = 0,
             }
         finally:
             grid_store.close()
-        profile.probe_seconds = time.perf_counter() - started
+        profile.probe_seconds = started.seconds
         return profile
     finally:
         store.close()

@@ -34,6 +34,7 @@ from concurrent.futures import ThreadPoolExecutor, wait
 from typing import AbstractSet, Dict, Optional, Sequence, TYPE_CHECKING
 
 from repro.errors import ConcurrencyError, PathNotFoundError
+from repro.obs.schema import METRIC_SINGLE_FLIGHT
 from repro.service.cache import InFlightMap
 from repro.service.planner import QueryPlan
 
@@ -155,6 +156,7 @@ class Executor:
             if not leader:
                 result = flight.wait()  # re-raises the leader's error
                 copied = service._copy_result(result)
+                service._registry.counter(METRIC_SINGLE_FLIGHT).inc()
                 with self._lock:
                     batch.stats.single_flight_hits += 1
                     batch.from_cache[index] = True

@@ -20,7 +20,7 @@ through a cost model — carries the per-method cost breakdown, which
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.core.bfs import bidirectional_bfs
@@ -41,6 +41,7 @@ from repro.core.stats import (
 )
 from repro.errors import InvalidQueryError
 from repro.graph.stats import GraphStatistics
+from repro.obs import Trace
 from repro.service.costmodel import AUTO_CANDIDATES, CostEstimate, CostModel
 
 RELATIONAL_METHODS: Dict[str, Callable[..., PathResult]] = {
@@ -141,6 +142,8 @@ class QueryPlan:
             path).
         predicted_seconds: the model's prediction for the chosen method
             (feeds the runtime feedback loop and regret reporting).
+        trace: the execution trace attached by
+            ``explain(..., analyze=True)`` — ``None`` on ordinary plans.
     """
 
     spec: QuerySpec
@@ -155,6 +158,7 @@ class QueryPlan:
     estimated_iterations: Optional[int] = None
     cost_breakdown: Optional[Dict[str, CostEstimate]] = None
     predicted_seconds: Optional[float] = None
+    trace: Optional["Trace"] = field(default=None, compare=False, repr=False)
 
     def describe(self) -> str:
         """Human-readable plan summary (what ``explain()`` prints)."""

@@ -33,6 +33,17 @@ from repro.errors import (
     PoolTimeoutError,
     StoreCloneUnsupportedError,
 )
+from repro.obs import MetricsRegistry, timer
+from repro.obs.schema import (
+    METRIC_POOL_CAPACITY,
+    METRIC_POOL_CHECKOUTS,
+    METRIC_POOL_CREATED,
+    METRIC_POOL_IDLE,
+    METRIC_POOL_IN_USE,
+    METRIC_POOL_REPLICAS,
+    METRIC_POOL_TIMEOUTS,
+    METRIC_POOL_WAITS,
+)
 
 ReplicaFactory = Callable[[GraphStore], GraphStore]
 
@@ -79,7 +90,9 @@ class StorePool:
 
     def __init__(self, primary: GraphStore,
                  replica_factory: ReplicaFactory,
-                 size: int = 1) -> None:
+                 size: int = 1,
+                 registry: Optional[MetricsRegistry] = None,
+                 graph: str = "default") -> None:
         if size < 1:
             raise ValueError("pool size must be at least 1")
         self._primary = primary
@@ -95,11 +108,39 @@ class StorePool:
         # reset() bumped the generation is stale and gets retired instead
         # of going back on the shelf.
         self._lease_generation: Dict[int, int] = {}
-        self._checkouts = 0
-        self._waits = 0
-        self._timeouts = 0
-        self._cloned = 0
-        self._rehydrated = 0
+        self.graph = graph
+        self.registry = registry if registry is not None else MetricsRegistry()
+        labels = {"graph": graph}
+        self._checkout_counter = self.registry.counter(
+            METRIC_POOL_CHECKOUTS, labels, help="Successful pool checkouts")
+        self._wait_counter = self.registry.counter(
+            METRIC_POOL_WAITS, labels,
+            help="Checkouts that blocked for a free member")
+        self._timeout_counter = self.registry.counter(
+            METRIC_POOL_TIMEOUTS, labels,
+            help="Checkouts that gave up waiting")
+        self._cloned_counter = self.registry.counter(
+            METRIC_POOL_REPLICAS, {**labels, "mode": "cloned"},
+            help="Replicas created, by creation mode")
+        self._rehydrated_counter = self.registry.counter(
+            METRIC_POOL_REPLICAS, {**labels, "mode": "rehydrated"})
+        capacity_gauge = self.registry.gauge(
+            METRIC_POOL_CAPACITY, labels, help="Maximum pool members")
+        created_gauge = self.registry.gauge(
+            METRIC_POOL_CREATED, labels, help="Members created so far")
+        idle_gauge = self.registry.gauge(
+            METRIC_POOL_IDLE, labels, help="Members waiting for checkout")
+        in_use_gauge = self.registry.gauge(
+            METRIC_POOL_IN_USE, labels, help="Members checked out")
+
+        def _collect() -> None:
+            with self._cond:
+                capacity_gauge.set(self._capacity)
+                created_gauge.set(self._created)
+                idle_gauge.set(len(self._idle))
+                in_use_gauge.set(self._created - len(self._idle))
+
+        self._collector = self.registry.register_collector(_collect)
 
     # -- sizing ------------------------------------------------------------------
 
@@ -162,12 +203,12 @@ class StorePool:
                 if not waited:
                     # One blocked checkout counts as one wait, no matter
                     # how many condition-variable wakeups it loops through.
-                    self._waits += 1
+                    self._wait_counter.inc()
                     waited = True
                 remaining = (None if deadline is None
                              else deadline - time.monotonic())
                 if remaining is not None and remaining <= 0:
-                    self._timeouts += 1
+                    self._timeout_counter.inc()
                     raise PoolTimeoutError(
                         f"no store became available within {timeout}s "
                         f"(capacity {self._capacity}, all checked out)"
@@ -236,7 +277,7 @@ class StorePool:
                     if len(members) == self._created:
                         return members
                     if not self._cond_wait(deadline):
-                        self._timeouts += 1
+                        self._timeout_counter.inc()
                         for store in members:  # re-shelve; pool still lives
                             self._idle.append(store)
                             self._lease_generation.pop(id(store), None)
@@ -264,7 +305,7 @@ class StorePool:
         return True
 
     def _note_checkout(self, store: GraphStore, generation: int) -> None:
-        self._checkouts += 1
+        self._checkout_counter.inc()
         self._lease_generation[id(store)] = generation
 
     def _create_replica(self) -> GraphStore:
@@ -273,12 +314,10 @@ class StorePool:
         except StoreCloneUnsupportedError:
             replica = None
         if replica is not None:
-            with self._cond:
-                self._cloned += 1
+            self._cloned_counter.inc()
             return replica
         replica = self._factory(self._primary)
-        with self._cond:
-            self._rehydrated += 1
+        self._rehydrated_counter.inc()
         return replica
 
     def checkin(self, store: GraphStore) -> None:
@@ -353,21 +392,29 @@ class StorePool:
             to_close = list(self._idle)
             self._idle.clear()
             self._cond.notify_all()
+        # A shared registry must stop polling a dead pool's gauges.
+        self.registry.unregister_collector(self._collector)
         for store in to_close:
             store.close()
 
     # -- introspection -----------------------------------------------------------
 
     def stats(self) -> PoolStats:
-        """Current counters as an immutable :class:`PoolStats`."""
+        """A point-in-time :class:`PoolStats` view over the registry
+        counters plus the live structural sizes."""
+        checkouts = int(self._checkout_counter.value)
+        waits = int(self._wait_counter.value)
+        timeouts = int(self._timeout_counter.value)
+        cloned = int(self._cloned_counter.value)
+        rehydrated = int(self._rehydrated_counter.value)
         with self._cond:
             idle = len(self._idle)
             return PoolStats(capacity=self._capacity, created=self._created,
                              idle=idle, in_use=self._created - idle,
-                             checkouts=self._checkouts, waits=self._waits,
-                             timeouts=self._timeouts,
-                             replicas_cloned=self._cloned,
-                             replicas_rehydrated=self._rehydrated)
+                             checkouts=checkouts, waits=waits,
+                             timeouts=timeouts,
+                             replicas_cloned=cloned,
+                             replicas_rehydrated=rehydrated)
 
 
 class _DrainBarrier:
@@ -404,9 +451,9 @@ class _Lease:
         self.queue_seconds = 0.0
 
     def __enter__(self) -> GraphStore:
-        start = time.perf_counter()
-        self.store = self._pool.checkout(self._timeout)
-        self.queue_seconds = time.perf_counter() - start
+        with timer() as wait:
+            self.store = self._pool.checkout(self._timeout)
+        self.queue_seconds = wait.seconds
         return self.store
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:

@@ -32,7 +32,6 @@ of it without reloading edges or re-running the offline index expansion::
 from __future__ import annotations
 
 import os
-import time
 from collections import defaultdict
 from dataclasses import dataclass, replace
 from typing import (
@@ -82,6 +81,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only; the catalog package is
     from repro.serve.aio import AsyncPathService
 from repro.memory.bidirectional import bidirectional_dijkstra as _memory_bidirectional
 from repro.memory.dijkstra import dijkstra_shortest_path as _memory_dijkstra
+from repro.obs import MetricsRegistry, Tracer, record_span, timer, wall_time
+from repro.obs import span as obs_span
+from repro.obs.schema import (
+    METRIC_NOT_FOUND,
+    METRIC_PLANNER_COST_ERROR,
+    METRIC_QUERIES,
+    METRIC_QUERY_LATENCY,
+    METRIC_QUERY_QUEUE,
+)
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.costmodel import CostModel, CostProfile, host_fingerprint
 from repro.service.pool import PoolStats, StorePool
@@ -191,13 +199,19 @@ class PathService:
                  cache_max_bytes: Optional[int] = None,
                  negative_cache_size: int = 1024,
                  catalog_path: Optional[str] = None,
-                 shard_id: Optional[str] = None) -> None:
+                 shard_id: Optional[str] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracing: bool = True) -> None:
         self.default_backend = default_backend
         self.shard_id = shard_id
         self._hosts: Dict[str, _GraphHost] = {}
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._tracer = Tracer(enabled=tracing)
         self._cache = ResultCache(cache_size, ttl_seconds=cache_ttl,
                                   max_bytes=cache_max_bytes,
-                                  negative_capacity=negative_cache_size)
+                                  negative_capacity=negative_cache_size,
+                                  registry=self._registry,
+                                  name=shard_id or "local")
         self._catalog: Optional["Catalog"] = None
         if catalog_path is not None:
             from repro.catalog.catalog import Catalog
@@ -369,7 +383,8 @@ class PathService:
             store.close()
             raise
         host.pool = StorePool(store, self._rehydrator(host),
-                              size=concurrency)
+                              size=concurrency,
+                              registry=self._registry, graph=name)
         self._hosts[name] = host
         return name
 
@@ -439,7 +454,8 @@ class PathService:
                           backend=backend, index_mode=index_mode,
                           buffer_capacity=buffer_capacity)
         host.pool = StorePool(store, self._rehydrator(host),
-                              size=concurrency)
+                              size=concurrency,
+                              registry=self._registry, graph=name)
         self._hosts[name] = host
         if (persist and self._catalog is not None and db_path is not None
                 and store.supports_persistence()):
@@ -581,7 +597,7 @@ class PathService:
             from repro.catalog.manifest import SegTableRecord
             self._catalog.set_segtable(host.name, SegTableRecord(
                 lthd=lthd, sql_style=sql_style, index_mode=mode,
-                build=host.segtable_stats, built_at=time.time(),
+                build=host.segtable_stats, built_at=wall_time(),
             ))
         return host.segtable_stats
 
@@ -737,13 +753,32 @@ class PathService:
     def explain(self, source: int, target: int, graph: str = DEFAULT_GRAPH,
                 method: str = "auto", sql_style: str = NSQL,
                 kind: str = KIND_PATH,
-                max_hops: Optional[int] = None) -> QueryPlan:
+                max_hops: Optional[int] = None,
+                analyze: bool = False) -> QueryPlan:
         """Return the :class:`QueryPlan` the service would execute, with
-        the predicted FEM iteration shape filled in."""
-        return self.plan(QuerySpec(source=source, target=target, graph=graph,
-                                   method=method, sql_style=sql_style,
-                                   kind=kind, max_hops=max_hops),
-                         estimate=True)
+        the predicted FEM iteration shape filled in.
+
+        With ``analyze=True`` the query is also *executed* (bypassing the
+        result cache, like ``EXPLAIN ANALYZE``) and the returned plan
+        carries the full per-phase trace tree in ``plan.trace`` — plan,
+        cache lookup, pool checkout, and one span per FEM iteration with
+        frontier sizes and SQL statement counts.
+
+        Raises:
+            PathNotFoundError: with ``analyze=True``, when the endpoints
+                are not connected — exactly as the query itself would.
+        """
+        spec = QuerySpec(source=source, target=target, graph=graph,
+                         method=method, sql_style=sql_style,
+                         kind=kind, max_hops=max_hops)
+        plan = self.plan(spec, estimate=True)
+        if not analyze:
+            return plan
+        with timer() as planned:
+            executable = self.plan(spec)
+        result = self._execute(executable, use_cache=False,
+                               plan_seconds=planned.seconds)
+        return replace(plan, trace=result.trace)
 
     # -- queries -----------------------------------------------------------------
 
@@ -775,8 +810,10 @@ class PathService:
                          method=method, sql_style=sql_style,
                          max_iterations=max_iterations,
                          kind=kind, max_hops=max_hops)
-        plan = self.plan(spec)
-        return self._execute(plan, use_cache=use_cache)
+        with timer() as planned:
+            plan = self.plan(spec)
+        return self._execute(plan, use_cache=use_cache,
+                             plan_seconds=planned.seconds)
 
     def one_to_many(self, source: int, targets: Sequence[int],
                     graph: str = DEFAULT_GRAPH, sql_style: str = NSQL,
@@ -846,6 +883,25 @@ class PathService:
     def cache_info(self) -> CacheStats:
         """Counters of the shared result cache."""
         return self._cache.stats()
+
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The service's metrics registry — every component of this
+        service (cache, pools, executor, planner feedback) publishes into
+        it, and the serve server renders it at ``GET /metrics``."""
+        return self._registry
+
+    @property
+    def tracer(self) -> Tracer:
+        """The service's tracer (disable with ``tracing=False``)."""
+        return self._tracer
+
+    def metrics(self) -> Dict[str, Dict[str, object]]:
+        """A JSON-safe snapshot of every metric family this service
+        publishes (see :mod:`repro.obs.schema` for the catalog)."""
+        return self._registry.snapshot()
 
     def clear_cache(self) -> None:
         """Drop every cached result."""
@@ -918,24 +974,50 @@ class PathService:
                 spec.sql_style, spec.kind, spec.max_hops, self.shard_id)
 
     def _execute(self, plan: QueryPlan, use_cache: bool = True,
-                 batch_stats: Optional[BatchStats] = None) -> PathResult:
+                 batch_stats: Optional[BatchStats] = None,
+                 plan_seconds: Optional[float] = None) -> PathResult:
         """Run a planned query, consulting and feeding the result cache
-        (positive and negative)."""
+        (positive and negative).
+
+        Opens a ``query`` trace span: the root of a fresh trace when no
+        span is ambient (a direct ``shortest_path`` call), or a child
+        when an outer layer — the shard router, ``explain(analyze=True)``
+        — already traces this query.  Whoever owns the root attaches the
+        finished tree to ``result.trace``."""
+        spec = plan.spec
+        with self._tracer.span("query", graph=spec.graph, source=spec.source,
+                               target=spec.target, kind=spec.kind,
+                               method=plan.method,
+                               shard=self.shard_id) as query_span:
+            if plan_seconds is not None:
+                query_span.record("plan", plan_seconds, method=plan.method)
+            result = self._execute_inner(plan, use_cache, batch_stats)
+            if query_span.trace is not None:
+                result.trace = query_span.trace
+        return result
+
+    def _execute_inner(self, plan: QueryPlan, use_cache: bool,
+                       batch_stats: Optional[BatchStats]) -> PathResult:
         key = self._cache_key(plan) if use_cache else None
         if key is not None:
-            cached = self._cache.get(key)
-            if cached is not None:
-                if batch_stats is not None:
-                    batch_stats.cache_hits += 1
-                return self._copy_result(cached)
-            verdict = self._cache.get_negative(key)
-            if verdict is not None:
-                # A remembered unreachable pair: skip the full bidirectional
-                # fixpoint (the most expensive outcome to recompute — it
-                # runs to exhaustion precisely because no path exists).
-                if batch_stats is not None:
-                    batch_stats.negative_hits += 1
-                raise PathNotFoundError(verdict)
+            with obs_span("cache.lookup") as cache_span:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    cache_span.tag(outcome="hit")
+                    if batch_stats is not None:
+                        batch_stats.cache_hits += 1
+                    return self._copy_result(cached)
+                verdict = self._cache.get_negative(key)
+                if verdict is not None:
+                    # A remembered unreachable pair: skip the full
+                    # bidirectional fixpoint (the most expensive outcome to
+                    # recompute — it runs to exhaustion precisely because
+                    # no path exists).
+                    cache_span.tag(outcome="negative_hit")
+                    if batch_stats is not None:
+                        batch_stats.negative_hits += 1
+                    raise PathNotFoundError(verdict)
+                cache_span.tag(outcome="miss")
         try:
             result = self._run(plan)
         except PathNotFoundError as exc:
@@ -966,7 +1048,10 @@ class PathService:
                                 float, stats.time_by_phase),
                             time_by_operator=defaultdict(
                                 float, stats.time_by_operator))
-        return replace(result, path=list(result.path), stats=stats)
+        # trace=None: a trace describes ONE execution; the copy handed out
+        # for a cache hit did not run, so the root owner re-attaches.
+        return replace(result, path=list(result.path), stats=stats,
+                       trace=None)
 
     def _run(self, plan: QueryPlan) -> PathResult:
         result, _, _ = self._run_timed(plan)
@@ -985,31 +1070,90 @@ class PathService:
         spec = plan.spec
         host = self._host(spec.graph)
         if plan.method in MEMORY_METHODS:
-            start = time.perf_counter()
-            result = run_in_memory(host.graph, spec.source, spec.target,
-                                   method=plan.method)
-            return result, 0.0, time.perf_counter() - start
+            with obs_span("execute", method=plan.method):
+                with timer() as ran:
+                    try:
+                        result = run_in_memory(host.graph, spec.source,
+                                               spec.target,
+                                               method=plan.method)
+                    except PathNotFoundError:
+                        self._note_not_found(plan, 0.0, ran.seconds)
+                        raise
+            self._publish_query(plan, 0.0, ran.seconds)
+            return result, 0.0, ran.seconds
         assert host.pool is not None
         lease = host.pool.lease(checkout_timeout)
-        with lease as store:
-            start = time.perf_counter()
-            if plan.method in (METHOD_HOPS, METHOD_REACH):
-                result = hop_limited_search(
-                    store, spec.source, spec.target,
-                    sql_style=spec.sql_style, max_hops=spec.max_hops,
-                    max_iterations=spec.max_iterations, method=plan.method)
-            else:
-                algorithm = RELATIONAL_METHODS[plan.method]
-                result = algorithm(store, spec.source, spec.target,
-                                   sql_style=spec.sql_style,
-                                   max_iterations=spec.max_iterations)
-            executed = time.perf_counter() - start
+        with obs_span("execute", method=plan.method,
+                      sql_style=spec.sql_style) as exec_span:
+            with lease as store:
+                record_span("pool.checkout", lease.queue_seconds,
+                            graph=spec.graph)
+                with timer() as ran:
+                    try:
+                        if plan.method in (METHOD_HOPS, METHOD_REACH):
+                            result = hop_limited_search(
+                                store, spec.source, spec.target,
+                                sql_style=spec.sql_style,
+                                max_hops=spec.max_hops,
+                                max_iterations=spec.max_iterations,
+                                method=plan.method)
+                        else:
+                            algorithm = RELATIONAL_METHODS[plan.method]
+                            result = algorithm(
+                                store, spec.source, spec.target,
+                                sql_style=spec.sql_style,
+                                max_iterations=spec.max_iterations)
+                    except PathNotFoundError:
+                        self._note_not_found(plan, lease.queue_seconds,
+                                             ran.seconds)
+                        raise
+            executed = ran.seconds
+            if result.stats is not None:
+                exec_span.tag(statements=result.stats.statements,
+                              expansions=result.stats.expansions)
         # Close the planner's loop: every relational execution is a free
         # calibration sample for this backend's cost model.
         self._observe(plan, host, executed)
         if result.stats is not None:
             result.stats.predicted_seconds = plan.predicted_seconds
+        self._publish_query(plan, lease.queue_seconds, executed)
         return result, lease.queue_seconds, executed
+
+    def _note_not_found(self, plan: QueryPlan, queued: float,
+                        executed: float) -> None:
+        """An unreachable pair still ran a full search: count the query
+        (and its latency) plus the dedicated not-found counter."""
+        self._registry.counter(
+            METRIC_NOT_FOUND,
+            help="Queries whose endpoints proved unreachable").inc()
+        self._publish_query(plan, queued, executed)
+
+    def _publish_query(self, plan: QueryPlan, queued: float,
+                       executed: float) -> None:
+        """Publish one executed query into the metrics registry — counts,
+        latency/queue histograms, and the planner's predicted-vs-actual
+        cost error.  Runs on every execution path (serial, parallel batch,
+        shared frontier leaders), so registry histogram counts equal the
+        number of queries that actually ran."""
+        spec = plan.spec
+        registry = self._registry
+        registry.counter(
+            METRIC_QUERIES,
+            {"graph": spec.graph, "kind": spec.kind, "method": plan.method},
+            help="Queries executed against a store (cache hits excluded)",
+        ).inc()
+        registry.histogram(
+            METRIC_QUERY_LATENCY, {"kind": spec.kind},
+            help="Store execution seconds per query").observe(executed)
+        registry.histogram(
+            METRIC_QUERY_QUEUE,
+            help="Seconds spent waiting for a pooled store").observe(queued)
+        predicted = plan.predicted_seconds
+        if predicted is not None and predicted > 0 and executed > 0:
+            registry.histogram(
+                METRIC_PLANNER_COST_ERROR, {"method": plan.method},
+                help="abs(predicted - actual) / actual execution seconds",
+            ).observe(abs(predicted - executed) / executed)
 
 
 Session = PathService

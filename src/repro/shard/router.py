@@ -70,6 +70,14 @@ from repro.errors import (
     ShardUnavailableError,
     UnknownShardError,
 )
+from repro.obs import MetricsRegistry, Trace, Tracer, timer
+from repro.obs.schema import (
+    METRIC_FAILOVERS,
+    METRIC_ROUTER_QUERIES,
+    METRIC_SHARD_ERRORS,
+    METRIC_SHARD_LATENCY,
+    METRIC_SHARED_CACHE_HITS,
+)
 from repro.service.batch import normalize_queries
 from repro.service.cache import ResultCache
 from repro.service.planner import QueryPlan, QuerySpec
@@ -150,6 +158,10 @@ class ScatterResult:
         shard_of: per spec, the shard that answered it (the owner, or the
             replica that took over on failover).
         stats: the :class:`RouterStats` of this scatter-gather.
+        trace: the batch's :class:`~repro.obs.Trace` — one recorded span
+            per slice run (shard, query count, wall seconds), across
+            local and remote shards alike; ``None`` with tracing off.
+            Per-query span trees ride on the individual results.
     """
 
     specs: List[QuerySpec] = field(default_factory=list)
@@ -157,6 +169,7 @@ class ScatterResult:
     from_cache: List[bool] = field(default_factory=list)
     shard_of: List[str] = field(default_factory=list)
     stats: RouterStats = field(default_factory=RouterStats)
+    trace: Optional[Trace] = field(default=None, compare=False, repr=False)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -188,18 +201,27 @@ class ShardRouter:
     def __init__(self, transports: Sequence[ShardTransport],
                  table: RoutingTable, *,
                  shared_cache_size: int = 0,
-                 shared_cache_ttl: Optional[float] = None) -> None:
+                 shared_cache_ttl: Optional[float] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracing: bool = True) -> None:
         self._transports: Dict[str, ShardTransport] = {
             transport.spec.name: transport for transport in transports}
         self._table = table
         self._closed = False
+        # One registry per router; :meth:`open` shares it with every
+        # in-process shard service, so a co-located shard server's
+        # ``/metrics`` exports router counters (failovers, per-shard
+        # latency) next to the service's own.
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._tracer = Tracer(enabled=tracing)
         self._health: Dict[str, ShardHealth] = {
             name: ShardHealth(name) for name in self._transports}
         self._health_lock = threading.Lock()
         self._shared_cache: Optional[ResultCache] = (
             None if shared_cache_size <= 0 else ResultCache(
                 capacity=shared_cache_size, ttl_seconds=shared_cache_ttl,
-                negative_capacity=shared_cache_size))
+                negative_capacity=shared_cache_size,
+                registry=self._registry, name="shared"))
         self._move_markers: Dict[str, int] = {"moves": 0, "replica_noops": 0}
 
     # -- construction ------------------------------------------------------------
@@ -214,6 +236,8 @@ class ShardRouter:
              shared_cache_ttl: Optional[float] = None,
              remote_timeout: Optional[float] = None,
              remote_retries: Optional[int] = None,
+             registry: Optional[MetricsRegistry] = None,
+             tracing: bool = True,
              **service_options: object) -> "ShardRouter":
         """Open one shard per catalog (or URL) and build the routing table.
 
@@ -245,6 +269,13 @@ class ShardRouter:
                 every URL shard (a slow shard exceeding it fails over).
             remote_retries: transport-level retries applied to every URL
                 shard.
+            registry: the :class:`~repro.obs.MetricsRegistry` the router
+                publishes into.  Defaults to a fresh one, shared with
+                every *local* shard service so one process exports one
+                coherent ``/metrics`` view; remote shards keep their own
+                server-side registry.
+            tracing: whether router queries build per-query trace trees
+                (remote shard traces are stitched in as child spans).
             **service_options: forwarded to every *local* shard service
                 constructor (cache knobs, ``default_backend``, ...);
                 remote shards configured their service at server start.
@@ -263,6 +294,7 @@ class ShardRouter:
             raise ShardError(
                 "pass exactly one of catalog_paths=[...] or specs=[...]"
             )
+        registry = registry if registry is not None else MetricsRegistry()
         if specs is None:
             assert catalog_paths is not None
             if names is None:
@@ -285,9 +317,11 @@ class ShardRouter:
                         transport=REMOTE_TRANSPORT,
                         service_options=options))
                 else:
+                    local_options = dict(service_options)
+                    local_options.setdefault("registry", registry)
                     built.append(ShardSpec(
                         name=name, catalog_path=path,
-                        service_options=dict(service_options)))
+                        service_options=local_options))
             specs = built
         else:
             if names is not None:
@@ -300,6 +334,15 @@ class ShardRouter:
                     "service options go inside each "
                     "ShardSpec.service_options when opening from specs"
                 )
+            # Local shard services share the router's registry (unless a
+            # spec pins its own); remote specs keep server-side registries.
+            specs = [
+                spec if (spec.transport == REMOTE_TRANSPORT
+                         or "registry" in spec.service_options)
+                else replace(spec, service_options={
+                    **spec.service_options, "registry": registry})
+                for spec in specs
+            ]
         if not specs:
             raise ShardError("a shard router needs at least one shard")
         seen: Dict[str, str] = {}
@@ -340,7 +383,8 @@ class ShardRouter:
             raise
         router = cls(transports, table,
                      shared_cache_size=shared_cache_size,
-                     shared_cache_ttl=shared_cache_ttl)
+                     shared_cache_ttl=shared_cache_ttl,
+                     registry=registry, tracing=tracing)
         if stamp_ownership:
             router._stamp_ownership()
         return router
@@ -383,6 +427,23 @@ class ShardRouter:
 
     # -- health and failover -----------------------------------------------------
 
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The router's :class:`~repro.obs.MetricsRegistry` (shared with
+        every in-process shard service)."""
+        return self._registry
+
+    @property
+    def tracer(self) -> Tracer:
+        """The router's :class:`~repro.obs.Tracer`."""
+        return self._tracer
+
+    def metrics(self) -> Dict[str, object]:
+        """A JSON-safe snapshot of every metric the router (and its
+        in-process shard services) published — see
+        :meth:`~repro.obs.MetricsRegistry.snapshot`."""
+        return self._registry.snapshot()
+
     def shard_health(self) -> Dict[str, Dict[str, object]]:
         """The router's per-shard failure accounting (lifetime view; one
         batch's accounting is on its :class:`RouterStats`)."""
@@ -408,6 +469,7 @@ class ShardRouter:
         return report
 
     def _mark_failure(self, shard: str, exc: BaseException) -> None:
+        self._registry.counter(METRIC_SHARD_ERRORS, {"shard": shard}).inc()
         with self._health_lock:
             health = self._health[shard]
             health.errors += 1
@@ -497,37 +559,79 @@ class ShardRouter:
                          method=method, sql_style=sql_style,
                          max_iterations=max_iterations,
                          kind=kind, max_hops=max_hops)
+        self._registry.counter(METRIC_ROUTER_QUERIES, {"kind": kind}).inc()
+        with self._tracer.span("router.query", graph=graph, source=source,
+                               target=target, kind=kind) as root:
+            result = self._routed_query(spec, use_cache, root)
+        # The router owns the trace root: the result carries the stitched
+        # tree (local shard spans joined the root via the ambient context;
+        # remote shard trees were adopted below).
+        if root.trace is not None:
+            result.trace = root.trace
+        return result
+
+    def _routed_query(self, spec: QuerySpec, use_cache: bool,
+                      root) -> PathResult:
+        """One routed query: shared cache, then owner/replica failover."""
+        graph = spec.graph
         key = self._shared_key(spec) if use_cache else None
         if key is not None:
             assert self._shared_cache is not None
             cached = self._shared_cache.get(key)
             if cached is not None:
+                root.tag(shared_cache="hit")
+                self._registry.counter(METRIC_SHARED_CACHE_HITS).inc()
                 return self._copy_result(cached)
             verdict = self._shared_cache.get_negative(key)
             if verdict is not None:
+                root.tag(shared_cache="negative_hit")
+                self._registry.counter(METRIC_SHARED_CACHE_HITS).inc()
                 raise PathNotFoundError(verdict)
         last: Optional[ShardUnavailableError] = None
-        for shard in self._candidates(graph):
+        candidates = self._candidates(graph)
+        for position, shard in enumerate(candidates):
             transport = self._transports[shard]
             try:
-                result = transport.shortest_path(spec, use_cache=use_cache)
+                with timer() as took:
+                    result = transport.shortest_path(spec,
+                                                     use_cache=use_cache)
             except ShardUnavailableError as exc:
                 self._mark_failure(shard, exc)
+                if position + 1 < len(candidates):
+                    # Another replica will be tried: this is a failover.
+                    self._registry.counter(METRIC_FAILOVERS,
+                                           {"shard": shard}).inc()
                 last = exc
                 continue
             except PathNotFoundError as exc:
                 self._mark_success(shard)
+                self._observe_shard(shard, took.seconds)
                 if key is not None:
                     assert self._shared_cache is not None
                     self._shared_cache.put_negative(key, str(exc))
                 raise
             self._mark_success(shard)
+            self._observe_shard(shard, took.seconds)
             if key is not None:
                 assert self._shared_cache is not None
                 self._shared_cache.put(key, self._copy_result(result))
+            if result.trace is not None and root.trace is not None:
+                # A remote shard traced its own execution; stitch that
+                # tree under the router root, tagged with the shard that
+                # answered (the local-transport case needs no stitching —
+                # the service's query span joined the root ambiently).
+                # With router tracing off the remote tree stays on the
+                # result untouched.
+                root.adopt(result.trace, shard=shard)
+                result.trace = None
+            root.tag(shard=shard, attempts=position + 1)
             return result
         assert last is not None
         raise last
+
+    def _observe_shard(self, shard: str, seconds: float) -> None:
+        self._registry.histogram(METRIC_SHARD_LATENCY,
+                                 {"shard": shard}).observe(seconds)
 
     def explain(self, source: int, target: int, graph: str,
                 method: str = "auto", sql_style: str = NSQL) -> QueryPlan:
@@ -598,9 +702,12 @@ class ShardRouter:
             PathNotFoundError: with ``raise_on_unreachable=True``, the
                 deterministic first (by input index) unreachable pair.
         """
-        start = time.perf_counter()
+        elapsed = timer()  # .seconds reads live until the final assignment
         specs = normalize_queries(queries, graph=graph or DEFAULT_GRAPH,
                                   method=method, sql_style=sql_style)
+        for spec in specs:
+            self._registry.counter(METRIC_ROUTER_QUERIES,
+                                   {"kind": spec.kind}).inc()
         scatter = ScatterResult(
             specs=specs,
             results=[None] * len(specs),
@@ -624,11 +731,13 @@ class ShardRouter:
                     scatter.results[index] = self._copy_result(cached)
                     scatter.from_cache[index] = True
                     stats.shared_cache_hits += 1
+                    self._registry.counter(METRIC_SHARED_CACHE_HITS).inc()
                     continue
                 if self._shared_cache.get_negative(key) is not None:
                     # A remembered unreachable pair: result stays None.
                     scatter.from_cache[index] = True
                     stats.shared_cache_hits += 1
+                    self._registry.counter(METRIC_SHARED_CACHE_HITS).inc()
                     continue
             pending.append(index)
 
@@ -664,6 +773,8 @@ class ShardRouter:
                     self._mark_failure(shard, exc)
                     stats.record_error(shard)
                     stats.failovers += len(indices)
+                    self._registry.counter(
+                        METRIC_FAILOVERS, {"shard": shard}).inc(len(indices))
                     for name in shard_graphs:
                         tried.setdefault(name, set()).add(shard)
                         last_error[name] = exc
@@ -678,81 +789,101 @@ class ShardRouter:
 
         # Execution rounds: scatter the outstanding slices, re-routing a
         # transport-failed slice's graphs to their next replica until
-        # everything is answered or some graph runs out of hosts.
-        outstanding: List[int] = list(pending)
-        while outstanding:
-            groups_by_shard: Dict[str, List[int]] = {}
-            for index in outstanding:
-                shard = assignment[specs[index].graph]
-                groups_by_shard.setdefault(shard, []).append(index)
+        # everything is answered or some graph runs out of hosts.  The
+        # batch trace root collects one recorded span per slice run
+        # (workers lose the ambient context, so slices record onto the
+        # root explicitly).
+        with self._tracer.span("router.batch", queries=len(specs),
+                               shards=len(self._transports)) as root:
+            outstanding: List[int] = list(pending)
+            while outstanding:
+                groups_by_shard: Dict[str, List[int]] = {}
+                for index in outstanding:
+                    shard = assignment[specs[index].graph]
+                    groups_by_shard.setdefault(shard, []).append(index)
 
-            def run_slice(shard: str, indices: List[int]) -> "BatchResult":
-                return self._transports[shard].execute_specs(
-                    [specs[i] for i in indices],
-                    concurrency=concurrency,
-                    checkout_timeout=checkout_timeout,
-                    plans=[plans[i] for i in indices],
-                    share_frontier=share_frontier)
+                def run_slice(shard: str, indices: List[int]) -> "BatchResult":
+                    took = timer()
+                    try:
+                        batch = self._transports[shard].execute_specs(
+                            [specs[i] for i in indices],
+                            concurrency=concurrency,
+                            checkout_timeout=checkout_timeout,
+                            plans=[plans[i] for i in indices],
+                            share_frontier=share_frontier)
+                    except BaseException as exc:
+                        root.record("router.slice", took.seconds, shard=shard,
+                                    queries=len(indices),
+                                    error=type(exc).__name__)
+                        raise
+                    root.record("router.slice", took.seconds, shard=shard,
+                                queries=len(indices))
+                    self._observe_shard(shard, took.seconds)
+                    return batch
 
-            errors: Dict[int, BaseException] = {}
-            with ThreadPoolExecutor(
-                    max_workers=len(groups_by_shard),
-                    thread_name_prefix="repro-router") as pool:
-                futures = {pool.submit(run_slice, shard, indices):
-                           (shard, indices)
-                           for shard, indices in groups_by_shard.items()}
-                wait(list(futures))
-            answered: Set[int] = set()
-            for future, (shard, indices) in futures.items():
-                try:
-                    batch = future.result()
-                except ShardUnavailableError as exc:
-                    self._mark_failure(shard, exc)
-                    stats.record_error(shard)
-                    for name in {specs[i].graph for i in indices}:
-                        tried.setdefault(name, set()).add(shard)
-                        affected = [i for i in indices
-                                    if specs[i].graph == name]
-                        replica = self._next_candidate(name, tried[name])
-                        if replica is None:
-                            errors[min(affected)] = exc
-                            answered.update(affected)  # stop retrying
-                        else:
-                            assignment[name] = replica
-                            stats.failovers += len(affected)
-                    continue
-                except BaseException as exc:
-                    # Non-transport failures are not failover events:
-                    # surfaced deterministically below, smallest input
-                    # index first.
-                    errors[indices[0]] = exc
-                    answered.update(indices)
-                    continue
-                self._mark_success(shard)
-                stats.record(shard, batch.stats)
-                answered.update(indices)
-                for local, global_index in enumerate(indices):
-                    result = batch.results[local]
-                    scatter.results[global_index] = result
-                    scatter.from_cache[global_index] = batch.from_cache[local]
-                    scatter.shard_of[global_index] = shard
-                    key = self._shared_key(specs[global_index])
-                    if key is None:
+                errors: Dict[int, BaseException] = {}
+                with ThreadPoolExecutor(
+                        max_workers=len(groups_by_shard),
+                        thread_name_prefix="repro-router") as pool:
+                    futures = {pool.submit(run_slice, shard, indices):
+                               (shard, indices)
+                               for shard, indices in groups_by_shard.items()}
+                    wait(list(futures))
+                answered: Set[int] = set()
+                for future, (shard, indices) in futures.items():
+                    try:
+                        batch = future.result()
+                    except ShardUnavailableError as exc:
+                        self._mark_failure(shard, exc)
+                        stats.record_error(shard)
+                        for name in {specs[i].graph for i in indices}:
+                            tried.setdefault(name, set()).add(shard)
+                            affected = [i for i in indices
+                                        if specs[i].graph == name]
+                            replica = self._next_candidate(name, tried[name])
+                            if replica is None:
+                                errors[min(affected)] = exc
+                                answered.update(affected)  # stop retrying
+                            else:
+                                assignment[name] = replica
+                                stats.failovers += len(affected)
+                                self._registry.counter(
+                                    METRIC_FAILOVERS,
+                                    {"shard": shard}).inc(len(affected))
                         continue
-                    assert self._shared_cache is not None
-                    if result is None:
-                        spec = specs[global_index]
-                        self._shared_cache.put_negative(
-                            key, f"no path from {spec.source} to "
-                                 f"{spec.target} in graph {spec.graph!r}")
-                    else:
-                        self._shared_cache.put(key,
-                                               self._copy_result(result))
-            if errors:
-                raise errors[min(errors)]
-            outstanding = [i for i in outstanding if i not in answered]
+                    except BaseException as exc:
+                        # Non-transport failures are not failover events:
+                        # surfaced deterministically below, smallest input
+                        # index first.
+                        errors[indices[0]] = exc
+                        answered.update(indices)
+                        continue
+                    self._mark_success(shard)
+                    stats.record(shard, batch.stats)
+                    answered.update(indices)
+                    for local, global_index in enumerate(indices):
+                        result = batch.results[local]
+                        scatter.results[global_index] = result
+                        scatter.from_cache[global_index] = batch.from_cache[local]
+                        scatter.shard_of[global_index] = shard
+                        key = self._shared_key(specs[global_index])
+                        if key is None:
+                            continue
+                        assert self._shared_cache is not None
+                        if result is None:
+                            spec = specs[global_index]
+                            self._shared_cache.put_negative(
+                                key, f"no path from {spec.source} to "
+                                     f"{spec.target} in graph {spec.graph!r}")
+                        else:
+                            self._shared_cache.put(key,
+                                                   self._copy_result(result))
+                if errors:
+                    raise errors[min(errors)]
+                outstanding = [i for i in outstanding if i not in answered]
 
-        stats.total_time = time.perf_counter() - start
+        scatter.trace = root.trace
+        stats.total_time = elapsed.seconds
         if raise_on_unreachable:
             for index, result in enumerate(scatter.results):
                 if result is None:

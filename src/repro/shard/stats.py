@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.core.stats import BatchStats
+from repro.obs.schema import with_deprecated_aliases
 
 
 @dataclass
@@ -100,11 +101,17 @@ class RouterStats:
         return sum(self.per_shard_errors.values())
 
     def as_dict(self) -> Dict[str, object]:
-        """Plain-dict summary (used by the scatter benchmark's JSON)."""
-        return {
+        """Plain-dict summary (used by the scatter benchmark's JSON).
+
+        Durations use the canonical ``_s``-suffixed keys
+        (``total_time_s``); the historical ``total_time`` key is kept as
+        a deprecated alias for one release (see
+        :data:`repro.obs.schema.DEPRECATED_STATS_ALIASES`).
+        """
+        return with_deprecated_aliases({
             "total": self.total,
             "shards_touched": self.shards_touched,
-            "total_time": self.total_time,
+            "total_time_s": self.total_time,
             "executed": self.executed,
             "cache_hits": self.cache_hits,
             "shared_cache_hits": self.shared_cache_hits,
@@ -115,7 +122,7 @@ class RouterStats:
             "per_shard": {shard: stats.as_dict()
                           for shard, stats in sorted(self.per_shard.items())},
             "rollup": self.rollup().as_dict(),
-        }
+        }, "router")
 
 
 __all__ = ["RouterStats"]

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import json
 import math
-import time
 from collections import deque
 from dataclasses import asdict, dataclass, field, is_dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
@@ -34,6 +33,14 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 from repro.errors import PathNotFoundError, ReproError
 from repro.graph.model import Graph
 from repro.memory.dijkstra import dijkstra_shortest_path
+from repro.obs import DEFAULT_LATENCY_BUCKETS_MS, MetricsRegistry, timer
+from repro.obs.schema import (
+    METRIC_TRAFFIC_ERRORS,
+    METRIC_TRAFFIC_LATENCY_MS,
+    METRIC_TRAFFIC_NOT_FOUND,
+    METRIC_TRAFFIC_QUERIES,
+    METRIC_TRAFFIC_WRONG,
+)
 from repro.service.planner import KIND_PATH
 from repro.workload.generator import TrafficGenerator, TrafficQuery
 
@@ -68,6 +75,27 @@ def _summarize(latencies_ms: List[float]) -> Dict[str, float]:
         "p99": round(percentile(ordered, 99.0), 3),
         "mean": round(sum(ordered) / len(ordered), 3),
         "max": round(ordered[-1], 3),
+    }
+
+
+def _summarize_registry(registry: MetricsRegistry,
+                        labels: Optional[Dict[str, str]] = None
+                        ) -> Dict[str, float]:
+    """The report's latency summary, read from the registry's traffic
+    histogram (merged across kinds when ``labels`` is ``None``).
+
+    Same keys as :func:`_summarize`; percentiles are the histogram's
+    bucket-interpolated estimates (max-clamped, deterministic) instead of
+    nearest-rank over a raw list — the histogram IS the record now.
+    """
+    summary = registry.summary(METRIC_TRAFFIC_LATENCY_MS, labels)
+    return {
+        "count": int(summary["count"]),
+        "p50": round(summary["p50"], 3),
+        "p95": round(summary["p95"], 3),
+        "p99": round(summary["p99"], 3),
+        "mean": round(summary["mean"], 3),
+        "max": round(summary["max"], 3),
     }
 
 
@@ -214,7 +242,8 @@ def _failover_snapshot(target: object) -> Optional[Dict[str, object]]:
 def run_traffic(target: object, generator: TrafficGenerator, count: int, *,
                 reference: Optional[Mapping[str, Graph]] = None,
                 interrupt_at: Optional[int] = None,
-                interrupt: Optional[Callable[[], object]] = None
+                interrupt: Optional[Callable[[], object]] = None,
+                registry: Optional[MetricsRegistry] = None
                 ) -> TrafficReport:
     """Stream ``count`` generated queries against ``target``.
 
@@ -233,6 +262,12 @@ def run_traffic(target: object, generator: TrafficGenerator, count: int, *,
             invoked once — the fault-injection hook ("kill the server
             after 40 queries").
         interrupt: the callable to invoke at ``interrupt_at``.
+        registry: the :class:`~repro.obs.MetricsRegistry` the run
+            publishes into (latency histograms per kind, query/outcome
+            counters).  Defaults to a fresh registry, so the report's
+            summaries describe exactly this run; pass a shared one to
+            accumulate across runs (the summaries then cover the
+            registry's whole lifetime).
 
     Returns:
         The filled :class:`TrafficReport` (``slo`` left ``None``; apply
@@ -243,18 +278,18 @@ def run_traffic(target: object, generator: TrafficGenerator, count: int, *,
     if (interrupt_at is None) != (interrupt is None):
         raise ValueError("interrupt_at and interrupt go together")
     oracle = None if reference is None else _ReferenceOracle(reference)
+    registry = registry if registry is not None else MetricsRegistry()
     report = TrafficReport(config=generator.config.as_dict())
-    latencies: List[float] = []
-    per_kind_latencies: Dict[str, List[float]] = {}
-    started = time.perf_counter()
+    started = timer()
     for index, query in enumerate(generator.queries(count)):
         if interrupt is not None and index == interrupt_at:
             interrupt()
         report.total += 1
         report.per_kind[query.kind] = report.per_kind.get(query.kind, 0) + 1
+        registry.counter(METRIC_TRAFFIC_QUERIES, {"kind": query.kind}).inc()
         if query.hot:
             report.hot_queries += 1
-        call_started = time.perf_counter()
+        call = timer()
         result = None
         failed = False
         try:
@@ -263,15 +298,17 @@ def run_traffic(target: object, generator: TrafficGenerator, count: int, *,
                 kind=query.kind, max_hops=query.max_hops)
         except PathNotFoundError:
             report.not_found += 1
+            registry.counter(METRIC_TRAFFIC_NOT_FOUND).inc()
         except ReproError as exc:
             failed = True
             report.errors += 1
+            registry.counter(METRIC_TRAFFIC_ERRORS).inc()
             if len(report.error_samples) < MAX_WRONG_SAMPLES:
                 report.error_samples.append(
                     f"{type(exc).__name__}: {exc}")
-        elapsed_ms = (time.perf_counter() - call_started) * 1000.0
-        latencies.append(elapsed_ms)
-        per_kind_latencies.setdefault(query.kind, []).append(elapsed_ms)
+        registry.histogram(
+            METRIC_TRAFFIC_LATENCY_MS, {"kind": query.kind},
+            buckets=DEFAULT_LATENCY_BUCKETS_MS).observe(call.seconds * 1000.0)
         if oracle is None or failed:
             continue
         expected = oracle.expected(query)
@@ -279,6 +316,7 @@ def run_traffic(target: object, generator: TrafficGenerator, count: int, *,
         if expected == got:
             continue
         report.wrong_answers += 1
+        registry.counter(METRIC_TRAFFIC_WRONG).inc()
         if len(report.wrong_samples) < MAX_WRONG_SAMPLES:
             report.wrong_samples.append({
                 "graph": query.graph, "source": query.source,
@@ -286,13 +324,15 @@ def run_traffic(target: object, generator: TrafficGenerator, count: int, *,
                 "max_hops": query.max_hops,
                 "expected": expected, "got": got,
             })
-    report.elapsed_s = round(time.perf_counter() - started, 4)
+    report.elapsed_s = round(started.seconds, 4)
     report.qps = round(report.total / report.elapsed_s, 2) \
         if report.elapsed_s else 0.0
-    report.latency_ms = _summarize(latencies)
+    report.latency_ms = _summarize_registry(registry)
     report.per_kind_latency_ms = {
-        kind: _summarize(values)
-        for kind, values in sorted(per_kind_latencies.items())}
+        str(labels["kind"]): _summarize_registry(registry, labels)
+        for labels in sorted(
+            registry.histogram_labels(METRIC_TRAFFIC_LATENCY_MS),
+            key=lambda labels: str(labels.get("kind", "")))}
     report.cache = _cache_snapshot(target)
     report.failover = _failover_snapshot(target)
     return report

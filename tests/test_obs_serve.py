@@ -1,0 +1,230 @@
+"""Observability across the wire: the ``/metrics`` Prometheus endpoint,
+trace trees spanning local and remote shards, ``X-Request-Id``
+propagation, and retry correlation (one logical query, one id)."""
+
+import os
+import socket
+import time
+import urllib.request
+
+import pytest
+
+from repro.graph.generators import power_law_graph, random_graph
+from repro.obs import CapturingStream, bind_request_id, configure_logging
+from repro.obs.schema import (
+    METRIC_FAILOVERS,
+    METRIC_HTTP_REQUESTS,
+    METRIC_QUERIES,
+    METRIC_ROUTER_QUERIES,
+)
+from repro.serve import ShardClient, ShardServer
+from repro.serve.server import _ShardRequestHandler
+from repro.service import PathService
+from repro.service.planner import QuerySpec
+from repro.shard import ShardRouter
+
+GRAPHS = {
+    "social": power_law_graph(80, edges_per_node=2, seed=11),
+    "roads": random_graph(60, avg_degree=2.5, seed=12),
+}
+
+
+def _poll(predicate, timeout_s=3.0):
+    """The server observes metrics/logs *after* flushing the reply, so a
+    client can return before the record lands; poll briefly."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        value = predicate()
+        if value or time.monotonic() > deadline:
+            return value
+        time.sleep(0.01)
+
+
+def _seed_catalog(catalog_dir, names):
+    with PathService(catalog_path=catalog_dir) as service:
+        for name in names:
+            service.add_graph(name, GRAPHS[name], backend="sqlite",
+                              db_path=os.path.join(catalog_dir,
+                                                   f"{name}.db"))
+
+
+@pytest.fixture
+def topology(tmp_path):
+    """One shard behind HTTP ("social"), one in-process ("roads")."""
+    remote_catalog = str(tmp_path / "remote")
+    local_catalog = str(tmp_path / "local")
+    _seed_catalog(remote_catalog, ("social",))
+    _seed_catalog(local_catalog, ("roads",))
+    service = PathService.open(remote_catalog, shard_id="remote")
+    server = ShardServer(service, port=0, own_service=True).start()
+    remote_name = f"{server.host}:{server.port}"
+    try:
+        with ShardRouter.open([server.url, local_catalog],
+                              names=[remote_name, "local"]) as router:
+            yield server, router, remote_name
+    finally:
+        server.close()
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_text_is_served_raw(self, topology):
+        server, router, remote_name = topology
+        router.shortest_path(0, 40, graph="social")  # crosses the wire
+        with urllib.request.urlopen(server.url + "/metrics") as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4")
+            text = response.read().decode("utf-8")
+        assert "# TYPE repro_queries_total counter" in text
+        assert "# TYPE repro_query_latency_seconds histogram" in text
+        assert "repro_cache_misses_total" in text
+        assert _poll(
+            lambda: 'repro_http_requests_total{endpoint="/shortest_path"'
+            in ShardClient(server.url).metrics_text())
+
+    def test_client_metrics_text_scrape(self, topology):
+        server, router, remote_name = topology
+        router.shortest_path(0, 40, graph="social")
+        text = ShardClient(server.url).metrics_text()
+        assert "repro_queries_total" in text
+        # The scrape itself lands in a later scrape's counters.
+        assert _poll(lambda: 'endpoint="/metrics"'
+                     in ShardClient(server.url).metrics_text())
+
+    def test_router_metrics_include_failover_counts(self, tmp_path):
+        catalogs = []
+        for side in ("a", "b"):
+            catalog = str(tmp_path / side)
+            _seed_catalog(catalog, ("social",))
+            catalogs.append(catalog)
+        primary = PathService.open(catalogs[0], shard_id="primary")
+        server = ShardServer(primary, port=0, own_service=True).start()
+        remote_name = f"{server.host}:{server.port}"
+        with ShardRouter.open([server.url, catalogs[1]],
+                              remote_retries=0) as router:
+            router.shortest_path(0, 40, graph="social")
+            server.close()
+            router.shortest_path(0, 40, graph="social", use_cache=False)
+            registry = router.registry
+            assert registry.value(METRIC_FAILOVERS,
+                                  {"shard": remote_name}) == 1
+            assert registry.total(METRIC_ROUTER_QUERIES) == 2
+            # the local replica's service publishes into the same registry
+            assert registry.total(METRIC_QUERIES) >= 1
+            snapshot = router.metrics()
+            assert METRIC_FAILOVERS in snapshot
+
+    def test_unknown_endpoint_label_collapses(self, topology):
+        server, _, _ = topology
+        request = urllib.request.Request(server.url + "/nope/deep/path")
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(request)
+        text = ShardClient(server.url).metrics_text()
+        assert 'endpoint="(unknown)"' in text
+        assert "/nope" not in text  # no per-path cardinality explosion
+
+
+class TestTraceAcrossTheWire:
+    def test_remote_query_yields_one_stitched_tree(self, topology):
+        server, router, remote_name = topology
+        result = router.shortest_path(0, 40, graph="social")
+        trace = result.trace
+        assert trace is not None
+        root = trace.root
+        assert root.name == "router.query"
+        assert root.tags["shard"] == remote_name
+        # The remote service's own tree was adopted as a child …
+        remote_spans = trace.find("query")
+        assert remote_spans and remote_spans[0].tags["shard"] == remote_name
+        # … with the promised phases inside it.
+        assert trace.find("plan")
+        assert trace.find("pool.checkout")
+        assert trace.find("fem.iteration")
+        # Durations are consistent with wall time: the router's span
+        # covers the HTTP round trip, which covers the remote execution.
+        assert root.duration_s > 0.0
+        assert remote_spans[0].duration_s <= root.duration_s + 1e-6
+
+    def test_local_query_traces_without_adoption(self, topology):
+        _, router, _ = topology
+        result = router.shortest_path(0, 30, graph="roads")
+        root = result.trace.root
+        assert root.name == "router.query"
+        assert root.tags["shard"] == "local"
+        # in-process: the service span joined ambiently, not via adopt()
+        assert result.trace.find("query")
+        assert result.trace.find("fem.iteration")
+
+    def test_batch_scatter_records_slice_spans(self, topology):
+        _, router, remote_name = topology
+        batch = [("social", 0, t) for t in (10, 20)] + [("roads", 0, 15)]
+        scatter = router.shortest_path_many(batch, concurrency=2)
+        assert scatter.trace is not None
+        slices = scatter.trace.find("router.slice")
+        assert {s.tags["shard"] for s in slices} == {remote_name, "local"}
+        assert sum(s.tags["queries"] for s in slices) == len(batch)
+
+
+class TestRequestIdPropagation:
+    def test_bound_id_reaches_server_logs(self, topology):
+        server, _, _ = topology
+        stream = CapturingStream()
+        configure_logging(stream=stream)
+        try:
+            client = ShardClient(server.url)
+            with bind_request_id("cafe000000000001"):
+                client.shortest_path(QuerySpec(source=0, target=40,
+                                               graph="social"))
+            records = _poll(
+                lambda: [r for r in stream.records()
+                         if r.get("endpoint") == "/shortest_path"])
+        finally:
+            configure_logging(stream=CapturingStream())
+        assert records, "server must log the request"
+        assert records[-1]["request_id"] == "cafe000000000001"
+        assert records[-1]["status"] == 200
+
+    def test_retry_carries_one_logical_id(self, tmp_path):
+        seen = []
+
+        class _FlakyRecordingHandler(_ShardRequestHandler):
+            def do_POST(self):  # noqa: N802 - http.server API
+                if self.path == "/shortest_path":
+                    seen.append(self.headers.get("X-Request-Id"))
+                    if len(seen) == 1:
+                        # die without answering; the client must retry
+                        try:
+                            self.connection.shutdown(socket.SHUT_RDWR)
+                        except OSError:
+                            pass
+                        self.close_connection = True
+                        return
+                super().do_POST()
+
+        catalog = str(tmp_path / "flaky")
+        _seed_catalog(catalog, ("social",))
+        service = PathService.open(catalog, shard_id="flaky")
+        with ShardServer(service, port=0, own_service=True,
+                         handler_class=_FlakyRecordingHandler) as server:
+            client = ShardClient(server.url, retries=2)
+            result = client.shortest_path(QuerySpec(source=0, target=40,
+                                                    graph="social"))
+        assert result.distance is not None
+        assert len(seen) == 2, "first attempt died, second succeeded"
+        assert seen[0] == seen[1] is not None, \
+            "a retried request must trace as ONE logical query"
+
+    def test_http_metrics_count_both_attempts(self, tmp_path):
+        # Correlation does not hide work: the server still counts every
+        # *served* request (the dropped first attempt never completed).
+        catalog = str(tmp_path / "plain")
+        _seed_catalog(catalog, ("social",))
+        service = PathService.open(catalog, shard_id="plain")
+        with ShardServer(service, port=0, own_service=True) as server:
+            client = ShardClient(server.url)
+            client.shortest_path(QuerySpec(source=0, target=40,
+                                           graph="social"))
+            registry = service.registry
+            assert _poll(lambda: registry.value(
+                METRIC_HTTP_REQUESTS,
+                {"endpoint": "/shortest_path", "status": "200"})) == 1

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Forbid ad-hoc timing in ``src/repro/`` outside the ``obs`` package.
+
+Timing semantics live in exactly one place — :mod:`repro.obs.clock` — so
+every duration in the codebase is measured the same way (monotonic,
+exception-safe, registry-ready).  This checker walks the AST of every
+module under ``src/repro/`` and fails on any use of the banned stopwatch
+primitives outside ``src/repro/obs/``:
+
+* ``time.time`` / ``time.perf_counter`` attribute references
+  (``time.perf_counter()``, ``t = time.time``, ...);
+* ``from time import time`` / ``from time import perf_counter``
+  (aliased or not).
+
+Deliberately still allowed everywhere:
+
+* ``time.monotonic`` — deadlines and cooldowns (pool checkout, router
+  health) compare instants, they do not measure durations;
+* ``time.sleep`` — backoff is not timing.
+
+Use :func:`repro.obs.timer` (or a trace span) to measure a duration and
+:func:`repro.obs.wall_time` for a human-facing timestamp.
+
+Usage::
+
+    python tools/check_timing.py            # checks src/repro
+    python tools/check_timing.py PATH...    # explicit roots
+
+Exits non-zero listing every violation as ``path:line: message``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_ROOT = REPO_ROOT / "src" / "repro"
+EXEMPT_DIR = DEFAULT_ROOT / "obs"
+
+BANNED_ATTRS = {"time", "perf_counter"}
+
+
+def _exempt(path: Path) -> bool:
+    try:
+        path.relative_to(EXEMPT_DIR)
+    except ValueError:
+        return False
+    return True
+
+
+def violations(path: Path) -> Iterator[str]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    rel = path.relative_to(REPO_ROOT)
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "time"
+                and node.attr in BANNED_ATTRS):
+            yield (f"{rel}:{node.lineno}: time.{node.attr} is banned — "
+                   f"use repro.obs.timer() / repro.obs.wall_time()")
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in BANNED_ATTRS:
+                    yield (f"{rel}:{node.lineno}: from time import "
+                           f"{alias.name} is banned — use "
+                           f"repro.obs.timer() / repro.obs.wall_time()")
+
+
+def main(argv: List[str]) -> int:
+    roots = [Path(arg).resolve() for arg in argv] or [DEFAULT_ROOT]
+    found = []
+    checked = 0
+    for root in roots:
+        for path in sorted(root.rglob("*.py")):
+            if _exempt(path):
+                continue
+            checked += 1
+            found.extend(violations(path))
+    for message in found:
+        print(message)
+    if found:
+        print(f"check_timing: {len(found)} violation(s) in "
+              f"{checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"check_timing: OK ({checked} files, 0 violations)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
