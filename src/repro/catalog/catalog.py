@@ -46,7 +46,7 @@ from repro.catalog.manifest import (
     save_manifest,
 )
 from repro.core.segtable import build_segtable as _build_segtable
-from repro.core.store.registry import create_store
+from repro.core.store.registry import create_store, is_dsn
 from repro.errors import CatalogEntryNotFoundError, ManifestError
 from repro.obs import wall_time
 from repro.graph.stats import compute_statistics
@@ -150,8 +150,10 @@ class Catalog:
     def resolve_db_path(self, entry: CatalogEntry) -> str:
         """The entry's database file as an absolute path (relative paths
         are anchored at the catalog directory, which makes a catalog that
-        contains its database files relocatable)."""
-        if os.path.isabs(entry.db_path):
+        contains its database files relocatable).  A connection string
+        (DSN-backed server entry) is no file at all and passes through
+        unchanged."""
+        if is_dsn(entry.db_path) or os.path.isabs(entry.db_path):
             return entry.db_path
         return os.path.join(self.path, entry.db_path)
 
@@ -160,7 +162,11 @@ class Catalog:
         the catalog directory when the file lives inside it (relocatable),
         absolute otherwise.  Callers resolve relative paths against their
         *cwd*, so the manifest must never store a cwd-relative path —
-        :meth:`resolve_db_path` anchors at the catalog directory instead."""
+        :meth:`resolve_db_path` anchors at the catalog directory instead.
+        Connection strings are stored verbatim — the server address is
+        already location-independent."""
+        if is_dsn(db_path):
+            return db_path
         absolute = os.path.abspath(db_path)
         try:
             relative = os.path.relpath(absolute, self.path)
@@ -289,7 +295,11 @@ class Catalog:
         removed: List[str] = []
         with self._mutate():
             for name, entry in list(self._manifest.entries.items()):
-                missing = not os.path.exists(self.resolve_db_path(entry))
+                db_path = self.resolve_db_path(entry)
+                # A DSN entry is never "missing": server unreachability is
+                # transient and typed (BackendConnectionError at attach),
+                # not grounds for dropping the catalog entry.
+                missing = not is_dsn(db_path) and not os.path.exists(db_path)
                 if missing or (remove_stale and entry.stale):
                     del self._manifest.entries[name]
                     removed.append(name)
@@ -314,7 +324,7 @@ class Catalog:
         """
         entry = self.get(name)
         db_path = self.resolve_db_path(entry)
-        if not os.path.exists(db_path):
+        if not is_dsn(db_path) and not os.path.exists(db_path):
             raise ManifestError(
                 f"cannot rebuild {name!r}: database file {db_path!r} is "
                 f"missing (run gc to drop the entry)"

@@ -17,9 +17,10 @@ Two implementations are provided:
 
 Stores register themselves in the backend registry
 (:mod:`repro.core.store.registry`) when imported; importing this package is
-what populates the default ``minidb`` and ``sqlite`` entries.  Additional
-engines plug in via :func:`register_backend` without any service-layer
-changes.
+what populates the default ``minidb`` and ``sqlite`` entries — and, via
+:mod:`repro.store`, the client-server ``dbapi`` / ``postgres`` ones.
+Additional engines plug in via :func:`register_backend` without any
+service-layer changes.
 """
 
 from repro.core.store.base import GraphStore, IndexMode
@@ -27,11 +28,16 @@ from repro.core.store.registry import (
     available_backends,
     backend_factory,
     create_store,
+    is_dsn,
     register_backend,
     unregister_backend,
 )
 from repro.core.store.minidb import MiniDBGraphStore
 from repro.core.store.sqlite import SQLiteGraphStore
+
+# Registered last: the client-server family builds on the base interfaces
+# above (the submodule import by full name is safe mid-package-init).
+import repro.store  # noqa: E402,F401
 
 __all__ = [
     "GraphStore",
@@ -41,6 +47,7 @@ __all__ = [
     "available_backends",
     "backend_factory",
     "create_store",
+    "is_dsn",
     "register_backend",
     "unregister_backend",
 ]

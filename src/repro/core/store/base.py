@@ -77,6 +77,21 @@ class GraphStore(ABC):
         default is a no-op.
         """
 
+    def max_connections(self) -> Optional[int]:
+        """Backend-imposed bound on simultaneously open reader handles of
+        *this instance* (the primary plus every pooled clone/replica), or
+        ``None`` when the backend imposes none.
+
+        Embedded engines return ``None`` — a second SQLite connection is a
+        file handle, effectively free — but a client-server store's
+        :meth:`clone` opens a genuine server connection, and servers cap
+        those (PostgreSQL's ``max_connections``, a pool's
+        ``pool_size``/``max_overflow`` knobs).  The
+        :class:`~repro.service.pool.StorePool` clamps its capacity to this
+        bound so a wide parallel batch can never exhaust the server.
+        """
+        return None
+
     def supports_clone(self) -> bool:
         """Whether :meth:`clone` has a fast path for *this instance* (e.g.
         a ``db_path``-backed SQLite store, but not an in-memory one).  The
@@ -156,6 +171,15 @@ class GraphStore(ABC):
         changed underneath its manifest entry."""
         raise self._persistence_unsupported("content_fingerprint")
 
+    def persistent_segtable_lthd(self) -> Optional[float]:
+        """The ``lthd`` the persisted SegTable was built with, when the
+        backend records it durably next to the tables (the DB-API store
+        keeps a small metadata relation for exactly this), else ``None``.
+        A catalog warm start prefers the manifest's value; this exists so
+        a server-side database can be adopted even *without* a catalog
+        entry (``PathService.open(backend=..., dsn=...)``)."""
+        return None
+
     def supports_relocation(self) -> bool:
         """Whether *this instance*'s backing database can be copied to a
         new location wholesale via :meth:`export_database` — graph tables,
@@ -210,6 +234,31 @@ class GraphStore(ABC):
     @abstractmethod
     def close(self) -> None:
         """Release the underlying database resources."""
+
+    def destroy(self) -> None:
+        """Drop this store's durable data (where any exists) and close it.
+
+        Calibration probes and test fixtures call this instead of
+        :meth:`close` so a shared *server* database is left clean — the
+        DB-API store drops its (prefix-namespaced) graph tables.  For
+        embedded stores the default — plain :meth:`close` — already
+        discards everything that should be discarded; a ``db_path``-backed
+        SQLite file is deliberately NOT deleted.
+        """
+        self.close()
+
+    def calibration_path(self) -> Optional[str]:
+        """The ``path`` argument a *calibration probe* store of this
+        backend should be created with, or ``None`` for a fresh in-memory
+        store (the default, right for embedded engines).
+
+        Client-server backends have no "in-memory" mode: their probes must
+        run against the same server — the measured constants are the
+        server's — but in a private table namespace, so each call returns
+        a DSN with a fresh probe prefix that can never clobber hosted
+        graph tables (see :mod:`repro.service.calibrate`).
+        """
+        return None
 
     # -- per-query setup --------------------------------------------------------------
 

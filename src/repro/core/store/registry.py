@@ -44,6 +44,18 @@ BackendFactory = Callable[..., "GraphStore"]
 _REGISTRY: Dict[str, BackendFactory] = {}
 
 
+def is_dsn(path: Optional[str]) -> bool:
+    """Whether a store ``path`` is a connection string rather than a file.
+
+    Client-server backends are addressed by DSN (``postgresql://...``,
+    ``fallback://host:port/``); everything that consumes a store path and
+    would otherwise treat it as a filesystem location — the catalog's
+    path normalization, the warm-attach existence check, the shard
+    router's relocation logic — branches on this.
+    """
+    return bool(path) and "://" in path  # type: ignore[operator]
+
+
 def register_backend(name: str, factory: BackendFactory,
                      replace: bool = False) -> None:
     """Register ``factory`` under ``name``.

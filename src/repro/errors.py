@@ -239,3 +239,39 @@ class RemoteProtocolError(ShardError):
     not map back onto the :mod:`repro.errors` hierarchy.  Distinct from
     :class:`ShardUnavailableError` because retrying will not help — the
     two ends disagree about the protocol."""
+
+
+# ---------------------------------------------------------------------------
+# Client-server store backends (DB-API / PostgreSQL)
+# ---------------------------------------------------------------------------
+
+class StoreBackendError(ServiceError):
+    """Base class for errors raised by client-server store backends (the
+    DB-API family: PostgreSQL, the stdlib fallback server)."""
+
+
+class BackendConnectionError(StoreBackendError, ShardUnavailableError):
+    """The database *server* behind a store could not be reached — refused
+    connection, dropped socket, server shutdown mid-statement.
+
+    Also a :class:`ShardUnavailableError`: a shard whose backing database
+    server is down is, from the router's point of view, an unavailable
+    shard, so replica failover and :class:`~repro.serve.client.ShardClient`
+    retry policies treat both identically."""
+
+
+class BackendOperationalError(StoreBackendError):
+    """The database server was reachable but rejected a statement (SQL
+    error, constraint violation, permission problem).  Never retried —
+    the statement itself is at fault, not the transport."""
+
+
+class MissingDriverError(StoreBackendError):
+    """The DSN requires a database driver that is not importable in this
+    environment (e.g. ``postgresql://`` without ``psycopg`` installed).
+    Hermetic environments use the ``fallback://`` stdlib server instead."""
+
+
+class InvalidDSNError(StoreBackendError):
+    """A connection string could not be parsed, or its scheme maps to no
+    known driver."""

@@ -29,7 +29,7 @@ __all__ = [
 STATS_SCHEMA_VERSION = 1
 
 # -- query execution (PathService / Executor) --------------------------
-METRIC_QUERIES = "repro_queries_total"                    # counter {graph,kind,method}
+METRIC_QUERIES = "repro_queries_total"                    # counter {graph,kind,method,backend}
 METRIC_QUERY_LATENCY = "repro_query_latency_seconds"      # histogram {kind}
 METRIC_QUERY_QUEUE = "repro_query_queue_seconds"          # histogram (pool wait)
 METRIC_NOT_FOUND = "repro_not_found_total"                # counter

@@ -173,7 +173,8 @@ def _measure_method_seconds(store: GraphStore, method: str,
 def calibrate_profile(backend: str, *, seed: int = 0,
                       probe_nodes: int = PROBE_NODES,
                       queries_per_method: int = 3,
-                      repeats: int = 3) -> CostProfile:
+                      repeats: int = 3,
+                      store_path: Optional[str] = None) -> CostProfile:
     """Measure ``backend``'s unit costs and starting biases.
 
     Args:
@@ -182,6 +183,13 @@ def calibrate_profile(backend: str, *, seed: int = 0,
         probe_nodes: probe-graph size.
         queries_per_method: probe queries behind each method bias.
         repeats: timing repetitions (minimum wins).
+        store_path: ``path`` for the probe store.  Embedded backends leave
+            it ``None`` (a fresh in-memory store); client-server backends
+            need a DSN — normally one from
+            :meth:`~repro.core.store.base.GraphStore.calibration_path`,
+            whose fresh table prefix keeps the probe out of any hosted
+            graph's namespace (:meth:`PathService.calibrate` passes this
+            automatically for hosted server backends).
 
     Returns:
         A calibrated :class:`~repro.service.costmodel.CostProfile` stamped
@@ -191,7 +199,7 @@ def calibrate_profile(backend: str, *, seed: int = 0,
     graph = probe_graph(probe_nodes, seed=seed)
     stats = compute_statistics(graph)
     nodes = sorted(graph.nodes())
-    store = create_store(backend)
+    store = create_store(backend, path=store_path)
     try:
         store.load_graph(graph)
         store.begin_query(QueryStats(method="calibration"))
@@ -231,7 +239,11 @@ def calibrate_profile(backend: str, *, seed: int = 0,
         model = CostModel(profile)
         grid = grid_graph(GRID_PROBE_SIDE, GRID_PROBE_SIDE,
                           weight_range=PROBE_WEIGHTS, seed=seed)
-        grid_store = create_store(backend)
+        # The grid probe runs *simultaneously* with the power-graph store,
+        # so on a client-server backend it must land in its own table
+        # namespace: calibration_path() hands out a DSN with a fresh probe
+        # prefix (embedded stores return None — a plain in-memory store).
+        grid_store = create_store(backend, path=store.calibration_path())
         try:
             grid_store.load_graph(grid)
             probes = [
@@ -267,11 +279,14 @@ def calibrate_profile(backend: str, *, seed: int = 0,
                 for method in observed_sum
             }
         finally:
-            grid_store.close()
+            grid_store.destroy()
         profile.probe_seconds = started.seconds
         return profile
     finally:
-        store.close()
+        # destroy(), not close(): on a shared server database the probe
+        # must drop its namespaced tables again (embedded stores just
+        # close).
+        store.destroy()
 
 
 __all__ = [

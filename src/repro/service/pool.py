@@ -145,8 +145,20 @@ class StorePool:
     # -- sizing ------------------------------------------------------------------
 
     def _clamp(self, size: int) -> int:
+        """Bound a requested capacity by what the backend can honour.
+
+        Serial-only backends stay at 1.  Concurrent backends whose
+        ``clone()`` opens a genuine server connection additionally report
+        a :meth:`~repro.core.store.base.GraphStore.max_connections` bound
+        (the server's cap, or the DSN's declared pool size); the pool
+        never grows past it, so a wide parallel batch cannot exhaust the
+        database server behind the store.
+        """
         if not type(self._primary).supports_concurrent_readers:
             return 1
+        limit = self._primary.max_connections()
+        if limit is not None:
+            return max(1, min(size, limit))
         return max(1, size)
 
     @property

@@ -58,7 +58,7 @@ from repro.core.segtable import build_segtable as _build_segtable
 from repro.core.sqlstyle import NSQL, validate_sql_style
 from repro.core.stats import BatchStats, QueryStats, SegTableBuildStats
 from repro.core.store.base import GraphStore, IndexMode
-from repro.core.store.registry import create_store
+from repro.core.store.registry import create_store, is_dsn
 from repro.errors import (
     DuplicateGraphError,
     FingerprintMismatchError,
@@ -66,6 +66,7 @@ from repro.errors import (
     ManifestError,
     NodeNotFoundError,
     PathNotFoundError,
+    PersistenceUnsupportedError,
     PersistentCatalogError,
     ServiceError,
     UnknownGraphError,
@@ -224,14 +225,26 @@ class PathService:
     # -- warm start --------------------------------------------------------------
 
     @classmethod
-    def open(cls, catalog_path: str, *, strict: bool = True,
+    def open(cls, catalog_path: Optional[str] = None, *,
+             strict: bool = True,
+             backend: Optional[str] = None, dsn: Optional[str] = None,
+             graph_name: str = DEFAULT_GRAPH, concurrency: int = 1,
              **kwargs: object) -> "PathService":
-        """Warm-start a service from a persistent catalog.
+        """Warm-start a service from a persistent catalog — or straight
+        from a populated server database.
 
-        Every cataloged graph is reattached: its database file is opened
-        (no edge reload), its planner statistics are rehydrated from the
-        manifest, and its persisted SegTable — if built — is adopted
-        without re-running the offline expansion.
+        With ``catalog_path``, every cataloged graph is reattached: its
+        database file (or server DSN) is opened without an edge reload,
+        its planner statistics are rehydrated from the manifest, and its
+        persisted SegTable — if built — is adopted without re-running the
+        offline expansion.
+
+        With ``dsn`` (e.g. ``PathService.open(backend="dbapi",
+        dsn="postgresql://host/graphs")``), no catalog is needed at all:
+        the server database is adopted directly via :meth:`adopt_graph` —
+        the graph is read back with a ``SELECT`` scan and a persisted
+        SegTable is recovered through the store's durable metadata
+        (:meth:`~repro.core.store.base.GraphStore.persistent_segtable_lthd`).
 
         Args:
             catalog_path: the catalog directory (see
@@ -239,13 +252,36 @@ class PathService:
             strict: raise on the first entry that fails to attach (stale
                 fingerprint, missing file).  With ``strict=False`` such
                 entries are skipped and the rest of the catalog loads.
+            backend: backend for ``dsn`` adoption (default ``"dbapi"``).
+            dsn: connection string of an already-populated server
+                database to adopt (mutually exclusive with
+                ``catalog_path``).
+            graph_name: name the ``dsn``-adopted graph is hosted under.
+            concurrency: store-pool capacity for the adopted graph.
             **kwargs: forwarded to the constructor (``default_backend``,
                 cache knobs, ...).
 
         Raises:
             PersistentCatalogError: a manifest problem, or — in strict
                 mode — any entry that cannot be attached.
+            ServiceError: neither (or both) of ``catalog_path``/``dsn``.
         """
+        if (catalog_path is None) == (dsn is None):
+            raise ServiceError(
+                "PathService.open needs exactly one of catalog_path= "
+                "(warm-start from a catalog) or dsn= (adopt a server "
+                "database directly)"
+            )
+        if dsn is not None:
+            service = cls(**kwargs)  # type: ignore[arg-type]
+            try:
+                service.adopt_graph(graph_name, dsn=dsn,
+                                    backend=backend or "dbapi",
+                                    concurrency=concurrency)
+            except BaseException:
+                service.close()
+                raise
+            return service
         service = cls(catalog_path=catalog_path, **kwargs)  # type: ignore[arg-type]
         try:
             service.attach_all(strict=strict)
@@ -322,7 +358,10 @@ class PathService:
                 f"the database changed underneath it); {rebuild_hint}"
             )
         db_path = catalog.resolve_db_path(entry)
-        if not os.path.exists(db_path):
+        # A DSN-backed entry has no file to stat — reachability of the
+        # server is checked by the connect below (a typed
+        # BackendConnectionError, not a missing-file ManifestError).
+        if not is_dsn(db_path) and not os.path.exists(db_path):
             raise ManifestError(
                 f"database file {db_path!r} for cataloged graph {name!r} "
                 f"is missing; `python -m repro.catalog gc` drops the entry"
@@ -379,6 +418,68 @@ class PathService:
                     # treat the index as unbuilt rather than failing the
                     # whole attach, and say so in the manifest.
                     catalog.set_segtable(name, None)
+        except Exception:
+            store.close()
+            raise
+        host.pool = StorePool(store, self._rehydrator(host),
+                              size=concurrency,
+                              registry=self._registry, graph=name)
+        self._hosts[name] = host
+        return name
+
+    def adopt_graph(self, name: str = DEFAULT_GRAPH, *, dsn: str,
+                    backend: str = "dbapi", concurrency: int = 1,
+                    buffer_capacity: int = 256) -> str:
+        """Host an already-populated server database directly, no catalog.
+
+        The catalog-less sibling of :meth:`attach_graph` for DSN-backed
+        backends: the store is opened over ``dsn``, its persisted graph
+        tables are read back (a ``SELECT`` scan — no bulk load), and a
+        persisted SegTable is adopted using the ``lthd`` the store
+        recorded durably next to its tables
+        (:meth:`~repro.core.store.base.GraphStore.persistent_segtable_lthd`),
+        so nothing is rebuilt.
+
+        Raises:
+            PersistenceUnsupportedError: the store at ``dsn`` holds no
+                persisted graph tables (or the backend cannot persist).
+            DuplicateGraphError: ``name`` is already hosted.
+        """
+        if self._closed:
+            raise ServiceError("this PathService is closed; create a new one")
+        if name in self._hosts:
+            raise DuplicateGraphError(
+                f"graph {name!r} is already hosted; drop_graph() it first"
+            )
+        backend = backend.lower()
+        store = create_store(backend, path=dsn,
+                             buffer_capacity=buffer_capacity)
+        try:
+            if not (store.supports_persistence()
+                    and store.has_persistent_tables()):
+                raise PersistenceUnsupportedError(
+                    f"store {backend!r} at {dsn!r} holds no persisted "
+                    f"graph tables; load a graph there before adopting it"
+                )
+            graph = store.export_graph()
+            host = _GraphHost(name=name, graph=graph, store=store,
+                              backend=backend,
+                              index_mode=getattr(store, "index_mode",
+                                                 IndexMode.CLUSTERED),
+                              buffer_capacity=buffer_capacity)
+            lthd = (store.persistent_segtable_lthd()
+                    if store.has_persistent_segtable() else None)
+            if lthd is not None:
+                store.adopt_segtable(lthd)
+                host.segtable_stats = SegTableBuildStats(lthd=lthd,
+                                                         sql_style=NSQL)
+                host._segtable_key = self._segtable_memo_key(
+                    host, lthd, NSQL, host.index_mode)
+                if not store.supports_clone():
+                    host.segment_rows = (
+                        store.seg_rows(FORWARD_DIRECTION),
+                        store.seg_rows(BACKWARD_DIRECTION),
+                    )
         except Exception:
             store.close()
             raise
@@ -670,7 +771,21 @@ class PathService:
                               or {self.default_backend.lower()})
         profiles: Dict[str, CostProfile] = {}
         for name in backends:
-            profile = calibrate_profile(name, **probe_options)  # type: ignore[arg-type]
+            options = dict(probe_options)
+            if "store_path" not in options:
+                # Client-server backends have no in-memory probe mode: the
+                # constants being measured are the *server's*, so probe the
+                # server a hosted graph lives on — under a fresh table
+                # prefix (calibration_path) so the probe can never touch
+                # hosted tables.  Embedded backends return None and keep
+                # their in-memory probe store.
+                hosted = next((host for host in self._hosts.values()
+                               if host.backend == name), None)
+                if hosted is not None:
+                    probe_path = hosted.store.calibration_path()
+                    if probe_path is not None:
+                        options["store_path"] = probe_path
+            profile = calibrate_profile(name, **options)  # type: ignore[arg-type]
             self._calibrations_run += 1
             self._cost_models[name] = CostModel(profile)
             profiles[name] = profile
@@ -1137,9 +1252,16 @@ class PathService:
         number of queries that actually ran."""
         spec = plan.spec
         registry = self._registry
+        # The backend label separates embedded engines from client-server
+        # ones in /metrics (in-memory methods run against no store at
+        # all).  Aggregations use registry totals, which sum label sets.
+        host = self._hosts.get(spec.graph)
+        backend = ("memory" if plan.method in MEMORY_METHODS
+                   else host.backend if host is not None else "unknown")
         registry.counter(
             METRIC_QUERIES,
-            {"graph": spec.graph, "kind": spec.kind, "method": plan.method},
+            {"graph": spec.graph, "kind": spec.kind, "method": plan.method,
+             "backend": backend},
             help="Queries executed against a store (cache hits excluded)",
         ).inc()
         registry.histogram(

@@ -63,7 +63,7 @@ from typing import (
 
 from repro.core.path import PathResult
 from repro.core.sqlstyle import NSQL
-from repro.core.store.registry import create_store
+from repro.core.store.registry import create_store, is_dsn
 from repro.errors import (
     PathNotFoundError,
     ShardError,
@@ -1011,8 +1011,12 @@ class ShardRouter:
         source_db = source_catalog.resolve_db_path(entry)
         # A relative db_path lives inside the source catalog directory and
         # must physically move; an absolute one is shared storage both
-        # shards can reach, so only the manifests change.
-        relocating = not os.path.isabs(entry.db_path)
+        # shards can reach, so only the manifests change.  A DSN entry is
+        # the extreme of that case — the graph lives on a database server
+        # either shard can dial — so it also moves by manifest flip alone,
+        # with no file copy and nothing to remove from the source.
+        relocating = not is_dsn(entry.db_path) and not os.path.isabs(
+            entry.db_path)
         if relocating:
             dest_db = os.path.join(target_catalog.path,
                                    os.path.basename(entry.db_path))

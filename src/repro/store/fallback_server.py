@@ -1,0 +1,457 @@
+"""A pure-stdlib client-server DB-API engine: SQLite behind a wire protocol.
+
+The DB-API graph store (:mod:`repro.store.dbapi`) exists to prove the FEM
+operators run against an *unmodified client-server RDBMS* — but CI and the
+default test run must stay hermetic, with no PostgreSQL container in
+sight.  This module closes the gap: a tiny TCP server that owns one SQLite
+database file and speaks a framed-JSON statement protocol, plus a PEP-249
+style client (:func:`connect`) the generic DB-API store drives exactly
+like ``psycopg``.  Everything a real server backend exercises — genuinely
+separate connections, connection-private ``TEMP`` tables over shared
+durable relations, per-statement network round-trips, a server-imposed
+connection cap, transport errors distinct from SQL errors — happens for
+real, just against a local socket.
+
+Run it standalone::
+
+    python -m repro.store.fallback_server --db graphs.db --port 5433
+
+or in-process for tests and docs::
+
+    from repro.store.fallback_server import serve_in_thread
+    server = serve_in_thread()          # temp database, ephemeral port
+    print(server.dsn)                   # fallback://127.0.0.1:PORT/
+    server.close()
+
+Wire protocol (version 1): every frame is a 4-byte big-endian length
+followed by one UTF-8 JSON document.  The server sends a hello frame on
+accept (``{"server": ..., "protocol": 1, "max_connections": N}``); the
+client then sends ``{"op": "execute"|"executemany"|"commit"|"close",
+"sql": ..., "params": ...}`` requests and receives ``{"ok": true, "rows":
+..., "rowcount": ...}`` or ``{"ok": false, "error": <class>, "message":
+...}``.  Non-finite floats ride on Python's permissive JSON (both ends
+are the stdlib codec, so ``Infinity`` round-trips).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import socketserver
+import sqlite3
+import struct
+import tempfile
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+PROTOCOL_VERSION = 1
+DEFAULT_MAX_CONNECTIONS = 16
+"""Server-advertised connection cap — the ``max_connections`` store
+capability the pool clamps to (see ``GraphStore.max_connections``)."""
+
+_HEADER = struct.Struct(">I")
+_MAX_FRAME = 256 * 1024 * 1024  # defensive bound; bulk loads stay far below
+
+
+# ---------------------------------------------------------------------------
+# PEP-249 style exception hierarchy (module-level, like any DB-API driver)
+# ---------------------------------------------------------------------------
+
+class Error(Exception):
+    """Base DB-API error of the fallback driver."""
+
+
+class InterfaceError(Error):
+    """Client/transport-side failure: refused connection, dropped socket,
+    malformed frame.  The generic store maps this (and
+    :class:`OperationalError`) to ``repro.errors.BackendConnectionError``."""
+
+
+class OperationalError(Error):
+    """The server refused the connection at hello time (e.g. its
+    connection cap is reached).  Raised only by ``connect``."""
+
+
+class ProgrammingError(Error):
+    """The statement was rejected (SQL error, missing table, bad
+    parameters) — re-raised from the server's SQLite engine.  Any error
+    *reply* maps here: the transport answered, so the failure is the
+    statement's, whichever sqlite3 exception class produced it."""
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+def _send_frame(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    body = json.dumps(payload).encode("utf-8")
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks: List[bytes] = []
+    while count:
+        chunk = sock.recv(count)
+        if not chunk:
+            raise InterfaceError("connection closed mid-frame")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> Dict[str, Any]:
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if length > _MAX_FRAME:
+        raise InterfaceError(f"frame of {length} bytes exceeds protocol bound")
+    return json.loads(_recv_exact(sock, length).decode("utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# Server
+# ---------------------------------------------------------------------------
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One client connection: its own SQLite connection over the shared
+    database file, so ``TEMP`` tables are genuinely connection-private
+    while ``TNodes``/``TEdges``/the SegTable are shared — the same
+    visibility contract a PostgreSQL session gives."""
+
+    server: "FallbackServer"
+
+    def handle(self) -> None:  # noqa: C901 - one dispatch loop, kept flat
+        if not self.server._admit(self.request):
+            _send_frame(self.request, {
+                "server": "repro-fallback", "protocol": PROTOCOL_VERSION,
+                "ok": False, "error": "OperationalError",
+                "message": (f"too many connections (server limit "
+                            f"{self.server.max_connections})"),
+            })
+            return
+        connection = sqlite3.connect(self.server.db_path,
+                                     check_same_thread=False,
+                                     isolation_level=None,
+                                     cached_statements=256)
+        try:
+            connection.execute("PRAGMA journal_mode = MEMORY")
+            connection.execute("PRAGMA synchronous = OFF")
+            connection.execute("PRAGMA temp_store = MEMORY")
+            connection.execute("PRAGMA busy_timeout = 5000")
+            _send_frame(self.request, {
+                "server": "repro-fallback", "protocol": PROTOCOL_VERSION,
+                "ok": True,
+                "max_connections": self.server.max_connections,
+            })
+            while True:
+                try:
+                    request = _recv_frame(self.request)
+                except (InterfaceError, ConnectionError, json.JSONDecodeError):
+                    return  # client went away; nothing to answer
+                op = request.get("op")
+                if op == "close":
+                    _send_frame(self.request, {"ok": True})
+                    return
+                _send_frame(self.request,
+                            self._dispatch(connection, op, request))
+        except (ConnectionError, BrokenPipeError, OSError):
+            pass  # client vanished mid-reply; its state dies with us
+        finally:
+            connection.close()
+            self.server._release(self.request)
+
+    def _dispatch(self, connection: sqlite3.Connection, op: Any,
+                  request: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            if op == "commit":
+                connection.commit()
+                return {"ok": True, "rows": None, "rowcount": -1}
+            sql = request.get("sql")
+            if op not in ("execute", "executemany") or not isinstance(sql, str):
+                return {"ok": False, "error": "ProgrammingError",
+                        "message": f"unknown or malformed op {op!r}"}
+            params = request.get("params")
+            before = connection.total_changes
+            if op == "execute":
+                cursor = connection.execute(sql, tuple(params or ()))
+            else:
+                cursor = connection.executemany(
+                    sql, [tuple(row) for row in (params or [])])
+            rows: Optional[List[List[Any]]] = None
+            if cursor.description is not None:
+                rows = [list(row) for row in cursor.fetchall()]
+            # sqlite3's cursor.rowcount is unreliable for INSERT..SELECT
+            # and upserts; the total_changes delta is exactly changes().
+            rowcount = connection.total_changes - before
+            cursor.close()
+            return {"ok": True, "rows": rows, "rowcount": rowcount}
+        except sqlite3.Error as exc:
+            return {"ok": False, "error": type(exc).__name__,
+                    "message": str(exc)}
+
+
+class FallbackServer(socketserver.ThreadingTCPServer):
+    """The serving half: one shared SQLite file, one thread per client."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, db_path: Optional[str] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_connections: int = DEFAULT_MAX_CONNECTIONS) -> None:
+        self._owns_db = db_path is None
+        if db_path is None:
+            handle, db_path = tempfile.mkstemp(prefix="repro-fallback-",
+                                               suffix=".db")
+            os.close(handle)
+        self.db_path = db_path
+        self.max_connections = max_connections
+        self._active = 0
+        self._active_lock = threading.Lock()
+        self._client_socks: set = set()
+        super().__init__((host, port), _Handler)
+
+    def _admit(self, sock: socket.socket) -> bool:
+        with self._active_lock:
+            if self._active >= self.max_connections:
+                return False
+            self._active += 1
+            self._client_socks.add(sock)
+            return True
+
+    def _release(self, sock: socket.socket) -> None:
+        with self._active_lock:
+            self._active -= 1
+            self._client_socks.discard(sock)
+
+    @property
+    def dsn(self) -> str:
+        """The connection string clients dial: ``fallback://host:port/``."""
+        host, port = self.server_address[:2]
+        return f"fallback://{host}:{port}/"
+
+    def close(self) -> None:
+        """Stop serving and, when the database was server-created, delete
+        its temp file.  Live client connections are severed, so from the
+        clients' side a closed server is indistinguishable from a dead
+        one — their next statement raises ``InterfaceError``."""
+        self.shutdown()
+        with self._active_lock:
+            lingering = list(self._client_socks)
+        for sock in lingering:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        self.server_close()
+        if self._owns_db and os.path.exists(self.db_path):
+            os.remove(self.db_path)
+
+
+class ServerHandle:
+    """What :func:`serve_in_thread` returns: the server plus its thread."""
+
+    def __init__(self, server: FallbackServer,
+                 thread: threading.Thread) -> None:
+        self.server = server
+        self.thread = thread
+
+    @property
+    def dsn(self) -> str:
+        return self.server.dsn
+
+    @property
+    def db_path(self) -> str:
+        return self.server.db_path
+
+    def close(self) -> None:
+        self.server.close()
+        self.thread.join(timeout=5)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+def serve_in_thread(db_path: Optional[str] = None, host: str = "127.0.0.1",
+                    port: int = 0,
+                    max_connections: int = DEFAULT_MAX_CONNECTIONS
+                    ) -> ServerHandle:
+    """Start a fallback server on a daemon thread; returns a handle whose
+    ``.dsn`` is ready to dial (``port=0`` picks an ephemeral port)."""
+    server = FallbackServer(db_path=db_path, host=host, port=port,
+                            max_connections=max_connections)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-fallback-server", daemon=True)
+    thread.start()
+    return ServerHandle(server, thread)
+
+
+# ---------------------------------------------------------------------------
+# Client (the PEP-249 surface the generic DB-API store drives)
+# ---------------------------------------------------------------------------
+
+class FallbackCursor:
+    """Cursor over one wire connection.  ``rowcount`` is the server's
+    ``changes()`` delta for DML and ``-1`` otherwise, matching what a
+    native driver reports."""
+
+    def __init__(self, connection: "FallbackConnection") -> None:
+        self._connection = connection
+        self._rows: List[Sequence[Any]] = []
+        self._cursor_index = 0
+        self.rowcount = -1
+        self.description: Optional[Tuple] = None
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> "FallbackCursor":
+        reply = self._connection._roundtrip(
+            {"op": "execute", "sql": sql, "params": list(params)})
+        rows = reply.get("rows")
+        self._rows = [tuple(row) for row in rows] if rows is not None else []
+        self.description = () if rows is not None else None
+        self._cursor_index = 0
+        self.rowcount = int(reply.get("rowcount", -1))
+        return self
+
+    def executemany(self, sql: str,
+                    seq_of_params: Sequence[Sequence[Any]]) -> "FallbackCursor":
+        reply = self._connection._roundtrip(
+            {"op": "executemany", "sql": sql,
+             "params": [list(row) for row in seq_of_params]})
+        self._rows = []
+        self.description = None
+        self._cursor_index = 0
+        self.rowcount = int(reply.get("rowcount", -1))
+        return self
+
+    def fetchone(self) -> Optional[Sequence[Any]]:
+        if self._cursor_index >= len(self._rows):
+            return None
+        row = self._rows[self._cursor_index]
+        self._cursor_index += 1
+        return row
+
+    def fetchall(self) -> List[Sequence[Any]]:
+        rows = self._rows[self._cursor_index:]
+        self._cursor_index = len(self._rows)
+        return rows
+
+    def close(self) -> None:
+        self._rows = []
+
+
+class FallbackConnection:
+    """A DB-API connection over the wire protocol."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        try:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout)
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            hello = _recv_frame(self._sock)
+        except (OSError, InterfaceError) as exc:
+            raise InterfaceError(
+                f"cannot reach fallback server at {host}:{port}: {exc}"
+            ) from exc
+        if not hello.get("ok", False):
+            self._sock.close()
+            raise OperationalError(str(hello.get("message",
+                                                 "server refused connection")))
+        self.server_max_connections = int(
+            hello.get("max_connections", DEFAULT_MAX_CONNECTIONS))
+        self._closed = False
+        self._lock = threading.Lock()
+
+    def _roundtrip(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+        with self._lock:
+            try:
+                _send_frame(self._sock, request)
+                reply = _recv_frame(self._sock)
+            except (OSError, InterfaceError, json.JSONDecodeError) as exc:
+                self._closed = True
+                self._sock.close()
+                raise InterfaceError(
+                    f"fallback server connection lost: {exc}"
+                ) from exc
+        if reply.get("ok", False):
+            return reply
+        # The server answered, so the transport is healthy: every error
+        # reply is a *statement* failure (bad SQL, missing table, type
+        # mismatch), whatever sqlite3 exception class produced it.  Only
+        # connect-time refusal (the hello) raises OperationalError.
+        name = str(reply.get("error", "ProgrammingError"))
+        message = str(reply.get("message", "(no message)"))
+        raise ProgrammingError(f"{name}: {message}")
+
+    def cursor(self) -> FallbackCursor:
+        return FallbackCursor(self)
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> FallbackCursor:
+        return self.cursor().execute(sql, params)
+
+    def executemany(self, sql: str,
+                    seq_of_params: Sequence[Sequence[Any]]) -> FallbackCursor:
+        return self.cursor().executemany(sql, seq_of_params)
+
+    def commit(self) -> None:
+        self._roundtrip({"op": "commit"})
+
+    def rollback(self) -> None:  # pragma: no cover - autocommit server
+        pass
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            with self._lock:
+                _send_frame(self._sock, {"op": "close"})
+                _recv_frame(self._sock)
+        except (OSError, InterfaceError, json.JSONDecodeError):
+            pass  # closing a dead connection is fine
+        finally:
+            self._sock.close()
+
+
+def connect(host: str, port: int, timeout: float = 30.0) -> FallbackConnection:
+    """Open a DB-API connection to a running fallback server."""
+    return FallbackConnection(host, port, timeout=timeout)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store.fallback_server",
+        description=("Serve a SQLite database over the repro fallback "
+                     "DB-API wire protocol."))
+    parser.add_argument("--db", default=None,
+                        help="database file (default: a fresh temp file)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 picks an ephemeral one)")
+    parser.add_argument("--max-connections", type=int,
+                        default=DEFAULT_MAX_CONNECTIONS,
+                        help="advertised connection cap (pool clamp)")
+    options = parser.parse_args(argv)
+    server = FallbackServer(db_path=options.db, host=options.host,
+                            port=options.port,
+                            max_connections=options.max_connections)
+    print(f"serving {server.db_path} at {server.dsn}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

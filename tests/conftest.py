@@ -1,13 +1,90 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Backend selection: the ``REPRO_TEST_BACKEND`` environment variable (the
+CI test matrix's ``backend`` axis) picks which store backend the
+backend-generic tests run against — ``minidb``, ``sqlite`` (the default),
+or ``dbapi-fallback`` (the generic DB-API store speaking to the stdlib
+fallback wire server started once per test session).  Tests opt in by
+taking the :func:`test_backend` fixture; backend-specific tests are
+unaffected.
+"""
 
 from __future__ import annotations
 
+import os
 import random
+import uuid
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
 
 import pytest
 
 from repro.graph.generators import grid_graph, path_graph, power_law_graph, random_graph
 from repro.graph.model import Graph
+
+HERMETIC_BACKENDS = ("minidb", "sqlite", "dbapi-fallback")
+"""Backends the suite can exercise with no external services."""
+
+
+def selected_backend() -> str:
+    """The CI matrix's backend choice (``sqlite`` when unset)."""
+    name = os.environ.get("REPRO_TEST_BACKEND", "").strip().lower()
+    if not name:
+        return "sqlite"
+    if name not in HERMETIC_BACKENDS:
+        raise RuntimeError(
+            f"REPRO_TEST_BACKEND={name!r} is not one of {HERMETIC_BACKENDS}"
+        )
+    return name
+
+
+@pytest.fixture(scope="session")
+def fallback_dsn() -> Iterator[str]:
+    """One stdlib fallback wire server for the whole test session.
+
+    Yields its base DSN; tests derive isolated namespaces from it via
+    :func:`fresh_dsn` rather than using this DSN directly.
+    """
+    from repro.store.fallback_server import serve_in_thread
+
+    handle = serve_in_thread()
+    try:
+        yield handle.dsn
+    finally:
+        handle.close()
+
+
+@pytest.fixture
+def fresh_dsn(fallback_dsn: str) -> Callable[[], str]:
+    """Factory for fallback-server DSNs with a unique table prefix each —
+    tests sharing the session server can never touch each other's
+    tables."""
+    def make() -> str:
+        return f"{fallback_dsn}?table_prefix=t{uuid.uuid4().hex[:10]}_"
+    return make
+
+
+@dataclass
+class BackendUnderTest:
+    """What :func:`test_backend` hands to backend-generic tests.
+
+    ``name`` is the registry backend name; ``make_path()`` returns a
+    fresh ``path``/DSN for one store (``None`` for in-memory embedded
+    stores, a unique-prefix DSN for the client-server backend).
+    """
+
+    name: str
+    make_path: Callable[[], Optional[str]]
+
+
+@pytest.fixture
+def test_backend(request: pytest.FixtureRequest) -> BackendUnderTest:
+    """The ``REPRO_TEST_BACKEND``-selected backend, ready to instantiate."""
+    choice = selected_backend()
+    if choice == "dbapi-fallback":
+        make = request.getfixturevalue("fresh_dsn")
+        return BackendUnderTest(name="dbapi", make_path=make)
+    return BackendUnderTest(name=choice, make_path=lambda: None)
 
 
 @pytest.fixture

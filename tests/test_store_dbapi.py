@@ -1,0 +1,295 @@
+"""Unit tests for the client-server DB-API backend.
+
+Covers the parts the backend-generic conformance suite cannot see from
+the outside: DSN parsing, the stdlib wire protocol (hello, admission
+control, the CLI entry point), typed error mapping, connection-cap
+arithmetic, clone privacy of the server-side ``TEMP`` table, durable
+SegTable metadata, and database relocation into a plain SQLite file.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.segtable import build_segtable
+from repro.core.stats import QueryStats
+from repro.core.store.registry import create_store
+from repro.errors import (
+    BackendConnectionError,
+    BackendOperationalError,
+    InvalidDSNError,
+    ShardUnavailableError,
+    StoreBackendError,
+)
+from repro.graph.fingerprint import fingerprint_graph
+from repro.graph.model import Graph
+from repro.store import fallback_server
+from repro.store.dbapi import DBAPIGraphStore, ParsedDSN, driver_for
+
+
+def small_graph() -> Graph:
+    graph = Graph()
+    graph.add_edge(1, 2, 4.0)
+    graph.add_edge(1, 3, 1.0)
+    graph.add_edge(3, 2, 1.0)
+    graph.add_edge(2, 4, 2.0)
+    graph.add_edge(3, 4, 6.0)
+    return graph
+
+
+class TestParsedDSN:
+    def test_defaults(self):
+        parsed = ParsedDSN("fallback://127.0.0.1:5433/")
+        assert parsed.scheme == "fallback"
+        assert parsed.host == "127.0.0.1"
+        assert parsed.port == 5433
+        assert parsed.table_prefix == "repro_"
+        assert parsed.pool_size is None
+        assert parsed.connection_limit() is None
+
+    def test_repro_params_are_stripped_from_driver_dsn(self):
+        parsed = ParsedDSN("postgresql://u@h:5/db"
+                           "?table_prefix=x_&pool_size=4&max_overflow=2"
+                           "&sslmode=require")
+        assert parsed.table_prefix == "x_"
+        assert parsed.connection_limit() == 6
+        assert "table_prefix" not in parsed.driver_dsn
+        assert "pool_size" not in parsed.driver_dsn
+        assert "sslmode=require" in parsed.driver_dsn
+
+    def test_with_table_prefix_replaces_only_that_param(self):
+        parsed = ParsedDSN("fallback://h:1/?table_prefix=a_&pool_size=2")
+        replaced = ParsedDSN(parsed.with_table_prefix("b_"))
+        assert replaced.table_prefix == "b_"
+        assert replaced.pool_size == 2
+
+    @pytest.mark.parametrize("dsn", [
+        "not-a-dsn",
+        "",
+        "fallback://h:1/?table_prefix=1bad",
+        "fallback://h:1/?table_prefix=x%3B--",
+        "fallback://h:1/?pool_size=many",
+        "fallback://h:1/?pool_size=0",
+        "fallback://h:1/?max_overflow=x",
+    ])
+    def test_invalid_dsns_raise(self, dsn):
+        with pytest.raises(InvalidDSNError):
+            ParsedDSN(dsn)
+
+    def test_unknown_scheme_has_no_driver(self):
+        with pytest.raises(InvalidDSNError, match="no driver"):
+            driver_for(ParsedDSN("weird://h:1/"))
+
+    def test_dbapi_backend_requires_a_dsn(self):
+        with pytest.raises(InvalidDSNError):
+            create_store("dbapi", path=None)
+
+
+class TestWireProtocol:
+    def test_hello_advertises_connection_cap(self, fallback_dsn):
+        parsed = ParsedDSN(fallback_dsn)
+        connection = fallback_server.connect(parsed.host, parsed.port)
+        try:
+            assert connection.server_max_connections == 16
+            cursor = connection.execute("SELECT 1 + 1")
+            assert cursor.fetchall() == [(2,)]
+        finally:
+            connection.close()
+
+    def test_admission_control_refuses_excess_connections(self):
+        with fallback_server.serve_in_thread(max_connections=1) as handle:
+            parsed = ParsedDSN(handle.dsn)
+            first = fallback_server.connect(parsed.host, parsed.port)
+            try:
+                with pytest.raises(fallback_server.OperationalError,
+                                   match="too many connections"):
+                    fallback_server.connect(parsed.host, parsed.port)
+            finally:
+                first.close()
+
+    def test_rowcount_reports_changed_rows(self, fallback_dsn):
+        parsed = ParsedDSN(fallback_dsn)
+        connection = fallback_server.connect(parsed.host, parsed.port)
+        try:
+            connection.execute("CREATE TEMP TABLE t (x INTEGER)")
+            cursor = connection.executemany("INSERT INTO t VALUES (?)",
+                                            [(1,), (2,), (3,)])
+            assert cursor.rowcount == 3
+            cursor = connection.execute("UPDATE t SET x = 0 WHERE x > 1")
+            assert cursor.rowcount == 2
+        finally:
+            connection.close()
+
+    def test_statement_errors_are_programming_errors(self, fallback_dsn):
+        parsed = ParsedDSN(fallback_dsn)
+        connection = fallback_server.connect(parsed.host, parsed.port)
+        try:
+            with pytest.raises(fallback_server.ProgrammingError,
+                               match="no_such_table"):
+                connection.execute("SELECT * FROM no_such_table_xyz")
+        finally:
+            connection.close()
+
+    def test_cli_serves_a_database(self, tmp_path):
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.store.fallback_server",
+             "--db", str(tmp_path / "cli.db"), "--port", "0"],
+            env=env, stdout=subprocess.PIPE, text=True)
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"fallback://([\d.]+):(\d+)/", banner)
+            assert match, f"unexpected banner: {banner!r}"
+            connection = fallback_server.connect(match.group(1),
+                                                 int(match.group(2)))
+            try:
+                assert connection.execute("SELECT 41 + 1").fetchone() == (42,)
+            finally:
+                connection.close()
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+
+
+class TestErrorMapping:
+    def test_unreachable_server_is_a_connection_error(self):
+        with pytest.raises(BackendConnectionError):
+            create_store("dbapi", path="fallback://127.0.0.1:1/")
+
+    def test_lost_server_maps_to_connection_error(self):
+        handle = fallback_server.serve_in_thread()
+        store = create_store("dbapi", path=f"{handle.dsn}?table_prefix=lost_")
+        store.load_graph(small_graph())
+        handle.close()
+        with pytest.raises(BackendConnectionError):
+            store.visited_count()
+
+    def test_bad_statement_maps_to_operational_error(self, fresh_dsn):
+        store = create_store("dbapi", path=fresh_dsn())
+        try:
+            with pytest.raises(BackendOperationalError):
+                store._execute("SELECT * FROM definitely_missing_table")
+        finally:
+            store.destroy()
+
+    def test_connection_error_triggers_failover_handling(self):
+        # The router/shard retry paths key off ShardUnavailableError; a
+        # dead backend server must look exactly like a dead shard.
+        assert issubclass(BackendConnectionError, ShardUnavailableError)
+        assert issubclass(BackendConnectionError, StoreBackendError)
+        assert issubclass(BackendOperationalError, StoreBackendError)
+
+
+class TestConnectionCaps:
+    def test_server_limit_applies_without_pool_params(self, fresh_dsn):
+        store = create_store("dbapi", path=fresh_dsn())
+        try:
+            assert store.max_connections() == 16
+        finally:
+            store.destroy()
+
+    def test_dsn_pool_params_tighten_the_cap(self, fallback_dsn):
+        dsn = f"{fallback_dsn}?table_prefix=cap_&pool_size=2&max_overflow=1"
+        store = create_store("dbapi", path=dsn)
+        try:
+            assert store.max_connections() == 3
+        finally:
+            store.destroy()
+
+
+class TestStoreBehavior:
+    def test_clone_has_private_visited_table(self, fresh_dsn):
+        store = create_store("dbapi", path=fresh_dsn())
+        try:
+            store.load_graph(small_graph())
+            store.begin_query(QueryStats(), "nsql")
+            store.reset_visited()
+            store.insert_visited([{"nid": 1, "d2s": 0.0, "p2s": 1, "f": 0}])
+            clone = store.clone()
+            try:
+                clone.begin_query(QueryStats(), "nsql")
+                clone.reset_visited()
+                # The server-side TEMP TVisited is connection-private:
+                # the clone starts empty and its writes stay invisible
+                # to the primary.
+                assert clone.visited_count() == 0
+                clone.insert_visited([{"nid": 2, "d2s": 1.0, "p2s": 2,
+                                       "f": 0}])
+                assert store.visited_count() == 1
+                # Shared graph tables are visible to both handles.
+                assert clone.expand_hops is not None
+                assert clone.content_fingerprint() == \
+                    store.content_fingerprint()
+            finally:
+                clone.close()
+        finally:
+            store.destroy()
+
+    def test_segtable_lthd_survives_in_meta_table(self, fresh_dsn):
+        dsn = fresh_dsn()
+        store = create_store("dbapi", path=dsn)
+        store.load_graph(small_graph())
+        build_segtable(store, 3.0)
+        store.close()
+
+        reopened = create_store("dbapi", path=dsn)
+        try:
+            assert reopened.has_persistent_tables()
+            assert reopened.has_persistent_segtable()
+            assert reopened.persistent_segtable_lthd() == 3.0
+            reopened.adopt_segtable(3.0)
+            assert reopened.has_segtable
+            assert reopened.segtable_lthd == 3.0
+            counts = reopened.segment_counts()
+            assert counts["out"] >= 1 and counts["in"] >= 1
+        finally:
+            reopened.destroy()
+
+    def test_destroy_drops_namespaced_tables(self, fresh_dsn):
+        dsn = fresh_dsn()
+        store = create_store("dbapi", path=dsn)
+        store.load_graph(small_graph())
+        store.destroy()
+        fresh = create_store("dbapi", path=dsn)
+        try:
+            assert not fresh.has_persistent_tables()
+        finally:
+            fresh.destroy()
+
+    def test_export_database_relocates_to_sqlite(self, fresh_dsn, tmp_path):
+        graph = small_graph()
+        store = create_store("dbapi", path=fresh_dsn())
+        try:
+            store.load_graph(graph)
+            build_segtable(store, 3.0)
+            assert store.supports_relocation()
+            dest = str(tmp_path / "relocated.db")
+            store.export_database(dest)
+        finally:
+            store.destroy()
+
+        local = create_store("sqlite", path=dest)
+        try:
+            assert local.has_persistent_tables()
+            assert local.content_fingerprint() == fingerprint_graph(graph)
+            assert local.has_persistent_segtable()
+        finally:
+            local.close()
+
+    def test_store_is_a_registered_dbapi_store(self, fresh_dsn):
+        store = create_store("dbapi", path=fresh_dsn())
+        try:
+            assert isinstance(store, DBAPIGraphStore)
+            assert store.backend_name == "dbapi"
+            assert type(store).supports_concurrent_readers
+        finally:
+            store.destroy()
