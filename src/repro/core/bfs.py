@@ -22,7 +22,9 @@ BBFS_POLICY = FrontierPolicy(name="BBFS", set_mode=True, distance_factor=INFINIT
 
 def bidirectional_bfs(store: GraphStore, source: int, target: int,
                       sql_style: str = NSQL,
-                      max_iterations: Optional[int] = None) -> PathResult:
+                      max_iterations: Optional[int] = None,
+                      deadline: Optional[float] = None) -> PathResult:
     """BBFS: expand every candidate node in each round, in both directions."""
     return bidirectional_search(store, source, target, BBFS_POLICY,
-                                sql_style=sql_style, max_iterations=max_iterations)
+                                sql_style=sql_style, max_iterations=max_iterations,
+                                deadline=deadline)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.deadline import check_deadline
 from repro.core.directions import (
     BACKWARD_DIRECTION,
     Direction,
@@ -89,12 +90,17 @@ class _DirectionState:
 def bidirectional_search(store: GraphStore, source: int, target: int,
                          policy: FrontierPolicy,
                          sql_style: str = NSQL,
-                         max_iterations: Optional[int] = None) -> PathResult:
+                         max_iterations: Optional[int] = None,
+                         deadline: Optional[float] = None) -> PathResult:
     """Run the bi-directional FEM search described by ``policy``.
+
+    ``deadline`` is an optional absolute monotonic instant checked between
+    expansions, bounding overrun past the budget to at most one iteration.
 
     Raises:
         PathNotFoundError: when no path connects ``source`` and ``target``.
         InvalidQueryError: when the policy needs a SegTable that is missing.
+        DeadlineExceededError: when ``deadline`` expires mid-search.
     """
     if policy.use_segtable and not store.has_segtable:
         raise InvalidQueryError(
@@ -130,6 +136,7 @@ def bidirectional_search(store: GraphStore, source: int, target: int,
     while forward_state.latest_distance + backward_state.latest_distance < min_cost:
         if max_iterations is not None and stats.expansions >= max_iterations:
             break
+        check_deadline(deadline, f"{policy.name} iteration {stats.expansions + 1}")
         state = _choose_direction(forward_state, backward_state)
         if state is None:
             break
@@ -244,15 +251,19 @@ BSDJ_POLICY = FrontierPolicy(name="BSDJ", set_mode=True, distance_factor=0.0)
 
 def bidirectional_dijkstra(store: GraphStore, source: int, target: int,
                            sql_style: str = NSQL,
-                           max_iterations: Optional[int] = None) -> PathResult:
+                           max_iterations: Optional[int] = None,
+                           deadline: Optional[float] = None) -> PathResult:
     """BDJ: bi-directional node-at-a-time relational Dijkstra."""
     return bidirectional_search(store, source, target, BDJ_POLICY,
-                                sql_style=sql_style, max_iterations=max_iterations)
+                                sql_style=sql_style, max_iterations=max_iterations,
+                                deadline=deadline)
 
 
 def bidirectional_set_dijkstra(store: GraphStore, source: int, target: int,
                                sql_style: str = NSQL,
-                               max_iterations: Optional[int] = None) -> PathResult:
+                               max_iterations: Optional[int] = None,
+                               deadline: Optional[float] = None) -> PathResult:
     """BSDJ: bi-directional set Dijkstra (Section 4.1)."""
     return bidirectional_search(store, source, target, BSDJ_POLICY,
-                                sql_style=sql_style, max_iterations=max_iterations)
+                                sql_style=sql_style, max_iterations=max_iterations,
+                                deadline=deadline)

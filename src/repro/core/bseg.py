@@ -36,7 +36,8 @@ def bseg_policy(lthd: float) -> FrontierPolicy:
 def bidirectional_segtable_search(store: GraphStore, source: int, target: int,
                                   sql_style: str = NSQL,
                                   lthd: Optional[float] = None,
-                                  max_iterations: Optional[int] = None) -> PathResult:
+                                  max_iterations: Optional[int] = None,
+                                  deadline: Optional[float] = None) -> PathResult:
     """BSEG: selective bi-directional expansion over the SegTable.
 
     Args:
@@ -47,6 +48,8 @@ def bidirectional_segtable_search(store: GraphStore, source: int, target: int,
         lthd: index threshold used for frontier selection; defaults to the
             threshold the store's SegTable was built with.
         max_iterations: optional safety cap on the number of expansions.
+        deadline: optional absolute monotonic deadline checked between
+            expansions.
 
     Raises:
         InvalidQueryError: when the store has no SegTable.
@@ -58,4 +61,5 @@ def bidirectional_segtable_search(store: GraphStore, source: int, target: int,
     if threshold is None:
         raise InvalidQueryError("the store does not record its SegTable threshold")
     return bidirectional_search(store, source, target, bseg_policy(float(threshold)),
-                                sql_style=sql_style, max_iterations=max_iterations)
+                                sql_style=sql_style, max_iterations=max_iterations,
+                                deadline=deadline)

@@ -1,0 +1,69 @@
+"""Monotonic deadline arithmetic shared by every tier.
+
+A query's time budget is declared *relative* (``QuerySpec.timeout_s``,
+wire-safe across machines whose clocks disagree); each tier that starts
+work derives its own absolute deadline with :func:`deadline_from_timeout`
+and checks it between units of work — FEM iterations, failover
+candidates, retry attempts — with :func:`check_deadline`.  Checks sit
+*between* iterations, never inside one, which is what bounds overrun to
+at most one iteration past the budget.
+
+``time.monotonic`` is the right clock here (and is explicitly permitted
+by ``tools/check_timing.py``): deadlines compare instants on one
+machine, they do not measure durations.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.errors import DeadlineExceededError
+
+
+def deadline_from_timeout(timeout_s: Optional[float]) -> Optional[float]:
+    """The absolute monotonic deadline ``timeout_s`` seconds from now
+    (``None`` budget → ``None`` deadline)."""
+    if timeout_s is None:
+        return None
+    return time.monotonic() + timeout_s
+
+
+def remaining_budget(deadline: Optional[float]) -> Optional[float]:
+    """Seconds left until ``deadline`` (may be <= 0; ``None`` for no
+    deadline).  This is what crosses the wire: the receiving tier
+    re-derives its own absolute deadline from it."""
+    if deadline is None:
+        return None
+    return deadline - time.monotonic()
+
+
+def expired(deadline: Optional[float]) -> bool:
+    """Whether ``deadline`` has passed (never true without one)."""
+    return deadline is not None and time.monotonic() >= deadline
+
+
+def check_deadline(deadline: Optional[float], context: str) -> None:
+    """Raise :class:`DeadlineExceededError` when ``deadline`` has passed.
+
+    ``context`` names the unit of work about to start (``"DJ iteration
+    12"``, ``"failover to shard b"``) so the error says where the budget
+    ran out, not just that it did.
+    """
+    if deadline is None:
+        return
+    now = time.monotonic()
+    if now >= deadline:
+        overshoot = now - deadline
+        raise DeadlineExceededError(
+            f"deadline exceeded before {context} "
+            f"(budget overrun {overshoot * 1000.0:.1f}ms)"
+        )
+
+
+__all__ = [
+    "check_deadline",
+    "deadline_from_timeout",
+    "expired",
+    "remaining_budget",
+]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.deadline import check_deadline
 from repro.core.directions import FORWARD_DIRECTION
 from repro.core.path import PathResult
 from repro.core.recovery import recover_forward_path
@@ -29,7 +30,8 @@ from repro.obs import span as _span
 
 def dijkstra_single_direction(store: GraphStore, source: int, target: int,
                               sql_style: str = NSQL,
-                              max_iterations: Optional[int] = None) -> PathResult:
+                              max_iterations: Optional[int] = None,
+                              deadline: Optional[float] = None) -> PathResult:
     """Find the shortest path from ``source`` to ``target`` with DJ.
 
     Args:
@@ -38,6 +40,9 @@ def dijkstra_single_direction(store: GraphStore, source: int, target: int,
         target: target node id.
         sql_style: ``"nsql"`` (window function + MERGE) or ``"tsql"``.
         max_iterations: optional safety cap on the number of expansions.
+        deadline: optional absolute monotonic deadline, checked between
+            iterations (:class:`~repro.errors.DeadlineExceededError` on
+            expiry, overrunning by at most one iteration).
 
     Returns:
         A :class:`~repro.core.path.PathResult` with the path and statistics.
@@ -65,6 +70,7 @@ def dijkstra_single_direction(store: GraphStore, source: int, target: int,
     while True:
         if max_iterations is not None and stats.expansions >= max_iterations:
             break
+        check_deadline(deadline, f"DJ iteration {stats.expansions + 1}")
         with _span("fem.iteration", index=stats.expansions + 1,
                    frontier=1) as iteration:
             statements_before = stats.statements

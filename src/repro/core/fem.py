@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.core.deadline import check_deadline
 from repro.errors import InvalidQueryError
 from repro.obs import span as _span
 from repro.rdb.merge import MergeResult
@@ -52,6 +53,9 @@ class FEMSpec:
         should_terminate: extra termination test evaluated after every
             iteration (besides "the merge affected no rows").
         max_iterations: hard safety cap.
+        deadline: optional absolute monotonic deadline (see
+            :mod:`repro.core.deadline`), checked *between* iterations so
+            an expired budget overruns by at most one iteration.
     """
 
     name: str
@@ -61,6 +65,7 @@ class FEMSpec:
     merge: MergeOperator
     should_terminate: Optional[TerminationTest] = None
     max_iterations: int = 1_000_000
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -108,6 +113,8 @@ class FEMSearch:
             )
         self.visited.insert_many(initial_rows)
         for iteration in range(1, self.spec.max_iterations + 1):
+            check_deadline(self.spec.deadline,
+                           f"{self.spec.name} iteration {iteration}")
             with _span("fem.iteration", index=iteration,
                        operator=self.spec.name) as it_span:
                 frontier = list(

@@ -30,6 +30,7 @@ from __future__ import annotations
 import copy
 from typing import Dict, Iterable, List, Optional
 
+from repro.core.deadline import check_deadline
 from repro.core.directions import FORWARD_DIRECTION, INFINITY
 from repro.core.path import PathResult
 from repro.core.recovery import recover_forward_path
@@ -91,7 +92,8 @@ def _per_target_stats(run_stats: QueryStats, distance: Optional[float],
 def dijkstra_one_to_many(store: GraphStore, source: int,
                          targets: Iterable[int],
                          sql_style: str = NSQL,
-                         max_iterations: Optional[int] = None
+                         max_iterations: Optional[int] = None,
+                         deadline: Optional[float] = None
                          ) -> OneToManyResult:
     """Answer every ``source -> target`` pair with ONE DJ frontier.
 
@@ -110,6 +112,8 @@ def dijkstra_one_to_many(store: GraphStore, source: int,
         sql_style: ``"nsql"`` or ``"tsql"``.
         max_iterations: optional safety cap on expansions; targets not
             finalized when the cap hits are reported unreachable.
+        deadline: optional absolute monotonic deadline checked between
+            expansions.
 
     Returns:
         An :class:`OneToManyResult`; unreachable targets map to ``None``.
@@ -134,6 +138,7 @@ def dijkstra_one_to_many(store: GraphStore, source: int,
     while remaining:
         if max_iterations is not None and stats.expansions >= max_iterations:
             break
+        check_deadline(deadline, f"DJ iteration {stats.expansions + 1}")
         with _span("fem.iteration", index=stats.expansions + 1,
                    frontier=1) as iteration:
             statements_before = stats.statements
@@ -181,7 +186,8 @@ def hop_limited_search(store: GraphStore, source: int, target: int,
                        sql_style: str = NSQL,
                        max_hops: Optional[int] = None,
                        max_iterations: Optional[int] = None,
-                       method: Optional[str] = None) -> PathResult:
+                       method: Optional[str] = None,
+                       deadline: Optional[float] = None) -> PathResult:
     """Layered BFS: fewest-hops path (``HOPS``) or reachability (``REACH``).
 
     Rounds of whole-layer F/E/M: select every candidate as the frontier,
@@ -204,6 +210,8 @@ def hop_limited_search(store: GraphStore, source: int, target: int,
             on top of ``max_hops``.
         method: statistics label; defaults to ``"HOPS"`` when bounded and
             ``"REACH"`` when not.
+        deadline: optional absolute monotonic deadline checked between
+            layer rounds.
 
     Raises:
         PathNotFoundError: the target is unreachable (or not reachable
@@ -238,6 +246,7 @@ def hop_limited_search(store: GraphStore, source: int, target: int,
             break
         if max_iterations is not None and rounds >= max_iterations:
             break
+        check_deadline(deadline, f"{method} layer {rounds + 1}")
         with _span("fem.iteration", index=rounds + 1) as iteration:
             statements_before = stats.statements
             with stats.phase(PHASE_PATH_EXPANSION):
@@ -278,14 +287,15 @@ def hop_limited_search(store: GraphStore, source: int, target: int,
 
 def reachability_search(store: GraphStore, source: int, target: int,
                         sql_style: str = NSQL,
-                        max_iterations: Optional[int] = None) -> PathResult:
+                        max_iterations: Optional[int] = None,
+                        deadline: Optional[float] = None) -> PathResult:
     """The reachability-only fast path: :func:`hop_limited_search` with no
     hop budget.  Returns a witness path whose ``distance`` is its hop
     count; raises :class:`PathNotFoundError` when the target is simply not
     reachable."""
     return hop_limited_search(store, source, target, sql_style=sql_style,
                               max_hops=None, max_iterations=max_iterations,
-                              method=METHOD_REACH)
+                              method=METHOD_REACH, deadline=deadline)
 
 
 __all__ = [

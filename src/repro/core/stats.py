@@ -177,6 +177,9 @@ class BatchStats:
             shared frontier expansion instead of per-pair searches.
         shared_frontier_queries: queries answered by those shared runs
             (each group answers at least two).
+        deadline_exceeded: queries whose ``timeout_s`` budget ran out
+            mid-batch; each is reported positionally in
+            ``BatchResult.errors`` without failing its siblings.
     """
 
     total: int = 0
@@ -195,6 +198,7 @@ class BatchStats:
     execute_time: float = 0.0
     shared_frontier_groups: int = 0
     shared_frontier_queries: int = 0
+    deadline_exceeded: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -226,6 +230,7 @@ class BatchStats:
         self.execute_time += other.execute_time
         self.shared_frontier_groups += other.shared_frontier_groups
         self.shared_frontier_queries += other.shared_frontier_queries
+        self.deadline_exceeded += other.deadline_exceeded
         self.concurrency = max(self.concurrency, other.concurrency)
         for graph, count in other.per_graph.items():
             self.per_graph[graph] = self.per_graph.get(graph, 0) + count
@@ -261,6 +266,7 @@ class BatchStats:
             "execute_time_s": self.execute_time,
             "shared_frontier_groups": self.shared_frontier_groups,
             "shared_frontier_queries": self.shared_frontier_queries,
+            "deadline_exceeded": self.deadline_exceeded,
         }, "batch")
 
     @classmethod
@@ -295,6 +301,7 @@ class BatchStats:
             shared_frontier_groups=int(data.get("shared_frontier_groups", 0)),
             shared_frontier_queries=int(
                 data.get("shared_frontier_queries", 0)),
+            deadline_exceeded=int(data.get("deadline_exceeded", 0)),
         )
 
 

@@ -167,6 +167,18 @@ class StoreCloneUnsupportedError(ConcurrencyError):
     falls back to rehydrating a fresh replica from the hosted graph."""
 
 
+class DeadlineExceededError(ServiceError):
+    """A query's end-to-end time budget (``timeout_s``) ran out.
+
+    Raised at whichever tier noticed first: waiting for a pooled store
+    connection, between FEM iterations, on the serve wire before
+    dispatch, or inside the router's failover loop.  The query may have
+    done partial work; nothing partial is ever cached or used for
+    planner training.  Retrying with a larger ``timeout_s`` (or none) is
+    always safe — deadline expiry is a budget verdict, not a statement
+    about the data."""
+
+
 # ---------------------------------------------------------------------------
 # Persistent session catalog
 # ---------------------------------------------------------------------------
@@ -231,6 +243,22 @@ class ShardUnavailableError(ShardError):
     *transport-level* failures — query errors (unknown graph, unreachable
     pair, ...) propagate as themselves — so the router knows the query may
     be retried verbatim on an identical-fingerprint replica."""
+
+
+class ServerOverloadedError(ShardUnavailableError):
+    """A shard server shed this request under admission control: its
+    in-flight gauge and wait queue were both full (``max_inflight`` /
+    ``max_queue``).  Retryable by construction — the server answered, it
+    just refused to take on more work — so it rides the
+    :class:`ShardUnavailableError` machinery (client retries, router
+    failover).  ``retry_after`` is the server's backoff hint in seconds;
+    :class:`~repro.serve.client.ShardClient` sleeps at least that long
+    before the next attempt."""
+
+    def __init__(self, message: str = "server overloaded",
+                 retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class RemoteProtocolError(ShardError):

@@ -1,0 +1,52 @@
+"""Deterministic fault injection for resilience testing.
+
+Build a seeded :class:`FaultPlan` from :class:`FaultSpec` rules (or the
+:func:`drop_at` / :func:`flaky` / :func:`slow` shorthands) and arm it on
+a live seam with an installer — :func:`install_store_faults` for a
+:class:`~repro.core.store.base.GraphStore`, :func:`install_client_faults`
+for a :class:`~repro.serve.client.ShardClient`,
+:func:`install_connection_faults` for a fallback wire connection.  Each
+seam fails with its *real* typed error, so recovery paths (driver error
+propagation, client retries, router failover, circuit breakers) are
+exercised exactly as production failures would.
+
+    from repro.faults import FaultPlan, flaky, install_client_faults
+
+    plan = FaultPlan([flaky(2)], seed=7)   # fail twice, then recover
+    install_client_faults(client, plan)    # retries absorb both faults
+
+Used by :func:`repro.workload.run_traffic`'s chaos mode and the
+``bench_chaos_slo`` benchmark to assert zero wrong answers under faults.
+"""
+
+from repro.faults.inject import (
+    STORE_STATEMENT_METHODS,
+    install_client_faults,
+    install_connection_faults,
+    install_store_faults,
+    uninstall_faults,
+)
+from repro.faults.plan import (
+    KIND_ERROR,
+    KIND_LATENCY,
+    FaultPlan,
+    FaultSpec,
+    drop_at,
+    flaky,
+    slow,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "KIND_ERROR",
+    "KIND_LATENCY",
+    "STORE_STATEMENT_METHODS",
+    "drop_at",
+    "flaky",
+    "install_client_faults",
+    "install_connection_faults",
+    "install_store_faults",
+    "slow",
+    "uninstall_faults",
+]

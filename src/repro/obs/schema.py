@@ -36,6 +36,11 @@ METRIC_NOT_FOUND = "repro_not_found_total"                # counter
 METRIC_BATCHES = "repro_batches_total"                    # counter {mode}
 METRIC_SINGLE_FLIGHT = "repro_single_flight_hits_total"   # counter
 
+# -- resilience --------------------------------------------------------
+METRIC_DEADLINE_EXCEEDED = "repro_deadline_exceeded_total"  # counter {graph}
+METRIC_SHED = "repro_shed_total"                          # counter {endpoint}
+METRIC_BREAKER_STATE = "repro_breaker_state"              # gauge {shard}
+
 # -- planner -----------------------------------------------------------
 METRIC_PLANNER_COST_ERROR = "repro_planner_cost_error_ratio"  # histogram {method}
 

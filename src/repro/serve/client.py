@@ -14,25 +14,37 @@ original :mod:`repro.errors` type).  Failure taxonomy:
 * a clean library error (unknown graph, unreachable pair, ...) re-raises
   as that library error, exactly like a local call.
 
-Transient transport failures are retried ``retries`` times with a short
-exponential backoff before :class:`ShardUnavailableError` escapes — but
-only for *idempotent* requests; ``calibrate`` and ``stamp`` are attempted
-once.
+Transient transport failures are retried ``retries`` times with a
+*full-jitter* exponential backoff (attempt ``n`` sleeps a uniform draw
+from ``[0, BACKOFF_SECONDS * 2**n]``) before
+:class:`ShardUnavailableError` escapes — but only for *idempotent*
+requests; ``calibrate`` and ``stamp`` are attempted once.  An overloaded
+server's ``retry_after`` hint floors the drawn delay, and a query budget
+(``QuerySpec.timeout_s``) caps both the sleep and the per-attempt HTTP
+timeout, so a budgeted query can never out-sleep its own deadline.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import threading
 import time
 import urllib.error
 import urllib.request
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.catalog.manifest import CatalogEntry
+from repro.core.deadline import (
+    check_deadline,
+    deadline_from_timeout,
+    remaining_budget,
+)
 from repro.core.path import PathResult
 from repro.core.stats import BatchStats
-from repro.errors import RemoteProtocolError, ShardUnavailableError
+from repro.errors import RemoteProtocolError, ReproError, ShardUnavailableError
 from repro.obs import current_request_id, new_request_id
 from repro.serve import protocol
 from repro.service.costmodel import CostProfile
@@ -41,7 +53,13 @@ from repro.service.planner import QueryPlan, QuerySpec
 DEFAULT_TIMEOUT = 30.0
 DEFAULT_RETRIES = 2
 BACKOFF_SECONDS = 0.05
-"""First retry delay; doubles per attempt (0.05, 0.1, ...)."""
+"""Backoff scale: retry attempt ``n`` sleeps ``uniform(0, 0.05 * 2**n)``
+seconds (full jitter — retried clients spread out instead of thundering
+back in lockstep)."""
+
+_Body = Union[None, Dict[str, object], Callable[[], Dict[str, object]]]
+"""A request body, or a factory called once per attempt (so a budgeted
+spec is re-serialized with its *remaining* budget on every retry)."""
 
 
 class ShardClient:
@@ -52,19 +70,43 @@ class ShardClient:
     end-to-end (connect + response); a slow shard that exceeds it raises
     :class:`ShardUnavailableError`, which is what lets the router fail
     over instead of hanging a batch.
+
+    ``backoff_seed`` makes retry jitter deterministic — tests and the
+    chaos bench replay the exact same backoff schedule run after run;
+    leave it ``None`` in production so independent clients desynchronize.
     """
 
     def __init__(self, url: str, *, timeout: float = DEFAULT_TIMEOUT,
-                 retries: int = DEFAULT_RETRIES) -> None:
+                 retries: int = DEFAULT_RETRIES,
+                 backoff_seed: Optional[int] = None) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
         self.retries = max(0, retries)
+        self._rng = random.Random(backoff_seed)
+        self._rng_lock = threading.Lock()
 
     # -- wire plumbing -----------------------------------------------------------
 
+    def _backoff_delay(self, attempt: int,
+                       retry_after: Optional[float],
+                       deadline: Optional[float]) -> float:
+        """The sleep before retry ``attempt``: a full-jitter draw, floored
+        at the server's ``retry_after`` hint (an overloaded server knows
+        its own queue better than our schedule does) and capped at the
+        query's remaining budget (never out-sleep the deadline)."""
+        with self._rng_lock:
+            delay = self._rng.uniform(0.0, BACKOFF_SECONDS * (2 ** attempt))
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        budget = remaining_budget(deadline)
+        if budget is not None:
+            delay = min(delay, max(0.0, budget))
+        return delay
+
     def _request_once(self, path: str,
                       body: Optional[Dict[str, object]],
-                      request_id: Optional[str] = None) -> Dict[str, object]:
+                      request_id: Optional[str] = None,
+                      timeout: Optional[float] = None) -> Dict[str, object]:
         data = None if body is None else json.dumps(body).encode("utf-8")
         headers = {"Content-Type": "application/json"}
         if request_id is None:
@@ -75,8 +117,10 @@ class ShardClient:
             self.url + path, data=data, headers=headers,
             method="GET" if data is None else "POST")
         try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
+            with urllib.request.urlopen(
+                    request,
+                    timeout=self.timeout if timeout is None else timeout
+            ) as response:
                 raw = response.read()
         except urllib.error.HTTPError as exc:
             # The server answered with an error envelope: decode it below
@@ -114,10 +158,10 @@ class ShardClient:
             )
         return data_out
 
-    def _request(self, path: str, body: Optional[Dict[str, object]] = None,
-                 *, idempotent: bool = True) -> Dict[str, object]:
+    def _request(self, path: str, body: _Body = None,
+                 *, idempotent: bool = True,
+                 deadline: Optional[float] = None) -> Dict[str, object]:
         attempts = (1 + self.retries) if idempotent else 1
-        delay = BACKOFF_SECONDS
         last: Optional[ShardUnavailableError] = None
         # One logical request = one correlation id: every retry attempt
         # carries the SAME X-Request-Id, so server logs and traces show a
@@ -125,13 +169,27 @@ class ShardClient:
         # router/service trace) wins over a freshly minted one.
         request_id = current_request_id() or new_request_id()
         for attempt in range(attempts):
+            # A budgeted query raises its typed deadline error locally
+            # instead of sending a request the server would reject anyway.
+            check_deadline(deadline, f"{path} attempt {attempt + 1}")
+            timeout = self.timeout
+            budget = remaining_budget(deadline)
+            if budget is not None:
+                timeout = min(timeout, budget)
+            payload = body() if callable(body) else body
             try:
-                return self._request_once(path, body, request_id=request_id)
+                return self._request_once(path, payload,
+                                          request_id=request_id,
+                                          timeout=timeout)
             except ShardUnavailableError as exc:
                 last = exc
                 if attempt + 1 < attempts:
-                    time.sleep(delay)
-                    delay *= 2
+                    retry_after = getattr(exc, "retry_after", None)
+                    time.sleep(self._backoff_delay(
+                        attempt,
+                        float(retry_after) if isinstance(
+                            retry_after, (int, float)) else None,
+                        deadline))
         assert last is not None
         raise last
 
@@ -183,10 +241,33 @@ class ShardClient:
 
     def shortest_path(self, spec: QuerySpec,
                       use_cache: bool = True) -> PathResult:
-        """Answer one query on the remote shard."""
-        data = self._request("/shortest_path",
-                             {"spec": protocol.spec_to_dict(spec),
-                              "use_cache": use_cache})
+        """Answer one query on the remote shard.
+
+        A budgeted spec (``timeout_s``) bounds the call end to end on
+        *this* side of the wire: the HTTP timeout and any retry backoff
+        are clamped to the remaining budget, and each attempt re-sends
+        the spec with the budget still left — so the server's own
+        deadline covers only the time actually remaining, not the
+        original allowance.  Raises
+        :class:`~repro.errors.DeadlineExceededError` once the budget is
+        gone, whichever side of the wire noticed first.
+        """
+        deadline = deadline_from_timeout(spec.timeout_s)
+
+        def body() -> Dict[str, object]:
+            send = spec
+            budget = remaining_budget(deadline)
+            if budget is not None:
+                if budget <= 0:
+                    # Raced out between the loop's check and now; raise
+                    # the typed error (a QuerySpec cannot even express a
+                    # spent budget).
+                    check_deadline(deadline, "query dispatch")
+                send = replace(spec, timeout_s=budget)
+            return {"spec": protocol.spec_to_dict(send),
+                    "use_cache": use_cache}
+
+        data = self._request("/shortest_path", body, deadline=deadline)
         return protocol.result_from_dict(self._field(data, "result"))
 
     def explain(self, spec: QuerySpec) -> QueryPlan:
@@ -211,8 +292,12 @@ class ShardClient:
                 concurrency: int = 1,
                 checkout_timeout: Optional[float] = None,
                 share_frontier: object = False
-                ) -> Tuple[List[Optional[PathResult]], List[bool], BatchStats]:
-        """Execute a batch slice; returns (results, from_cache, stats).
+                ) -> Tuple[List[Optional[PathResult]], List[bool],
+                           BatchStats, List[Optional[ReproError]]]:
+        """Execute a batch slice; returns (results, from_cache, stats,
+        errors) — ``errors`` is positional, one slot per spec, ``None``
+        where the query succeeded (a budgeted sibling expiring does not
+        poison the rest of the slice).
 
         Safe to retry: execution is read-only and result caching makes a
         replay answer from cache.
@@ -234,6 +319,17 @@ class ShardClient:
                 f"(asked {len(specs)} specs)"
             )
         results = protocol.results_from_list(raw_results)
+        # Absent on pre-deadline servers: nothing failed positionally.
+        raw_errors = data.get("errors")
+        if raw_errors is None:
+            errors: List[Optional[ReproError]] = [None] * len(specs)
+        elif isinstance(raw_errors, list) and len(raw_errors) == len(specs):
+            errors = protocol.errors_from_list(raw_errors)
+        else:
+            raise RemoteProtocolError(
+                f"shard at {self.url} answered a misaligned error column "
+                f"(asked {len(specs)} specs)"
+            )
         try:
             stats = BatchStats.from_dict(dict(self._field(data, "stats")))
         except (TypeError, ValueError) as exc:
@@ -241,7 +337,7 @@ class ShardClient:
                 f"shard at {self.url} answered malformed batch stats "
                 f"({exc})"
             ) from exc
-        return results, [bool(flag) for flag in raw_cached], stats
+        return results, [bool(flag) for flag in raw_cached], stats, errors
 
     def calibrate(self, backend: Optional[str] = None, *,
                   persist: bool = True,

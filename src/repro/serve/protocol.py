@@ -53,6 +53,7 @@ def spec_to_dict(spec: QuerySpec) -> Dict[str, object]:
         "max_iterations": spec.max_iterations,
         "kind": spec.kind,
         "max_hops": spec.max_hops,
+        "timeout_s": spec.timeout_s,
     }
 
 
@@ -63,6 +64,7 @@ def spec_from_dict(data: Dict[str, object]) -> QuerySpec:
     try:
         max_iterations = data.get("max_iterations")
         max_hops = data.get("max_hops")
+        timeout_s = data.get("timeout_s")
         return QuerySpec(
             source=int(data["source"]),
             target=int(data["target"]),
@@ -75,6 +77,8 @@ def spec_from_dict(data: Dict[str, object]) -> QuerySpec:
             # plain shortest-path kind, so the wire stays compatible.
             kind=str(data.get("kind", "path")),
             max_hops=None if max_hops is None else int(max_hops),
+            # Absent on documents from pre-deadline clients: no budget.
+            timeout_s=None if timeout_s is None else float(timeout_s),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise RemoteProtocolError(
@@ -145,6 +149,19 @@ def results_from_list(data: Sequence[Optional[Dict[str, object]]]
             for item in data]
 
 
+def errors_to_list(errors: Sequence[Optional[BaseException]]
+                   ) -> List[Optional[Dict[str, object]]]:
+    """Serialize a batch's positional error column (``None`` marks a
+    position that succeeded or was merely unreachable)."""
+    return [None if exc is None else error_to_dict(exc) for exc in errors]
+
+
+def errors_from_list(data: Sequence[Optional[Dict[str, object]]]
+                     ) -> List[Optional[ReproError]]:
+    return [None if item is None else error_from_dict(item)
+            for item in data]
+
+
 # -- plans -----------------------------------------------------------------------
 
 def plan_to_dict(plan: QueryPlan) -> Dict[str, object]:
@@ -207,8 +224,18 @@ def error_to_dict(exc: BaseException) -> Dict[str, object]:
     identical type; anything else is flattened to its class name too but
     will come back as :class:`RemoteProtocolError` — the client must not
     fabricate arbitrary exception types from wire input.
+
+    A ``retry_after`` attribute (the admission-control backoff hint of
+    :class:`~repro.errors.ServerOverloadedError`) rides along as an
+    optional field; documents without it decode exactly as before, so
+    the wire stays compatible in both directions.
     """
-    return {"type": type(exc).__name__, "message": str(exc)}
+    document: Dict[str, object] = {"type": type(exc).__name__,
+                                   "message": str(exc)}
+    retry_after = getattr(exc, "retry_after", None)
+    if isinstance(retry_after, (int, float)):
+        document["retry_after"] = float(retry_after)
+    return document
 
 
 def error_from_dict(data: Dict[str, object]) -> ReproError:
@@ -224,7 +251,11 @@ def error_from_dict(data: Dict[str, object]) -> ReproError:
     candidate = getattr(_errors_module, name, None)
     if (isinstance(candidate, type) and issubclass(candidate, ReproError)
             and candidate is not ReproError):
-        return candidate(message)
+        rebuilt = candidate(message)
+        retry_after = data.get("retry_after")
+        if isinstance(retry_after, (int, float)):
+            rebuilt.retry_after = float(retry_after)
+        return rebuilt
     return RemoteProtocolError(
         f"remote shard reported a {name or '(untyped)'} error: {message}"
     )
@@ -234,6 +265,8 @@ __all__ = [
     "PROTOCOL_VERSION",
     "error_from_dict",
     "error_to_dict",
+    "errors_from_list",
+    "errors_to_list",
     "plan_from_dict",
     "plan_to_dict",
     "result_from_dict",

@@ -32,13 +32,23 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
-from repro.errors import RemoteProtocolError, ReproError
+from repro.errors import (
+    DeadlineExceededError,
+    RemoteProtocolError,
+    ReproError,
+    ServerOverloadedError,
+)
 from repro.obs import bind_request_id, get_logger, timer
-from repro.obs.schema import METRIC_HTTP_LATENCY, METRIC_HTTP_REQUESTS
+from repro.obs.schema import (
+    METRIC_HTTP_LATENCY,
+    METRIC_HTTP_REQUESTS,
+    METRIC_SHED,
+)
 from repro.serve import protocol
 from repro.service.batch import execute_batch
 
@@ -53,7 +63,81 @@ REQUEST_ID_HEADER = "X-Request-Id"
 of one logical request, and the server binds it so traces and structured
 log lines on both ends share it."""
 
+SHUTDOWN_JOIN_TIMEOUT = 5.0
+"""Seconds :meth:`ShardServer.close` waits for the serve thread."""
+
+_GATED_ENDPOINTS = frozenset({"/shortest_path", "/execute"})
+"""Execution endpoints subject to admission control.  Cheap control-plane
+endpoints (health, routing, metrics, planning) always answer — an
+operator must be able to observe an overloaded server."""
+
 _LOG = get_logger("serve.server")
+
+
+class _AdmissionGate:
+    """Bounded in-flight execution with a bounded wait queue.
+
+    At most ``max_inflight`` requests execute concurrently; up to
+    ``max_queue`` more wait for a slot.  Beyond that the request is
+    *shed*: :meth:`admit` raises a typed, retryable
+    :class:`~repro.errors.ServerOverloadedError` whose ``retry_after``
+    hint scales with the queue depth, so backed-off clients spread out
+    instead of stampeding back in unison.
+    """
+
+    def __init__(self, max_inflight: int, max_queue: int,
+                 retry_after: float) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self._cond = threading.Condition()
+        self._max_inflight = max_inflight
+        self._max_queue = max_queue
+        self._retry_after = retry_after
+        self._inflight = 0
+        self._queued = 0
+
+    @property
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    @property
+    def queued(self) -> int:
+        with self._cond:
+            return self._queued
+
+    def admit(self) -> None:
+        """Take an execution slot, queueing for one if all are busy.
+
+        Raises:
+            ServerOverloadedError: the queue is full too; the error's
+                ``retry_after`` tells the client how long to back off.
+        """
+        with self._cond:
+            if self._inflight < self._max_inflight:
+                self._inflight += 1
+                return
+            if self._queued >= self._max_queue:
+                hint = self._retry_after * (1.0 + self._queued)
+                raise ServerOverloadedError(
+                    f"server overloaded: {self._inflight} in flight and "
+                    f"{self._queued} queued; retry after {hint:.3f}s",
+                    retry_after=hint,
+                )
+            self._queued += 1
+            try:
+                while self._inflight >= self._max_inflight:
+                    self._cond.wait()
+            finally:
+                self._queued -= 1
+            self._inflight += 1
+
+    def release(self) -> None:
+        with self._cond:
+            self._inflight -= 1
+            self._cond.notify()
 
 
 class _ShardRequestHandler(BaseHTTPRequestHandler):
@@ -116,12 +200,31 @@ class _ShardRequestHandler(BaseHTTPRequestHandler):
                 })
             else:
                 try:
-                    self._ok(handler())  # type: ignore[operator]
+                    self._ok(self._admitted(handler))
+                except ServerOverloadedError as exc:
+                    # Typed + retryable: 503 with the retry_after hint in
+                    # the error document, counted as a shed.
+                    self._service.registry.counter(
+                        METRIC_SHED, {"endpoint": endpoint},
+                        help="Requests shed by admission control").inc()
+                    self._fail(503, exc)
                 except ReproError as exc:
                     self._fail(400, exc)
                 except Exception as exc:  # noqa: BLE001 - must answer, not die
                     self._fail(500, exc)
             self._observe_http(endpoint, self._status, took.seconds)
+
+    def _admitted(self, handler: object) -> Dict[str, object]:
+        """Run ``handler`` under the server's admission gate when its
+        endpoint is execution-gated; control-plane endpoints bypass it."""
+        gate = self.server.admission  # type: ignore[attr-defined]
+        if gate is None or self.path not in _GATED_ENDPOINTS:
+            return handler()  # type: ignore[operator]
+        gate.admit()
+        try:
+            return handler()  # type: ignore[operator]
+        finally:
+            gate.release()
 
     def _observe_http(self, endpoint: str, status: int,
                       seconds: float) -> None:
@@ -208,12 +311,25 @@ class _ShardRequestHandler(BaseHTTPRequestHandler):
 
     def _handle_shortest_path(self) -> Dict[str, object]:
         body = self._read_body()
-        spec = protocol.spec_from_dict(body.get("spec", {}))
+        raw_spec = body.get("spec", {})
+        if isinstance(raw_spec, dict):
+            # Reject a request whose budget expired in flight BEFORE spec
+            # validation: a QuerySpec cannot even express a non-positive
+            # budget, and the caller must see the typed deadline error,
+            # not a validation complaint about its own (once-valid) spec.
+            budget = raw_spec.get("timeout_s")
+            if isinstance(budget, (int, float)) and budget <= 0:
+                raise DeadlineExceededError(
+                    f"query budget already expired on arrival "
+                    f"({float(budget) * 1000.0:.1f}ms remaining)"
+                )
+        spec = protocol.spec_from_dict(raw_spec)
         result = self._service.shortest_path(
             spec.source, spec.target, graph=spec.graph, method=spec.method,
             sql_style=spec.sql_style, max_iterations=spec.max_iterations,
             use_cache=bool(body.get("use_cache", True)),
-            kind=spec.kind, max_hops=spec.max_hops)
+            kind=spec.kind, max_hops=spec.max_hops,
+            timeout_s=spec.timeout_s)
         return {"result": protocol.result_to_dict(result)}
 
     def _handle_explain(self) -> Dict[str, object]:
@@ -244,6 +360,9 @@ class _ShardRequestHandler(BaseHTTPRequestHandler):
         return {
             "results": protocol.results_to_list(batch.results),
             "from_cache": list(batch.from_cache),
+            # Positional per-query failures (deadline expiries).  Older
+            # clients simply ignore the extra field.
+            "errors": protocol.errors_to_list(batch.errors),
             "stats": batch.stats.as_dict(),
         }
 
@@ -266,10 +385,12 @@ class _ShardHTTPServer(ThreadingHTTPServer):
 
     def __init__(self, address: Tuple[str, int],
                  service: "PathService", quiet: bool,
-                 handler_class: Optional[type] = None) -> None:
+                 handler_class: Optional[type] = None,
+                 admission: Optional[_AdmissionGate] = None) -> None:
         super().__init__(address, handler_class or _ShardRequestHandler)
         self.service = service
         self.quiet = quiet
+        self.admission = admission
 
 
 class ShardServer:
@@ -281,6 +402,15 @@ class ShardServer:
     stops answering but leaves the service usable in-process; pass
     ``own_service=True`` (the CLI does) to close it too.
 
+    ``max_inflight`` turns on admission control for the execution
+    endpoints (``/shortest_path`` and ``/execute``): at most that many
+    requests execute at once, up to ``max_queue`` more wait, and
+    everything beyond is shed with a retryable
+    :class:`~repro.errors.ServerOverloadedError` carrying a
+    ``retry_after`` backoff hint (``shed_retry_after`` scaled by queue
+    depth).  ``None`` (the default) leaves admission unbounded — the
+    pre-existing behaviour.
+
     Usable as a context manager::
 
         with ShardServer(service, port=0) as server:
@@ -290,13 +420,20 @@ class ShardServer:
     def __init__(self, service: "PathService", host: str = "127.0.0.1",
                  port: int = 0, *, own_service: bool = False,
                  quiet: bool = True,
-                 handler_class: Optional[type] = None) -> None:
+                 handler_class: Optional[type] = None,
+                 max_inflight: Optional[int] = None,
+                 max_queue: int = 16,
+                 shed_retry_after: float = 0.05) -> None:
         self._service = service
         self._own_service = own_service
+        admission = (None if max_inflight is None else
+                     _AdmissionGate(max_inflight, max_queue,
+                                    shed_retry_after))
         self._httpd = _ShardHTTPServer((host, port), service, quiet,
-                                       handler_class)
+                                       handler_class, admission=admission)
         self._thread: Optional[threading.Thread] = None
         self._closed = False
+        self._shutdown_stats: Optional[Dict[str, object]] = None
 
     @property
     def host(self) -> str:
@@ -316,6 +453,21 @@ class ShardServer:
     def service(self) -> "PathService":
         return self._service
 
+    @property
+    def admission(self) -> Optional[_AdmissionGate]:
+        """The admission gate, or ``None`` when unbounded."""
+        return self._httpd.admission
+
+    @property
+    def shutdown_stats(self) -> Optional[Dict[str, object]]:
+        """How the last :meth:`close` went (``None`` until closed).
+
+        Keys: ``thread_joined`` (bool — ``False`` means the serve thread
+        was still alive after :data:`SHUTDOWN_JOIN_TIMEOUT` and the close
+        proceeded anyway), ``join_timeout_s``, and ``join_seconds``.
+        """
+        return self._shutdown_stats
+
     def start(self) -> "ShardServer":
         """Serve on a daemon thread; returns immediately."""
         if self._thread is None:
@@ -330,13 +482,35 @@ class ShardServer:
         self._httpd.serve_forever()
 
     def close(self) -> None:
-        """Stop serving (idempotent); in-flight requests finish first."""
+        """Stop serving (idempotent); in-flight requests finish first.
+
+        Waits :data:`SHUTDOWN_JOIN_TIMEOUT` seconds for the serve thread.
+        A thread that fails to join in time (a wedged in-flight request)
+        no longer passes silently: the close emits a structured warning
+        and records the outcome in :attr:`shutdown_stats`.
+        """
         if self._closed:
             return
         self._closed = True
         self._httpd.shutdown()
+        joined = True
+        join_seconds = 0.0
         if self._thread is not None:
-            self._thread.join(timeout=5.0)
+            started = time.monotonic()
+            self._thread.join(timeout=SHUTDOWN_JOIN_TIMEOUT)
+            join_seconds = time.monotonic() - started
+            joined = not self._thread.is_alive()
+            if not joined:
+                _LOG.warning("serve thread failed to join", extra={
+                    "thread": self._thread.name,
+                    "join_timeout_s": SHUTDOWN_JOIN_TIMEOUT,
+                    "port": self.port,
+                })
+        self._shutdown_stats = {
+            "thread_joined": joined,
+            "join_timeout_s": SHUTDOWN_JOIN_TIMEOUT,
+            "join_seconds": round(join_seconds, 6),
+        }
         self._httpd.server_close()
         if self._own_service:
             self._service.close()
@@ -348,4 +522,5 @@ class ShardServer:
         self.close()
 
 
-__all__ = ["MAX_REQUEST_BYTES", "REQUEST_ID_HEADER", "ShardServer"]
+__all__ = ["MAX_REQUEST_BYTES", "REQUEST_ID_HEADER",
+           "SHUTDOWN_JOIN_TIMEOUT", "ShardServer"]

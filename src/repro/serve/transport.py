@@ -18,8 +18,9 @@ and results cross the wire losslessly (distances, paths, and full
 Client knobs ride in ``spec.service_options``: ``timeout`` (seconds per
 request — a slow shard exceeding it becomes
 :class:`~repro.errors.ShardUnavailableError`, which is what lets the
-router fail over) and ``retries`` (transport-level retries with backoff
-before that error escapes).
+router fail over), ``retries`` (transport-level retries with full-jitter
+backoff before that error escapes), and ``backoff_seed`` (deterministic
+jitter for tests and the chaos bench).
 """
 
 from __future__ import annotations
@@ -64,16 +65,18 @@ class RemoteTransport(ShardTransport):
                 f"{url!r} (put it in catalog_path or "
                 f"service_options['url'])"
             )
+        seed = options.pop("backoff_seed", None)
         self._client = ShardClient(
             url,
             timeout=float(options.pop("timeout", DEFAULT_TIMEOUT)),
-            retries=int(options.pop("retries", DEFAULT_RETRIES)))
+            retries=int(options.pop("retries", DEFAULT_RETRIES)),
+            backoff_seed=None if seed is None else int(seed))  # type: ignore[arg-type]
         if options:
             raise ShardError(
                 f"remote shard {spec.name!r} got unsupported service "
                 f"options {tuple(sorted(options))}; the remote transport "
-                f"accepts 'url', 'timeout', and 'retries' — service knobs "
-                f"belong to the server process"
+                f"accepts 'url', 'timeout', 'retries', and 'backoff_seed' "
+                f"— service knobs belong to the server process"
             )
         # strict has no remote meaning (the server already warm-started);
         # the health probe is the open-time validation instead.
@@ -130,12 +133,13 @@ class RemoteTransport(ShardTransport):
         # plans cannot ship over the wire; the server re-plans its slice
         # deterministically, so the results are identical anyway.
         from repro.service.batch import BatchResult
-        results, from_cache, stats = self._client.execute(
+        results, from_cache, stats, errors = self._client.execute(
             specs, concurrency=concurrency,
             checkout_timeout=checkout_timeout,
             share_frontier=share_frontier)
         return BatchResult(specs=list(specs), results=results,
-                           from_cache=from_cache, stats=stats)
+                           from_cache=from_cache, stats=stats,
+                           errors=errors)
 
     def calibrate(self, backend: Optional[str] = None, *,
                   persist: bool = True,

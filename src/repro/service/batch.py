@@ -16,7 +16,7 @@ into a :class:`~repro.shard.stats.RouterStats`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     Dict,
     Hashable,
@@ -32,7 +32,12 @@ from typing import (
 from repro.core.path import PathResult
 from repro.core.sqlstyle import NSQL
 from repro.core.stats import BatchStats
-from repro.errors import InvalidQueryError, PathNotFoundError
+from repro.errors import (
+    DeadlineExceededError,
+    InvalidQueryError,
+    PathNotFoundError,
+    ReproError,
+)
 from repro.obs import timer
 from repro.obs.schema import METRIC_BATCHES, METRIC_SINGLE_FLIGHT
 from repro.service.planner import AUTO_METHOD, KIND_PATH, QueryPlan, QuerySpec
@@ -52,12 +57,17 @@ class BatchResult:
             ``raise_on_unreachable=False``).
         from_cache: one flag per spec — ``True`` when that answer was
             replayed from the result cache rather than executed here.
+        errors: one entry per spec, aligned with the input order; a
+            :class:`~repro.errors.DeadlineExceededError` marks a query
+            whose ``timeout_s`` budget ran out — its siblings finish
+            normally (``results[i]`` is ``None`` for such positions).
         stats: aggregate batch counters.
     """
 
     specs: List[QuerySpec] = field(default_factory=list)
     results: List[Optional[PathResult]] = field(default_factory=list)
     from_cache: List[bool] = field(default_factory=list)
+    errors: List[Optional[ReproError]] = field(default_factory=list)
     stats: BatchStats = field(default_factory=BatchStats)
 
     def __len__(self) -> int:
@@ -162,6 +172,10 @@ def _execute_shared_groups(service: "PathService",
     for index, spec in enumerate(specs):
         if spec.kind != KIND_PATH or spec.max_iterations is not None:
             continue
+        if spec.timeout_s is not None:
+            # A budgeted member's deadline is its own; sharing a frontier
+            # would couple its expiry to the whole group's runtime.
+            continue
         if spec.method.upper() != AUTO_METHOD:
             continue
         groups.setdefault((spec.graph, spec.source, spec.sql_style),
@@ -231,7 +245,8 @@ def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
                   concurrency: int = 1,
                   checkout_timeout: Optional[float] = None,
                   plans: Optional[Sequence["QueryPlan"]] = None,
-                  share_frontier: Union[bool, str] = False
+                  share_frontier: Union[bool, str] = False,
+                  timeout_s: Optional[float] = None
                   ) -> BatchResult:
     """Answer ``queries`` against ``service`` and aggregate statistics.
 
@@ -271,6 +286,13 @@ def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
             shares a group only when the cost model prices one shared DJ
             frontier below the group's per-pair plans, ``True`` shares
             every eligible group.
+        timeout_s: default per-query time budget applied to every query
+            that does not already carry one (``QuerySpec.timeout_s``
+            wins).  A budgeted query whose time runs out records its
+            :class:`~repro.errors.DeadlineExceededError` at its own
+            position in ``batch.errors`` and counts in
+            ``batch.stats.deadline_exceeded``; its siblings are
+            unaffected.
 
     Raises:
         UnknownGraphError, NodeNotFoundError, InvalidQueryError: on the
@@ -288,8 +310,13 @@ def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
     elapsed = timer()  # .seconds reads live until the final assignment
     specs = normalize_queries(queries, graph=graph, method=method,
                               sql_style=sql_style)
+    if timeout_s is not None:
+        specs = [spec if spec.timeout_s is not None
+                 else replace(spec, timeout_s=timeout_s)
+                 for spec in specs]
     batch = BatchResult(specs=specs, results=[None] * len(specs),
-                        from_cache=[False] * len(specs))
+                        from_cache=[False] * len(specs),
+                        errors=[None] * len(specs))
     batch.stats.total = len(specs)
     evictions_before = service._cache.stats().evictions
 
@@ -336,7 +363,7 @@ def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
                 continue
             spec = plan.spec
             dedup_key = None
-            if (spec.max_iterations is None
+            if (spec.max_iterations is None and spec.timeout_s is None
                     and service._cache_key(plan) is None):
                 dedup_key = (spec.graph, spec.source, spec.target,
                              plan.method, spec.sql_style, spec.kind,
@@ -361,6 +388,11 @@ def execute_batch(service: "PathService", queries: Sequence["BatchQuery"],
                 batch.stats.not_found += 1
                 if dedup_key is not None:
                     local_results[dedup_key] = None
+            except DeadlineExceededError as exc:
+                # A member's budget ran out: report it at its own position
+                # and keep going — one slow query must not fail the batch.
+                batch.stats.deadline_exceeded += 1
+                batch.errors[index] = exc
             else:
                 if dedup_key is not None:
                     local_results[dedup_key] = batch.results[index]

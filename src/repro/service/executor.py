@@ -33,7 +33,11 @@ import threading
 from concurrent.futures import ThreadPoolExecutor, wait
 from typing import AbstractSet, Dict, Optional, Sequence, TYPE_CHECKING
 
-from repro.errors import ConcurrencyError, PathNotFoundError
+from repro.errors import (
+    ConcurrencyError,
+    DeadlineExceededError,
+    PathNotFoundError,
+)
 from repro.obs.schema import METRIC_SINGLE_FLIGHT
 from repro.service.cache import InFlightMap
 from repro.service.planner import QueryPlan
@@ -124,6 +128,12 @@ class Executor:
                 batch.stats.not_found += 1
                 if self._raise_on_unreachable:
                     self._errors[index] = exc
+        except DeadlineExceededError as exc:
+            # Positional, like the serial path: the expired query reports
+            # at its own index and its siblings finish normally.
+            with self._lock:
+                batch.stats.deadline_exceeded += 1
+                batch.errors[index] = exc
         except BaseException as exc:  # surfaced after the batch drains
             with self._lock:
                 self._errors[index] = exc

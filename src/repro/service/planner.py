@@ -107,6 +107,14 @@ class QuerySpec:
             hop count, no weighted bookkeeping).
         max_hops: inclusive hop budget; required (>= 1) for
             ``kind="bounded_hop"`` and forbidden elsewhere.
+        timeout_s: optional end-to-end time budget in seconds.  The
+            budget is *relative* (wire-safe across machines with
+            unsynchronized clocks): each tier derives its own absolute
+            monotonic deadline on entry, and a client forwarding the
+            query sends only the *remaining* budget.  Expiry raises
+            :class:`~repro.errors.DeadlineExceededError`; results of
+            budgeted queries are never cached (the run may have been
+            cut short).
     """
 
     source: int
@@ -117,6 +125,13 @@ class QuerySpec:
     max_iterations: Optional[int] = None
     kind: str = KIND_PATH
     max_hops: Optional[int] = None
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise InvalidQueryError(
+                f"timeout_s must be positive; got {self.timeout_s}"
+            )
 
 
 @dataclass

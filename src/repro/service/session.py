@@ -45,6 +45,11 @@ from typing import (
     Union,
 )
 
+from repro.core.deadline import (
+    check_deadline,
+    deadline_from_timeout,
+    remaining_budget,
+)
 from repro.core.directions import BACKWARD_DIRECTION, FORWARD_DIRECTION
 from repro.core.multi import (
     METHOD_HOPS,
@@ -60,6 +65,7 @@ from repro.core.stats import BatchStats, QueryStats, SegTableBuildStats
 from repro.core.store.base import GraphStore, IndexMode
 from repro.core.store.registry import create_store, is_dsn
 from repro.errors import (
+    DeadlineExceededError,
     DuplicateGraphError,
     FingerprintMismatchError,
     InvalidQueryError,
@@ -68,6 +74,7 @@ from repro.errors import (
     PathNotFoundError,
     PersistenceUnsupportedError,
     PersistentCatalogError,
+    PoolTimeoutError,
     ServiceError,
     UnknownGraphError,
 )
@@ -85,6 +92,7 @@ from repro.memory.dijkstra import dijkstra_shortest_path as _memory_dijkstra
 from repro.obs import MetricsRegistry, Tracer, record_span, timer, wall_time
 from repro.obs import span as obs_span
 from repro.obs.schema import (
+    METRIC_DEADLINE_EXCEEDED,
     METRIC_NOT_FOUND,
     METRIC_PLANNER_COST_ERROR,
     METRIC_QUERIES,
@@ -107,6 +115,21 @@ DEFAULT_GRAPH = "default"
 
 BatchQuery = Union[QuerySpec, Tuple[int, int], Tuple[str, int, int],
                    Tuple[str, int, int, str], Dict[str, object]]
+
+
+def _clamp_checkout(checkout_timeout: Optional[float],
+                    deadline: Optional[float]) -> Optional[float]:
+    """Bound a pool-checkout wait by the query's remaining budget, so a
+    budgeted query can never sit in the checkout queue past its deadline.
+    An already-expired budget raises here, before touching the pool."""
+    if deadline is None:
+        return checkout_timeout
+    check_deadline(deadline, "store checkout")
+    budget = remaining_budget(deadline)
+    assert budget is not None
+    if checkout_timeout is None:
+        return budget
+    return min(checkout_timeout, budget)
 
 
 def run_in_memory(graph: Graph, source: int, target: int,
@@ -839,6 +862,8 @@ class PathService:
             return
         if plan.spec.max_iterations is not None:
             return  # capped runs may stop early; their times are not real
+        if plan.spec.timeout_s is not None:
+            return  # budgeted runs race a deadline; don't train on them
         if host._statistics is None:
             return
         self.cost_model(host.backend).observe(
@@ -903,7 +928,8 @@ class PathService:
                       max_iterations: Optional[int] = None,
                       use_cache: bool = True,
                       kind: str = KIND_PATH,
-                      max_hops: Optional[int] = None) -> PathResult:
+                      max_hops: Optional[int] = None,
+                      timeout_s: Optional[float] = None) -> PathResult:
         """Answer one path query against a hosted graph.
 
         ``kind`` selects the question asked (see
@@ -913,6 +939,10 @@ class PathService:
         with no weighted bookkeeping at all.  The hop kinds report the
         hop count as ``distance``.
 
+        ``timeout_s`` bounds the query end to end — pool wait included,
+        checked between FEM iterations — so an expired budget overruns by
+        at most one iteration (see :mod:`repro.core.deadline`).
+
         Raises:
             UnknownGraphError: when ``graph`` is not hosted.
             NodeNotFoundError: when an endpoint is not in the graph.
@@ -920,11 +950,13 @@ class PathService:
                 index, or a ``max_hops`` that does not fit the kind.
             PathNotFoundError: when the nodes are not connected (or not
                 within ``max_hops`` hops).
+            DeadlineExceededError: when ``timeout_s`` ran out first.
         """
         spec = QuerySpec(source=source, target=target, graph=graph,
                          method=method, sql_style=sql_style,
                          max_iterations=max_iterations,
-                         kind=kind, max_hops=max_hops)
+                         kind=kind, max_hops=max_hops,
+                         timeout_s=timeout_s)
         with timer() as planned:
             plan = self.plan(spec)
         return self._execute(plan, use_cache=use_cache,
@@ -933,7 +965,8 @@ class PathService:
     def one_to_many(self, source: int, targets: Sequence[int],
                     graph: str = DEFAULT_GRAPH, sql_style: str = NSQL,
                     max_iterations: Optional[int] = None,
-                    checkout_timeout: Optional[float] = None
+                    checkout_timeout: Optional[float] = None,
+                    timeout_s: Optional[float] = None
                     ) -> OneToManyResult:
         """Answer every ``source -> target`` pair with ONE shared DJ
         frontier expansion (see
@@ -943,6 +976,7 @@ class PathService:
         running the pair alone with ``method="DJ"``; unreachable targets
         map to ``None`` instead of raising.  The batch layer uses this as
         the shared-frontier execution primitive for same-source groups.
+        ``timeout_s`` bounds the whole shared run, pool wait included.
         """
         host = self._host(graph)
         validate_sql_style(sql_style)
@@ -956,11 +990,20 @@ class PathService:
                     f"node {target} is not in graph {host.name!r}"
                 )
         assert host.pool is not None
+        deadline = deadline_from_timeout(timeout_s)
+        checkout_timeout = _clamp_checkout(checkout_timeout, deadline)
         lease = host.pool.lease(checkout_timeout)
-        with lease as store:
-            return dijkstra_one_to_many(store, source, list(targets),
-                                        sql_style=sql_style,
-                                        max_iterations=max_iterations)
+        try:
+            with lease as store:
+                return dijkstra_one_to_many(store, source, list(targets),
+                                            sql_style=sql_style,
+                                            max_iterations=max_iterations,
+                                            deadline=deadline)
+        except PoolTimeoutError:
+            # The budget, not the caller's own checkout bound, expired
+            # while waiting for a store: that is a deadline outcome.
+            check_deadline(deadline, "store checkout")
+            raise
 
     def shortest_path_many(self, queries: Sequence[BatchQuery],
                            graph: str = DEFAULT_GRAPH, method: str = "auto",
@@ -968,7 +1011,8 @@ class PathService:
                            raise_on_unreachable: bool = False,
                            concurrency: int = 1,
                            checkout_timeout: Optional[float] = None,
-                           share_frontier: Union[bool, str] = False):
+                           share_frontier: Union[bool, str] = False,
+                           timeout_s: Optional[float] = None):
         """Answer a batch of queries; see
         :func:`repro.service.batch.execute_batch` for the full contract.
 
@@ -984,6 +1028,13 @@ class PathService:
         group's per-pair plans, ``True`` shares every eligible group, and
         ``False`` (the default) keeps per-pair execution.  Shared groups
         return bit-identical results to per-pair runs.
+
+        ``timeout_s`` sets a default per-query time budget for queries
+        that do not already carry one (``QuerySpec.timeout_s`` wins).  A
+        query whose budget runs out records its
+        :class:`~repro.errors.DeadlineExceededError` positionally in
+        ``batch.errors`` — its siblings finish normally — and counts in
+        ``batch.stats.deadline_exceeded``.
         """
         from repro.service.batch import execute_batch
         return execute_batch(self, queries, graph=graph, method=method,
@@ -991,7 +1042,8 @@ class PathService:
                              raise_on_unreachable=raise_on_unreachable,
                              concurrency=concurrency,
                              checkout_timeout=checkout_timeout,
-                             share_frontier=share_frontier)
+                             share_frontier=share_frontier,
+                             timeout_s=timeout_s)
 
     # -- cache -------------------------------------------------------------------
 
@@ -1085,6 +1137,8 @@ class PathService:
         spec = plan.spec
         if spec.max_iterations is not None:
             return None  # capped runs may return partial work; never cache
+        if spec.timeout_s is not None:
+            return None  # budgeted runs may be cut short; never cache
         return (spec.graph, spec.source, spec.target, plan.method,
                 spec.sql_style, spec.kind, spec.max_hops, self.shard_id)
 
@@ -1139,6 +1193,11 @@ class PathService:
             if key is not None:
                 self._cache.put_negative(key, str(exc))
             raise
+        except DeadlineExceededError:
+            self._registry.counter(
+                METRIC_DEADLINE_EXCEEDED, {"graph": plan.spec.graph},
+                help="Queries whose time budget ran out mid-flight").inc()
+            raise
         finally:
             # Unreachable pairs still ran a full search against the store.
             if batch_stats is not None:
@@ -1184,7 +1243,9 @@ class PathService:
         """
         spec = plan.spec
         host = self._host(spec.graph)
+        deadline = deadline_from_timeout(spec.timeout_s)
         if plan.method in MEMORY_METHODS:
+            check_deadline(deadline, f"{plan.method} execution")
             with obs_span("execute", method=plan.method):
                 with timer() as ran:
                     try:
@@ -1197,10 +1258,20 @@ class PathService:
             self._publish_query(plan, 0.0, ran.seconds)
             return result, 0.0, ran.seconds
         assert host.pool is not None
+        checkout_timeout = _clamp_checkout(checkout_timeout, deadline)
         lease = host.pool.lease(checkout_timeout)
         with obs_span("execute", method=plan.method,
                       sql_style=spec.sql_style) as exec_span:
-            with lease as store:
+            try:
+                entered = lease.__enter__()
+            except PoolTimeoutError:
+                # The budget (not a caller's own checkout bound) ran out
+                # in the checkout queue: report it as the deadline outcome
+                # it is, so every expiry site raises the same type.
+                check_deadline(deadline, "store checkout")
+                raise
+            try:
+                store = entered
                 record_span("pool.checkout", lease.queue_seconds,
                             graph=spec.graph)
                 with timer() as ran:
@@ -1211,17 +1282,21 @@ class PathService:
                                 sql_style=spec.sql_style,
                                 max_hops=spec.max_hops,
                                 max_iterations=spec.max_iterations,
-                                method=plan.method)
+                                method=plan.method,
+                                deadline=deadline)
                         else:
                             algorithm = RELATIONAL_METHODS[plan.method]
                             result = algorithm(
                                 store, spec.source, spec.target,
                                 sql_style=spec.sql_style,
-                                max_iterations=spec.max_iterations)
+                                max_iterations=spec.max_iterations,
+                                deadline=deadline)
                     except PathNotFoundError:
                         self._note_not_found(plan, lease.queue_seconds,
                                              ran.seconds)
                         raise
+            finally:
+                lease.__exit__(None, None, None)
             executed = ran.seconds
             if result.stats is not None:
                 exec_span.tag(statements=result.stats.statements,

@@ -46,6 +46,7 @@ skips the data copy entirely and just flips ownership.
 from __future__ import annotations
 
 import os
+import random
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor, wait
@@ -61,17 +62,24 @@ from typing import (
     Union,
 )
 
+from repro.core.deadline import (
+    check_deadline,
+    deadline_from_timeout,
+    remaining_budget,
+)
 from repro.core.path import PathResult
 from repro.core.sqlstyle import NSQL
 from repro.core.store.registry import create_store, is_dsn
 from repro.errors import (
     PathNotFoundError,
+    ReproError,
     ShardError,
     ShardUnavailableError,
     UnknownShardError,
 )
 from repro.obs import MetricsRegistry, Trace, Tracer, timer
 from repro.obs.schema import (
+    METRIC_BREAKER_STATE,
     METRIC_FAILOVERS,
     METRIC_ROUTER_QUERIES,
     METRIC_SHARD_ERRORS,
@@ -100,15 +108,32 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 DEFAULT_GRAPH = "default"
 
 FAILOVER_COOLDOWN = 0.25
-"""Seconds a shard is considered down after its first transport failure;
-doubles per consecutive failure up to :data:`FAILOVER_COOLDOWN_MAX`."""
+"""Base seconds a shard is considered down after its first transport
+failure; doubles per consecutive failure up to
+:data:`FAILOVER_COOLDOWN_MAX`, with *equal jitter* (a uniform draw from
+``[cooldown/2, cooldown]``) so replicas of a failed shard do not all
+re-probe it on the same instant."""
 
 FAILOVER_COOLDOWN_MAX = 30.0
+
+BREAKER_CLOSED = "closed"
+BREAKER_HALF_OPEN = "half_open"
+BREAKER_OPEN = "open"
+
+_BREAKER_GAUGE = {BREAKER_CLOSED: 0.0, BREAKER_HALF_OPEN: 1.0,
+                  BREAKER_OPEN: 2.0}
+"""Numeric encoding of :data:`METRIC_BREAKER_STATE` (0/1/2)."""
 
 
 @dataclass
 class ShardHealth:
     """The router's view of one shard's transport health.
+
+    The three fields double as a per-shard **circuit breaker**:
+    *closed* (no recent failures — route normally), *open* (inside the
+    failure cooldown — routed around), *half-open* (cooldown elapsed
+    after failures — the next query is the probe; success re-closes the
+    breaker, failure re-opens it with a doubled cooldown).
 
     Attributes:
         shard: the shard's name.
@@ -131,12 +156,24 @@ class ShardHealth:
         """Whether the shard is inside its failure cooldown."""
         return (time.monotonic() if now is None else now) < self.down_until
 
+    def breaker_state(self, now: Optional[float] = None) -> str:
+        """The shard's circuit-breaker state (``"closed"`` /
+        ``"half_open"`` / ``"open"``), derived from the failure
+        accounting — open while cooling down, half-open once the cooldown
+        elapsed with the failure streak unbroken."""
+        if self.is_down(now):
+            return BREAKER_OPEN
+        if self.consecutive_failures > 0:
+            return BREAKER_HALF_OPEN
+        return BREAKER_CLOSED
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "shard": self.shard,
             "errors": self.errors,
             "consecutive_failures": self.consecutive_failures,
             "down": self.is_down(),
+            "breaker": self.breaker_state(),
             "last_error": self.last_error,
         }
 
@@ -157,6 +194,9 @@ class ScatterResult:
             included) or the router's shared cross-shard cache.
         shard_of: per spec, the shard that answered it (the owner, or the
             replica that took over on failover).
+        errors: per spec, the typed per-query failure (a budgeted query's
+            :class:`~repro.errors.DeadlineExceededError`) or ``None`` —
+            positional, so one expired sibling never poisons the batch.
         stats: the :class:`RouterStats` of this scatter-gather.
         trace: the batch's :class:`~repro.obs.Trace` — one recorded span
             per slice run (shard, query count, wall seconds), across
@@ -168,6 +208,7 @@ class ScatterResult:
     results: List[Optional[PathResult]] = field(default_factory=list)
     from_cache: List[bool] = field(default_factory=list)
     shard_of: List[str] = field(default_factory=list)
+    errors: List[Optional[ReproError]] = field(default_factory=list)
     stats: RouterStats = field(default_factory=RouterStats)
     trace: Optional[Trace] = field(default=None, compare=False, repr=False)
 
@@ -203,7 +244,8 @@ class ShardRouter:
                  shared_cache_size: int = 0,
                  shared_cache_ttl: Optional[float] = None,
                  registry: Optional[MetricsRegistry] = None,
-                 tracing: bool = True) -> None:
+                 tracing: bool = True,
+                 cooldown_seed: Optional[int] = None) -> None:
         self._transports: Dict[str, ShardTransport] = {
             transport.spec.name: transport for transport in transports}
         self._table = table
@@ -222,7 +264,13 @@ class ShardRouter:
                 capacity=shared_cache_size, ttl_seconds=shared_cache_ttl,
                 negative_capacity=shared_cache_size,
                 registry=self._registry, name="shared"))
+        # Cooldown jitter RNG: seedable so tests replay the exact same
+        # failover schedule; guarded by _health_lock (drawn only inside
+        # _mark_failure).
+        self._cooldown_rng = random.Random(cooldown_seed)
         self._move_markers: Dict[str, int] = {"moves": 0, "replica_noops": 0}
+        for name in self._transports:
+            self._set_breaker(name, BREAKER_CLOSED)
 
     # -- construction ------------------------------------------------------------
 
@@ -238,6 +286,7 @@ class ShardRouter:
              remote_retries: Optional[int] = None,
              registry: Optional[MetricsRegistry] = None,
              tracing: bool = True,
+             cooldown_seed: Optional[int] = None,
              **service_options: object) -> "ShardRouter":
         """Open one shard per catalog (or URL) and build the routing table.
 
@@ -276,6 +325,9 @@ class ShardRouter:
                 server-side registry.
             tracing: whether router queries build per-query trace trees
                 (remote shard traces are stitched in as child spans).
+            cooldown_seed: seed for the failover-cooldown jitter, making
+                the failover schedule deterministic (tests, chaos bench);
+                ``None`` (the default) desynchronizes naturally.
             **service_options: forwarded to every *local* shard service
                 constructor (cache knobs, ``default_backend``, ...);
                 remote shards configured their service at server start.
@@ -384,7 +436,8 @@ class ShardRouter:
         router = cls(transports, table,
                      shared_cache_size=shared_cache_size,
                      shared_cache_ttl=shared_cache_ttl,
-                     registry=registry, tracing=tracing)
+                     registry=registry, tracing=tracing,
+                     cooldown_seed=cooldown_seed)
         if stamp_ownership:
             router._stamp_ownership()
         return router
@@ -477,14 +530,26 @@ class ShardRouter:
             cooldown = min(
                 FAILOVER_COOLDOWN * (2 ** (health.consecutive_failures - 1)),
                 FAILOVER_COOLDOWN_MAX)
+            # Equal jitter: uniform in [cooldown/2, cooldown].  Keeps the
+            # exponential floor (no instant flapping back) while replicas
+            # that failed together re-probe at different instants.
+            cooldown = self._cooldown_rng.uniform(cooldown / 2.0, cooldown)
             health.down_until = time.monotonic() + cooldown
             health.last_error = str(exc)
+        self._set_breaker(shard, BREAKER_OPEN)
 
     def _mark_success(self, shard: str) -> None:
         with self._health_lock:
             health = self._health[shard]
             health.consecutive_failures = 0
             health.down_until = 0.0
+        self._set_breaker(shard, BREAKER_CLOSED)
+
+    def _set_breaker(self, shard: str, state: str) -> None:
+        self._registry.gauge(
+            METRIC_BREAKER_STATE, {"shard": shard},
+            help="Per-shard circuit breaker (0 closed, 1 half-open, "
+                 "2 open)").set(_BREAKER_GAUGE[state])
 
     def _candidates(self, graph: str) -> List[str]:
         """Shards able to answer ``graph``, preference order: the owner,
@@ -496,9 +561,17 @@ class ShardRouter:
                                  if replica in self._transports
                                  and replica != route.shard]
         now = time.monotonic()
+        half_open: List[str] = []
         with self._health_lock:
             up = [n for n in names if not self._health[n].is_down(now)]
             down = [n for n in names if self._health[n].is_down(now)]
+            half_open = [n for n in up
+                         if self._health[n].breaker_state(now)
+                         == BREAKER_HALF_OPEN]
+        for name in half_open:
+            # The cooldown elapsed with the failure streak unbroken: the
+            # query about to route here is the breaker's probe.
+            self._set_breaker(name, BREAKER_HALF_OPEN)
         return up + down
 
     def _next_candidate(self, graph: str,
@@ -520,8 +593,10 @@ class ShardRouter:
         """Cross-shard cache key: the graph's content *fingerprint* (never
         its name, so same-name/different-content graphs cannot collide and
         all replicas share), plus the query coordinates.  Uncacheable
-        queries (capped iterations) get no key."""
-        if self._shared_cache is None or spec.max_iterations is not None:
+        queries (capped iterations, time budgets — a budgeted run may
+        have been cut short) get no key."""
+        if (self._shared_cache is None or spec.max_iterations is not None
+                or spec.timeout_s is not None):
             return None
         route = self._table.route(spec.graph)
         return (route.fingerprint, spec.source, spec.target,
@@ -539,7 +614,8 @@ class ShardRouter:
                       method: str = "auto", sql_style: str = NSQL,
                       max_iterations: Optional[int] = None,
                       use_cache: bool = True, kind: str = "path",
-                      max_hops: Optional[int] = None) -> PathResult:
+                      max_hops: Optional[int] = None,
+                      timeout_s: Optional[float] = None) -> PathResult:
         """Answer one query, routed transparently to ``graph``'s owner —
         or, when the owner's transport fails, to the next
         identical-fingerprint replica (bit-identical answer).
@@ -549,16 +625,24 @@ class ShardRouter:
         or ``"reachability"``); the hop kinds route, fail over, and cache
         like any other query.
 
+        ``timeout_s`` bounds the query end to end *across* the failover
+        chain: each replica attempt is handed only the budget still
+        remaining, and once the budget is gone the router stops failing
+        over and raises :class:`~repro.errors.DeadlineExceededError`
+        instead of shopping an expired query to the next replica.
+
         Raises:
             UnknownGraphError: when no shard owns ``graph``.
             ShardUnavailableError: every shard hosting ``graph`` is
                 unreachable.
+            DeadlineExceededError: the ``timeout_s`` budget ran out.
             (plus everything :meth:`PathService.shortest_path` raises)
         """
         spec = QuerySpec(source=source, target=target, graph=graph,
                          method=method, sql_style=sql_style,
                          max_iterations=max_iterations,
-                         kind=kind, max_hops=max_hops)
+                         kind=kind, max_hops=max_hops,
+                         timeout_s=timeout_s)
         self._registry.counter(METRIC_ROUTER_QUERIES, {"kind": kind}).inc()
         with self._tracer.span("router.query", graph=graph, source=source,
                                target=target, kind=kind) as root:
@@ -587,13 +671,25 @@ class ShardRouter:
                 root.tag(shared_cache="negative_hit")
                 self._registry.counter(METRIC_SHARED_CACHE_HITS).inc()
                 raise PathNotFoundError(verdict)
+        deadline = deadline_from_timeout(spec.timeout_s)
         last: Optional[ShardUnavailableError] = None
         candidates = self._candidates(graph)
         for position, shard in enumerate(candidates):
+            # Budget gone → stop failing over: the typed deadline error
+            # beats shopping an already-expired query to the next replica.
+            check_deadline(deadline, f"routing to shard {shard!r} "
+                                     f"(attempt {position + 1})")
+            attempt_spec = spec
+            budget = remaining_budget(deadline)
+            if budget is not None and budget > 0:
+                # Each attempt gets only what is left, not the original
+                # allowance — the shard's own deadline then covers the
+                # true remainder.
+                attempt_spec = replace(spec, timeout_s=budget)
             transport = self._transports[shard]
             try:
                 with timer() as took:
-                    result = transport.shortest_path(spec,
+                    result = transport.shortest_path(attempt_spec,
                                                      use_cache=use_cache)
             except ShardUnavailableError as exc:
                 self._mark_failure(shard, exc)
@@ -658,7 +754,8 @@ class ShardRouter:
                            raise_on_unreachable: bool = False,
                            concurrency: int = 1,
                            checkout_timeout: Optional[float] = None,
-                           share_frontier: Union[bool, str] = False
+                           share_frontier: Union[bool, str] = False,
+                           timeout_s: Optional[float] = None
                            ) -> ScatterResult:
         """Scatter a mixed-graph batch across shards and gather in order.
 
@@ -692,6 +789,13 @@ class ShardRouter:
                 groups of plain ``path`` queries may then run as one
                 shared DJ frontier on their shard (``"auto"`` =
                 cost-gated, ``True`` = always, ``False`` = never).
+            timeout_s: default per-query time budget applied to every
+                query that does not already carry its own
+                (``QuerySpec.timeout_s`` wins).  A query whose budget
+                runs out reports a
+                :class:`~repro.errors.DeadlineExceededError` at its own
+                position in ``scatter.errors`` — its siblings finish
+                normally.
 
         Raises:
             UnknownGraphError, NodeNotFoundError, InvalidQueryError: on
@@ -705,6 +809,10 @@ class ShardRouter:
         elapsed = timer()  # .seconds reads live until the final assignment
         specs = normalize_queries(queries, graph=graph or DEFAULT_GRAPH,
                                   method=method, sql_style=sql_style)
+        if timeout_s is not None:
+            specs = [spec if spec.timeout_s is not None
+                     else replace(spec, timeout_s=timeout_s)
+                     for spec in specs]
         for spec in specs:
             self._registry.counter(METRIC_ROUTER_QUERIES,
                                    {"kind": spec.kind}).inc()
@@ -713,6 +821,7 @@ class ShardRouter:
             results=[None] * len(specs),
             from_cache=[False] * len(specs),
             shard_of=[""] * len(specs),
+            errors=[None] * len(specs),
             stats=RouterStats(total=len(specs)),
         )
         stats = scatter.stats
@@ -866,6 +975,8 @@ class ShardRouter:
                         scatter.results[global_index] = result
                         scatter.from_cache[global_index] = batch.from_cache[local]
                         scatter.shard_of[global_index] = shard
+                        if batch.errors and local < len(batch.errors):
+                            scatter.errors[global_index] = batch.errors[local]
                         key = self._shared_key(specs[global_index])
                         if key is None:
                             continue
@@ -887,6 +998,10 @@ class ShardRouter:
         if raise_on_unreachable:
             for index, result in enumerate(scatter.results):
                 if result is None:
+                    if scatter.errors[index] is not None:
+                        # Not unreachable — unfinished (deadline expired);
+                        # the typed error stays positional.
+                        continue
                     spec = specs[index]
                     raise PathNotFoundError(
                         f"no path from {spec.source} to {spec.target} in "
@@ -1102,4 +1217,14 @@ class ShardRouter:
         return self._shard(self._table.owner(graph)).service
 
 
-__all__ = ["DEFAULT_GRAPH", "ScatterResult", "ShardHealth", "ShardRouter"]
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "DEFAULT_GRAPH",
+    "FAILOVER_COOLDOWN",
+    "FAILOVER_COOLDOWN_MAX",
+    "ScatterResult",
+    "ShardHealth",
+    "ShardRouter",
+]

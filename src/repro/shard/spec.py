@@ -159,7 +159,8 @@ class ShardTransport(ABC):
         return self.service.shortest_path(
             spec.source, spec.target, graph=spec.graph, method=spec.method,
             sql_style=spec.sql_style, max_iterations=spec.max_iterations,
-            use_cache=use_cache, kind=spec.kind, max_hops=spec.max_hops)
+            use_cache=use_cache, kind=spec.kind, max_hops=spec.max_hops,
+            timeout_s=spec.timeout_s)
 
     def explain(self, spec: "QuerySpec") -> "QueryPlan":
         """The plan this shard would execute for ``spec``."""

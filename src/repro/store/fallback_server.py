@@ -102,10 +102,25 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
 
 
 def _recv_frame(sock: socket.socket) -> Dict[str, Any]:
-    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    """Receive one frame, normalizing *every* way a peer can hand us
+    garbage — a truncated header, a dead socket mid-body, invalid UTF-8,
+    malformed JSON — to :class:`InterfaceError`.  This matters at every
+    call site: the generic DB-API store maps ``InterfaceError`` to
+    ``repro.errors.BackendConnectionError``, but a leaked
+    ``UnicodeDecodeError`` or ``json.JSONDecodeError`` (both plain
+    ``ValueError`` subclasses) would escape that mapping and surface as
+    an untyped crash instead of a retryable connection failure."""
+    try:
+        (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    except struct.error as exc:  # defensive; _recv_exact sizes the read
+        raise InterfaceError(f"malformed frame header: {exc}") from exc
     if length > _MAX_FRAME:
         raise InterfaceError(f"frame of {length} bytes exceeds protocol bound")
-    return json.loads(_recv_exact(sock, length).decode("utf-8"))
+    body = _recv_exact(sock, length)
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise InterfaceError(f"garbled frame from peer: {exc}") from exc
 
 
 # ---------------------------------------------------------------------------

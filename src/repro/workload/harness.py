@@ -20,6 +20,12 @@ production load test would:
 Transport errors (a dead shard with no replica left) are *counted*, not
 raised — the harness keeps streaming, which is what lets the
 fault-injection tests kill a server mid-run and assert on the aftermath.
+Deadline expiries and load sheds are split out into their own report
+counters (they are *policy* outcomes, not failures of the same kind as a
+dead transport), and **chaos mode** — a per-query ``chaos`` hook plus an
+armed :class:`~repro.faults.FaultPlan` whose firing record lands in
+``report.faults`` — turns the same loop into the chaos harness behind
+``bench_chaos_slo``.
 """
 
 from __future__ import annotations
@@ -30,7 +36,12 @@ from collections import deque
 from dataclasses import asdict, dataclass, field, is_dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
-from repro.errors import PathNotFoundError, ReproError
+from repro.errors import (
+    DeadlineExceededError,
+    PathNotFoundError,
+    ReproError,
+    ServerOverloadedError,
+)
 from repro.graph.model import Graph
 from repro.memory.dijkstra import dijkstra_shortest_path
 from repro.obs import DEFAULT_LATENCY_BUCKETS_MS, MetricsRegistry, timer
@@ -113,12 +124,18 @@ class TrafficReport:
             descriptions (query coordinates, expected vs. got).
         errors: queries that raised (transport failures included).
         error_samples: up to :data:`MAX_WRONG_SAMPLES` error messages.
+        deadline_exceeded: errored queries whose error was a deadline
+            expiry (a policy outcome; included in ``errors``).
+        shed: errored queries the server refused under overload with a
+            typed retryable shed (included in ``errors``).
         elapsed_s: wall-clock seconds of the whole stream.
         qps: ``total / elapsed_s``.
         latency_ms: overall latency summary (count/p50/p95/p99/mean/max).
         per_kind_latency_ms: the same summary per query kind.
         cache: cache-counter snapshot from the target, when it has one.
         failover: shard-health snapshot from the target, when it has one.
+        faults: the armed fault plan's firing record (ops intercepted,
+            faults fired), when the run passed one.
         config: the generator config this stream was drawn from.
         slo: filled by :meth:`SLO.apply` — declared objectives,
             violations, and the overall verdict.
@@ -132,6 +149,8 @@ class TrafficReport:
     wrong_samples: List[Dict[str, object]] = field(default_factory=list)
     errors: int = 0
     error_samples: List[str] = field(default_factory=list)
+    deadline_exceeded: int = 0
+    shed: int = 0
     elapsed_s: float = 0.0
     qps: float = 0.0
     latency_ms: Dict[str, float] = field(default_factory=dict)
@@ -139,6 +158,7 @@ class TrafficReport:
         default_factory=dict)
     cache: Optional[Dict[str, object]] = None
     failover: Optional[Dict[str, object]] = None
+    faults: Optional[Dict[str, object]] = None
     config: Optional[Dict[str, object]] = None
     slo: Optional[Dict[str, object]] = None
 
@@ -243,6 +263,8 @@ def run_traffic(target: object, generator: TrafficGenerator, count: int, *,
                 reference: Optional[Mapping[str, Graph]] = None,
                 interrupt_at: Optional[int] = None,
                 interrupt: Optional[Callable[[], object]] = None,
+                chaos: Optional[Callable[[int], object]] = None,
+                fault_plan: Optional[object] = None,
                 registry: Optional[MetricsRegistry] = None
                 ) -> TrafficReport:
     """Stream ``count`` generated queries against ``target``.
@@ -262,6 +284,15 @@ def run_traffic(target: object, generator: TrafficGenerator, count: int, *,
             invoked once — the fault-injection hook ("kill the server
             after 40 queries").
         interrupt: the callable to invoke at ``interrupt_at``.
+        chaos: chaos-mode hook, invoked with the 0-based query index
+            before *every* query (after any one-shot ``interrupt``) —
+            the place to kill/restart servers, rearm fault plans, or
+            flip load on a schedule.  Exceptions it raises propagate:
+            the chaos script is part of the experiment, not the system
+            under test.
+        fault_plan: an armed :class:`~repro.faults.FaultPlan` (already
+            installed on the seams under test); its firing record is
+            snapshotted into ``report.faults`` at end of run.
         registry: the :class:`~repro.obs.MetricsRegistry` the run
             publishes into (latency histograms per kind, query/outcome
             counters).  Defaults to a fresh registry, so the report's
@@ -284,6 +315,8 @@ def run_traffic(target: object, generator: TrafficGenerator, count: int, *,
     for index, query in enumerate(generator.queries(count)):
         if interrupt is not None and index == interrupt_at:
             interrupt()
+        if chaos is not None:
+            chaos(index)
         report.total += 1
         report.per_kind[query.kind] = report.per_kind.get(query.kind, 0) + 1
         registry.counter(METRIC_TRAFFIC_QUERIES, {"kind": query.kind}).inc()
@@ -302,6 +335,10 @@ def run_traffic(target: object, generator: TrafficGenerator, count: int, *,
         except ReproError as exc:
             failed = True
             report.errors += 1
+            if isinstance(exc, DeadlineExceededError):
+                report.deadline_exceeded += 1
+            elif isinstance(exc, ServerOverloadedError):
+                report.shed += 1
             registry.counter(METRIC_TRAFFIC_ERRORS).inc()
             if len(report.error_samples) < MAX_WRONG_SAMPLES:
                 report.error_samples.append(
@@ -335,6 +372,9 @@ def run_traffic(target: object, generator: TrafficGenerator, count: int, *,
             key=lambda labels: str(labels.get("kind", "")))}
     report.cache = _cache_snapshot(target)
     report.failover = _failover_snapshot(target)
+    plan_summary = getattr(fault_plan, "as_dict", None)
+    if callable(plan_summary):
+        report.faults = plan_summary()
     return report
 
 

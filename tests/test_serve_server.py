@@ -111,13 +111,14 @@ class TestShardClient:
     def test_execute_batch_matches_local_batch(self, server):
         specs = [QuerySpec(source=0, target=t, graph="beta")
                  for t in (5, 15, 25, 35)]
-        results, from_cache, stats = ShardClient(server.url).execute(
+        results, from_cache, stats, errors = ShardClient(server.url).execute(
             specs, concurrency=2)
         local = server.service.shortest_path_many(
             [(s.graph, s.source, s.target) for s in specs])
         assert _shapes(results) == _shapes(local.results)
         assert len(from_cache) == 4
         assert stats.total == 4
+        assert errors == [None] * 4
 
     def test_query_errors_cross_the_wire_typed(self, server):
         client = ShardClient(server.url)

@@ -166,7 +166,7 @@ class TestKindsOverTheWire:
             assert bounded.distance == local_reach[0]
             specs = [QuerySpec(source=0, target=t, graph="default")
                      for t in (5, 40, 99)]
-            results, _, stats = client.execute(specs, share_frontier=True)
+            results, _, stats, _ = client.execute(specs, share_frontier=True)
             assert stats.shared_frontier_groups == 1
             assert all(r is not None for r in results)
 
